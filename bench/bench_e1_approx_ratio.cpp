@@ -1,0 +1,67 @@
+// E1 (Theorem 2.2.1): the greedy scheduler's cost is within O(log n) of
+// optimal. On small random feasible instances we compute the exact optimum
+// by brute force and report the measured cost ratio per n, alongside the
+// theorem's 2·log2(n+1) bound and the two practical baselines.
+//
+// Expected shape: mean ratio well under the bound, growing (at most) gently
+// with n; always-on and wake-per-job ratios visibly worse.
+#include <cmath>
+#include <cstdio>
+
+#include "scheduling/baselines.hpp"
+#include "scheduling/generators.hpp"
+#include "scheduling/power_scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ps::scheduling;
+
+  ps::util::Table table({"n jobs", "trials", "greedy/OPT mean", "max",
+                         "bound 2log2(n+1)", "always-on/OPT",
+                         "per-job/OPT"});
+  table.set_caption(
+      "E1: schedule-all cost ratio vs exact optimum "
+      "(p=2, T=8, restart-cost model, 20 instances per row)");
+
+  ps::util::Rng rng(20100601);
+  for (int n : {3, 4, 5, 6, 7, 8}) {
+    ps::util::Accumulator greedy_ratio, on_ratio, naive_ratio;
+    int trials = 0;
+    while (trials < 20) {
+      RandomInstanceParams params;
+      params.num_jobs = n;
+      params.num_processors = 2;
+      params.horizon = 8;
+      params.window_length = 2;
+      params.windows_per_job = 2;
+      const auto instance = random_feasible_instance(params, rng);
+      RestartCostModel model(rng.uniform_double(0.5, 3.0));
+
+      const auto opt = brute_force_min_cost_all_jobs(instance, model);
+      if (!opt) continue;
+      const auto greedy = schedule_all_jobs(instance, model);
+      if (!greedy.feasible) continue;
+      greedy_ratio.add(greedy.schedule.energy_cost / opt->energy_cost);
+      if (const auto on = schedule_always_on(instance, model)) {
+        on_ratio.add(on->energy_cost / opt->energy_cost);
+      }
+      if (const auto naive = schedule_per_job_naive(instance, model)) {
+        naive_ratio.add(naive->energy_cost / opt->energy_cost);
+      }
+      ++trials;
+    }
+    table.row()
+        .cell(n)
+        .cell(static_cast<std::size_t>(trials))
+        .cell(greedy_ratio.mean())
+        .cell(greedy_ratio.max())
+        .cell(2.0 * std::log2(static_cast<double>(n) + 1.0))
+        .cell(on_ratio.mean())
+        .cell(naive_ratio.mean());
+  }
+  table.print();
+  std::puts("\nPASS criterion: greedy max ratio <= bound on every row.");
+  return 0;
+}

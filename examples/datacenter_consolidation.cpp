@@ -1,0 +1,67 @@
+// Prize-collecting scenario (Section 2.3): a datacenter with heterogeneous
+// machines cannot run every requested batch job. Jobs carry revenue values;
+// the operator wants revenue at least Z at minimum energy. We sweep Z and
+// print the revenue/energy frontier realized by the Theorem 2.3.3 scheduler,
+// demonstrating the bicriteria trade-off.
+//
+//   $ ./datacenter_consolidation [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "scheduling/generators.hpp"
+#include "scheduling/prize_collecting.hpp"
+#include "scheduling/schedule.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ps::scheduling;
+
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  ps::util::Rng rng(seed);
+
+  // 18 jobs, 2 machines, 16 slots: more work than capacity, so scheduling
+  // everything is impossible and job selection matters.
+  RandomInstanceParams params;
+  params.num_jobs = 18;
+  params.num_processors = 2;
+  params.horizon = 16;
+  params.windows_per_job = 2;
+  params.window_length = 3;
+  params.min_value = 1.0;
+  params.max_value = 10.0;
+  const auto instance = random_instance(params, rng);
+
+  // Machine 1 is an older, hungrier box: 60% higher energy rate.
+  RestartCostModel cost_model(/*alpha=*/2.0, {1.0, 1.6});
+
+  std::printf("total requested revenue: %.1f (n=%d jobs, spread Δ=%.1f)\n",
+              instance.total_value(), instance.num_jobs(),
+              instance.value_spread());
+
+  ps::util::Table table(
+      {"target Z", "revenue", "energy", "jobs run", "hit target"});
+  table.set_caption("\nrevenue/energy frontier (Theorem 2.3.3 scheduler):");
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 0.9, 1.0}) {
+    const double z = frac * instance.total_value();
+    const auto result = schedule_value_at_least(instance, cost_model, z);
+    const auto report =
+        validate_schedule(result.schedule, instance, cost_model, false);
+    if (!report.ok) {
+      std::printf("validation failed at Z=%.1f: %s\n", z,
+                  report.message.c_str());
+      return 1;
+    }
+    table.row()
+        .cell(z)
+        .cell(result.value)
+        .cell(result.schedule.energy_cost)
+        .cell(result.schedule.num_scheduled())
+        .cell(result.reached_target ? "yes" : "no (infeasible)");
+  }
+  table.print();
+
+  std::puts("\nreading: energy climbs steeply as Z approaches the total —");
+  std::puts("the last low-value stragglers force extra awake intervals.");
+  return 0;
+}

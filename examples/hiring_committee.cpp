@@ -1,0 +1,94 @@
+// Online scenario (Chapter 3): hire a team of k researchers from a stream of
+// interviewees. Team utility is a coverage function (how many research areas
+// the team spans), interviews arrive in random order, and decisions are
+// irrevocable — the submodular secretary problem. We run Algorithm 1 and a
+// partition-matroid variant (at most 2 hires per seniority level) and report
+// measured competitive ratios against the offline optimum.
+//
+//   $ ./hiring_committee [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "matroid/matroid.hpp"
+#include "secretary/harness.hpp"
+#include "secretary/matroid_secretary.hpp"
+#include "secretary/submodular_secretary.hpp"
+#include "submodular/coverage.hpp"
+#include "submodular/greedy.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ps;
+
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  util::Rng rng(seed);
+
+  constexpr int kCandidates = 40;
+  constexpr int kAreas = 30;
+  constexpr int kTeamSize = 6;
+
+  // Each candidate covers 4 random research areas; team value = areas
+  // covered (monotone submodular).
+  const auto expertise =
+      submodular::CoverageFunction::random(kCandidates, kAreas, 4, 1.0, rng);
+
+  // Offline benchmark: the (1-1/e) lazy greedy (exact OPT is exponential).
+  const auto offline =
+      submodular::lazy_greedy_max_cardinality(expertise, kTeamSize);
+  std::printf("offline greedy team covers %.0f/%d areas\n", offline.value,
+              kAreas);
+
+  secretary::MonteCarloOptions mc;
+  mc.trials = 4000;
+  mc.seed = seed;
+  mc.num_threads = 8;
+
+  // Algorithm 1: plain cardinality-k hiring.
+  const auto plain = secretary::monte_carlo_values(
+      kCandidates,
+      [&](const std::vector<int>& order, util::Rng&) {
+        return secretary::monotone_submodular_secretary(expertise, kTeamSize,
+                                                        order)
+            .value;
+      },
+      mc);
+
+  // Matroid variant: 4 seniority levels of 10 candidates, at most 2 hires
+  // per level (partition matroid) intersected with |team| <= k.
+  std::vector<int> level(kCandidates);
+  for (int i = 0; i < kCandidates; ++i) level[i] = i / 10;
+  matroid::PartitionMatroid per_level(level, {2, 2, 2, 2});
+  matroid::UniformMatroid at_most_k(kCandidates, kTeamSize);
+  matroid::MatroidIntersection constraint({&per_level, &at_most_k});
+
+  const auto balanced = secretary::monte_carlo_values(
+      kCandidates,
+      [&](const std::vector<int>& order, util::Rng& trial_rng) {
+        return secretary::matroid_submodular_secretary(expertise, constraint,
+                                                       order, trial_rng)
+            .value;
+      },
+      mc);
+
+  util::Table table({"policy", "mean areas", "vs offline", "p10", "p90"});
+  table.set_caption("\nonline hiring over random interview orders:");
+  table.row()
+      .cell("Algorithm 1 (k hires)")
+      .cell(plain.mean())
+      .cell(plain.mean() / offline.value)
+      .cell(plain.quantile(0.1))
+      .cell(plain.quantile(0.9));
+  table.row()
+      .cell("Algorithm 3 (balanced levels)")
+      .cell(balanced.mean())
+      .cell(balanced.mean() / offline.value)
+      .cell(balanced.quantile(0.1))
+      .cell(balanced.quantile(0.9));
+  table.print();
+
+  std::puts("\nreading: Algorithm 1's measured ratio sits far above the");
+  std::puts("1/7e worst-case floor; the matroid constraint costs extra");
+  std::puts("because it hires from the first half only and guesses |S*|.");
+  return 0;
+}

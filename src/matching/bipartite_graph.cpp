@@ -1,0 +1,53 @@
+#include "matching/bipartite_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps::matching {
+
+BipartiteGraph::BipartiteGraph(int num_x, int num_y)
+    : num_x_(num_x), num_y_(num_y), adj_x_(static_cast<std::size_t>(num_x)) {
+  assert(num_x >= 0 && num_y >= 0);
+}
+
+void BipartiteGraph::add_edge(int x, int y) {
+  assert(0 <= x && x < num_x_);
+  assert(0 <= y && y < num_y_);
+  adj_x_[static_cast<std::size_t>(x)].push_back(y);
+  ++num_edges_;
+}
+
+std::vector<std::vector<int>> BipartiteGraph::adjacency_from_y() const {
+  std::vector<std::vector<int>> adj_y(static_cast<std::size_t>(num_y_));
+  for (int x = 0; x < num_x_; ++x) {
+    for (int y : adj_x_[static_cast<std::size_t>(x)]) {
+      adj_y[static_cast<std::size_t>(y)].push_back(x);
+    }
+  }
+  return adj_y;
+}
+
+BipartiteGraph BipartiteGraph::random_regular_x(int num_x, int num_y,
+                                                int degree, util::Rng& rng) {
+  BipartiteGraph g(num_x, num_y);
+  const int d = std::min(degree, num_y);
+  for (int x = 0; x < num_x; ++x) {
+    for (int y : rng.sample_without_replacement(num_y, d)) {
+      g.add_edge(x, y);
+    }
+  }
+  return g;
+}
+
+BipartiteGraph BipartiteGraph::random(int num_x, int num_y, double edge_prob,
+                                      util::Rng& rng) {
+  BipartiteGraph g(num_x, num_y);
+  for (int x = 0; x < num_x; ++x) {
+    for (int y = 0; y < num_y; ++y) {
+      if (rng.bernoulli(edge_prob)) g.add_edge(x, y);
+    }
+  }
+  return g;
+}
+
+}  // namespace ps::matching

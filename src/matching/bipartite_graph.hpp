@@ -1,0 +1,49 @@
+// Bipartite graph G = (X, Y, E), the structure underlying the scheduling
+// reduction of Sections 2.2 and 2.3: X holds time-slot/processor pairs and Y
+// holds jobs; an edge means "this job may run in this slot".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ps::matching {
+
+/// Adjacency-list bipartite graph. X vertices are 0..num_x-1, Y vertices are
+/// 0..num_y-1 (separate id spaces). Edges are stored from the X side.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int num_x, int num_y);
+
+  int num_x() const { return num_x_; }
+  int num_y() const { return num_y_; }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds edge (x, y). Duplicate edges are allowed but pointless.
+  void add_edge(int x, int y);
+
+  const std::vector<int>& neighbors_of_x(int x) const {
+    return adj_x_[static_cast<std::size_t>(x)];
+  }
+
+  /// Neighbor lists from the Y side, built on demand (O(E)).
+  std::vector<std::vector<int>> adjacency_from_y() const;
+
+  /// Random bipartite graph where each X vertex gets `degree` distinct random
+  /// Y neighbors (capped at num_y).
+  static BipartiteGraph random_regular_x(int num_x, int num_y, int degree,
+                                         util::Rng& rng);
+
+  /// Random bipartite graph with independent edge probability p.
+  static BipartiteGraph random(int num_x, int num_y, double edge_prob,
+                               util::Rng& rng);
+
+ private:
+  int num_x_;
+  int num_y_;
+  std::size_t num_edges_ = 0;
+  std::vector<std::vector<int>> adj_x_;
+};
+
+}  // namespace ps::matching

@@ -1,0 +1,132 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace ps::matching {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+/// Hopcroft-Karp phases: BFS layers the graph from free X vertices, then DFS
+/// finds a maximal set of vertex-disjoint shortest augmenting paths.
+class HopcroftKarpSolver {
+ public:
+  HopcroftKarpSolver(const BipartiteGraph& g, const std::vector<bool>& allowed)
+      : g_(g),
+        allowed_(allowed),
+        match_x_(static_cast<std::size_t>(g.num_x()), -1),
+        match_y_(static_cast<std::size_t>(g.num_y()), -1),
+        dist_(static_cast<std::size_t>(g.num_x()), kInf) {}
+
+  MatchingResult solve() {
+    int size = 0;
+    while (bfs()) {
+      for (int x = 0; x < g_.num_x(); ++x) {
+        if (allowed_[static_cast<std::size_t>(x)] &&
+            match_x_[static_cast<std::size_t>(x)] == -1 && dfs(x)) {
+          ++size;
+        }
+      }
+    }
+    return MatchingResult{size, std::move(match_x_), std::move(match_y_)};
+  }
+
+ private:
+  bool bfs() {
+    std::queue<int> queue;
+    for (int x = 0; x < g_.num_x(); ++x) {
+      if (allowed_[static_cast<std::size_t>(x)] &&
+          match_x_[static_cast<std::size_t>(x)] == -1) {
+        dist_[static_cast<std::size_t>(x)] = 0;
+        queue.push(x);
+      } else {
+        dist_[static_cast<std::size_t>(x)] = kInf;
+      }
+    }
+    bool found_free_y = false;
+    while (!queue.empty()) {
+      const int x = queue.front();
+      queue.pop();
+      for (int y : g_.neighbors_of_x(x)) {
+        const int nx = match_y_[static_cast<std::size_t>(y)];
+        if (nx == -1) {
+          found_free_y = true;
+        } else if (dist_[static_cast<std::size_t>(nx)] == kInf) {
+          dist_[static_cast<std::size_t>(nx)] =
+              dist_[static_cast<std::size_t>(x)] + 1;
+          queue.push(nx);
+        }
+      }
+    }
+    return found_free_y;
+  }
+
+  bool dfs(int x) {
+    for (int y : g_.neighbors_of_x(x)) {
+      const int nx = match_y_[static_cast<std::size_t>(y)];
+      if (nx == -1 || (dist_[static_cast<std::size_t>(nx)] ==
+                           dist_[static_cast<std::size_t>(x)] + 1 &&
+                       dfs(nx))) {
+        match_x_[static_cast<std::size_t>(x)] = y;
+        match_y_[static_cast<std::size_t>(y)] = x;
+        return true;
+      }
+    }
+    dist_[static_cast<std::size_t>(x)] = kInf;
+    return false;
+  }
+
+  const BipartiteGraph& g_;
+  const std::vector<bool>& allowed_;
+  std::vector<int> match_x_;
+  std::vector<int> match_y_;
+  std::vector<int> dist_;
+};
+
+}  // namespace
+
+MatchingResult hopcroft_karp(const BipartiteGraph& g) {
+  std::vector<bool> allowed(static_cast<std::size_t>(g.num_x()), true);
+  return HopcroftKarpSolver(g, allowed).solve();
+}
+
+MatchingResult hopcroft_karp(const BipartiteGraph& g,
+                             const submodular::ItemSet& allowed_x) {
+  assert(allowed_x.universe_size() == g.num_x());
+  std::vector<bool> allowed(static_cast<std::size_t>(g.num_x()), false);
+  allowed_x.for_each(
+      [&](int x) { allowed[static_cast<std::size_t>(x)] = true; });
+  return HopcroftKarpSolver(g, allowed).solve();
+}
+
+bool is_valid_matching(const BipartiteGraph& g, const MatchingResult& m,
+                       const std::optional<submodular::ItemSet>& allowed_x) {
+  if (static_cast<int>(m.match_x.size()) != g.num_x()) return false;
+  if (static_cast<int>(m.match_y.size()) != g.num_y()) return false;
+  int size = 0;
+  for (int x = 0; x < g.num_x(); ++x) {
+    const int y = m.match_x[static_cast<std::size_t>(x)];
+    if (y == -1) continue;
+    if (allowed_x && !allowed_x->contains(x)) return false;
+    if (y < 0 || y >= g.num_y()) return false;
+    if (m.match_y[static_cast<std::size_t>(y)] != x) return false;
+    bool edge_exists = false;
+    for (int nbr : g.neighbors_of_x(x)) {
+      if (nbr == y) {
+        edge_exists = true;
+        break;
+      }
+    }
+    if (!edge_exists) return false;
+    ++size;
+  }
+  for (int y = 0; y < g.num_y(); ++y) {
+    const int x = m.match_y[static_cast<std::size_t>(y)];
+    if (x != -1 && m.match_x[static_cast<std::size_t>(x)] != y) return false;
+  }
+  return size == m.size;
+}
+
+}  // namespace ps::matching

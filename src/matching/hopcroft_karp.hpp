@@ -1,0 +1,38 @@
+// Hopcroft-Karp maximum-cardinality bipartite matching, optionally restricted
+// to a subset S of the X side. This is the F(S) of Lemma 2.2.2 ("the maximum
+// cardinality matching that saturates only vertices of S in part X"), and the
+// independent reference implementation against which the incremental oracle
+// is cross-checked.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "matching/bipartite_graph.hpp"
+#include "submodular/item_set.hpp"
+
+namespace ps::matching {
+
+/// A matching reported as match_x[x] = y (or -1) and match_y[y] = x (or -1).
+struct MatchingResult {
+  int size = 0;
+  std::vector<int> match_x;
+  std::vector<int> match_y;
+};
+
+/// Maximum matching of the whole graph. O(E sqrt(V)).
+MatchingResult hopcroft_karp(const BipartiteGraph& g);
+
+/// Maximum matching using only X vertices in `allowed_x`
+/// (allowed_x.universe_size() must equal g.num_x()).
+MatchingResult hopcroft_karp(const BipartiteGraph& g,
+                             const submodular::ItemSet& allowed_x);
+
+/// Checks that `m` is a valid matching of `g` restricted to `allowed_x`
+/// (edges exist, degrees <= 1, only allowed X vertices used). Used by tests
+/// and the schedule validator.
+bool is_valid_matching(const BipartiteGraph& g, const MatchingResult& m,
+                       const std::optional<submodular::ItemSet>& allowed_x =
+                           std::nullopt);
+
+}  // namespace ps::matching

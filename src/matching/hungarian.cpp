@@ -1,0 +1,99 @@
+#include "matching/hungarian.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ps::matching {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+WeightedMatchingResult max_weight_matching(
+    int num_x, int num_y, const std::vector<WeightedEdge>& edges) {
+  // Reduce to a square assignment problem: profit matrix with 0 for missing
+  // edges (acting as "leave unmatched"), solved by the potentials-based
+  // Hungarian algorithm on cost = -profit. Padding rows/columns carry zero
+  // profit, so an optimal assignment never forces a bad real pairing.
+  const int n = std::max(num_x, num_y);
+  std::vector<std::vector<double>> profit(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (const auto& e : edges) {
+    assert(0 <= e.x && e.x < num_x);
+    assert(0 <= e.y && e.y < num_y);
+    auto& cell = profit[static_cast<std::size_t>(e.x)]
+                       [static_cast<std::size_t>(e.y)];
+    cell = std::max(cell, e.weight);  // keep the best parallel edge
+  }
+
+  // e-maxx formulation with 1-based potentials; p[j] = row assigned to
+  // column j.
+  std::vector<double> u(static_cast<std::size_t>(n + 1), 0.0);
+  std::vector<double> v(static_cast<std::size_t>(n + 1), 0.0);
+  std::vector<int> p(static_cast<std::size_t>(n + 1), 0);
+  std::vector<int> way(static_cast<std::size_t>(n + 1), 0);
+
+  auto cost = [&](int row, int col) {
+    return -profit[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+  };
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<std::size_t>(n + 1), kInf);
+    std::vector<char> used(static_cast<std::size_t>(n + 1), 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const double cur = cost(i0 - 1, j - 1) -
+                           u[static_cast<std::size_t>(i0)] -
+                           v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  WeightedMatchingResult result;
+  result.match_x.assign(static_cast<std::size_t>(num_x), -1);
+  result.match_y.assign(static_cast<std::size_t>(num_y), -1);
+  for (int j = 1; j <= n; ++j) {
+    const int row = p[static_cast<std::size_t>(j)] - 1;
+    const int col = j - 1;
+    if (row < 0 || row >= num_x || col >= num_y) continue;
+    const double w =
+        profit[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    if (w <= 0.0) continue;  // padding / useless pairing = stay unmatched
+    result.match_x[static_cast<std::size_t>(row)] = col;
+    result.match_y[static_cast<std::size_t>(col)] = row;
+    result.total_weight += w;
+  }
+  return result;
+}
+
+}  // namespace ps::matching

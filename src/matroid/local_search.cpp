@@ -1,0 +1,99 @@
+#include "matroid/local_search.hpp"
+
+#include <cassert>
+
+namespace ps::matroid {
+
+LocalSearchResult local_search_max(const submodular::SetFunction& f,
+                                   const MatroidIntersection& constraint,
+                                   double eps) {
+  assert(eps > 0.0);
+  const int n = f.ground_size();
+  LocalSearchResult result;
+  result.chosen = ItemSet(n);
+  result.value = f.value(result.chosen);
+  ++result.oracle_calls;
+
+  // Seed with the best feasible singleton (standard for the analysis and a
+  // good start in practice).
+  int best_single = -1;
+  double best_single_value = result.value;
+  for (int i = 0; i < n; ++i) {
+    if (!constraint.can_add(result.chosen, i)) continue;
+    const double v = f.value(result.chosen.with(i));
+    ++result.oracle_calls;
+    if (v > best_single_value) {
+      best_single = i;
+      best_single_value = v;
+    }
+  }
+  if (best_single != -1) {
+    result.chosen.insert(best_single);
+    result.value = best_single_value;
+  }
+
+  const double threshold = 1.0 + eps / (static_cast<double>(n) *
+                                        static_cast<double>(n));
+  // Move bound: each move multiplies value by >= threshold, so the loop is
+  // polynomial; the hard cap is a defensive backstop.
+  const int max_moves = 50 * n * n;
+  bool improved = true;
+  while (improved && result.moves < max_moves) {
+    improved = false;
+
+    // Add moves.
+    for (int i = 0; i < n && !improved; ++i) {
+      if (result.chosen.contains(i)) continue;
+      if (!constraint.can_add(result.chosen, i)) continue;
+      const double v = f.value(result.chosen.with(i));
+      ++result.oracle_calls;
+      if (v > result.value * threshold) {
+        result.chosen.insert(i);
+        result.value = v;
+        improved = true;
+      }
+    }
+    if (improved) {
+      ++result.moves;
+      continue;
+    }
+
+    // Drop moves (useful for non-monotone f).
+    result.chosen.for_each([&](int i) {
+      if (improved) return;
+      const double v = f.value(result.chosen.without(i));
+      ++result.oracle_calls;
+      if (v > result.value * threshold) {
+        result.chosen.erase(i);
+        result.value = v;
+        improved = true;
+      }
+    });
+    if (improved) {
+      ++result.moves;
+      continue;
+    }
+
+    // Swap moves: one out, one in.
+    const auto members = result.chosen.to_vector();
+    for (int out : members) {
+      if (improved) break;
+      const ItemSet without = result.chosen.without(out);
+      for (int in = 0; in < n && !improved; ++in) {
+        if (result.chosen.contains(in)) continue;
+        if (!constraint.is_independent(without.with(in))) continue;
+        const double v = f.value(without.with(in));
+        ++result.oracle_calls;
+        if (v > result.value * threshold) {
+          result.chosen = without.with(in);
+          result.value = v;
+          improved = true;
+        }
+      }
+    }
+    if (improved) ++result.moves;
+  }
+  return result;
+}
+
+}  // namespace ps::matroid

@@ -1,0 +1,208 @@
+#include "matroid/matroid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ps::matroid {
+
+int Matroid::rank_of(const ItemSet& s) const {
+  ItemSet picked(ground_size());
+  int rank = 0;
+  s.for_each([&](int item) {
+    if (can_add(picked, item)) {
+      picked.insert(item);
+      ++rank;
+    }
+  });
+  return rank;
+}
+
+int Matroid::rank() const { return rank_of(ItemSet::full(ground_size())); }
+
+UniformMatroid::UniformMatroid(int ground_size, int k) : n_(ground_size), k_(k) {
+  assert(k >= 0);
+}
+
+bool UniformMatroid::is_independent(const ItemSet& s) const {
+  assert(s.universe_size() == n_);
+  return s.size() <= k_;
+}
+
+bool UniformMatroid::can_add(const ItemSet& s, int item) const {
+  return s.contains(item) ? s.size() <= k_ : s.size() < k_;
+}
+
+PartitionMatroid::PartitionMatroid(std::vector<int> class_of,
+                                   std::vector<int> capacities)
+    : class_of_(std::move(class_of)), capacities_(std::move(capacities)) {
+  for (int c : class_of_) {
+    assert(0 <= c && c < static_cast<int>(capacities_.size()));
+    (void)c;
+  }
+}
+
+bool PartitionMatroid::is_independent(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  std::vector<int> used(capacities_.size(), 0);
+  bool ok = true;
+  s.for_each([&](int item) {
+    const int c = class_of_[static_cast<std::size_t>(item)];
+    if (++used[static_cast<std::size_t>(c)] >
+        capacities_[static_cast<std::size_t>(c)]) {
+      ok = false;
+    }
+  });
+  return ok;
+}
+
+bool PartitionMatroid::can_add(const ItemSet& s, int item) const {
+  if (s.contains(item)) return is_independent(s);
+  const int c = class_of_[static_cast<std::size_t>(item)];
+  int used = 0;
+  s.for_each([&](int other) {
+    if (class_of_[static_cast<std::size_t>(other)] == c) ++used;
+  });
+  return used < capacities_[static_cast<std::size_t>(c)];
+}
+
+GraphicMatroid::GraphicMatroid(int num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  for (const auto& e : edges_) {
+    assert(0 <= e.u && e.u < num_vertices_);
+    assert(0 <= e.v && e.v < num_vertices_);
+    (void)e;
+  }
+}
+
+bool GraphicMatroid::is_independent(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  // Union-find cycle detection.
+  std::vector<int> parent(static_cast<std::size_t>(num_vertices_));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+  bool acyclic = true;
+  s.for_each([&](int idx) {
+    if (!acyclic) return;
+    const auto& e = edges_[static_cast<std::size_t>(idx)];
+    const int ru = find(e.u);
+    const int rv = find(e.v);
+    if (ru == rv) {
+      acyclic = false;  // self-loops are dependent by the same rule
+    } else {
+      parent[static_cast<std::size_t>(ru)] = rv;
+    }
+  });
+  return acyclic;
+}
+
+TransversalMatroid::TransversalMatroid(
+    int num_resources, std::vector<std::vector<int>> resources_of)
+    : num_resources_(num_resources), resources_of_(std::move(resources_of)) {
+  for (const auto& rs : resources_of_) {
+    for (int r : rs) {
+      assert(0 <= r && r < num_resources_);
+      (void)r;
+    }
+  }
+}
+
+bool TransversalMatroid::is_independent(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  // Kuhn's algorithm: every element of s must be matched to a distinct
+  // resource; fail fast when an element has no augmenting path.
+  std::vector<int> resource_owner(static_cast<std::size_t>(num_resources_), -1);
+  std::vector<char> visited(static_cast<std::size_t>(num_resources_), 0);
+  auto augment = [&](auto&& self, int element) -> bool {
+    for (int r : resources_of_[static_cast<std::size_t>(element)]) {
+      if (visited[static_cast<std::size_t>(r)]) continue;
+      visited[static_cast<std::size_t>(r)] = 1;
+      if (resource_owner[static_cast<std::size_t>(r)] == -1 ||
+          self(self, resource_owner[static_cast<std::size_t>(r)])) {
+        resource_owner[static_cast<std::size_t>(r)] = element;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool ok = true;
+  s.for_each([&](int element) {
+    if (!ok) return;
+    std::fill(visited.begin(), visited.end(), 0);
+    if (!augment(augment, element)) ok = false;
+  });
+  return ok;
+}
+
+LaminarMatroid::LaminarMatroid(int ground_size,
+                               std::vector<Constraint> constraints)
+    : n_(ground_size), constraints_(std::move(constraints)) {
+  for (const auto& c : constraints_) {
+    assert(c.members.universe_size() == n_);
+    assert(c.capacity >= 0);
+    (void)c;
+  }
+  // Laminarity: any two constraint sets are nested or disjoint.
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    for (std::size_t j = i + 1; j < constraints_.size(); ++j) {
+      const auto& a = constraints_[i].members;
+      const auto& b = constraints_[j].members;
+      const bool laminar = !a.intersects(b) || a.is_subset_of(b) ||
+                           b.is_subset_of(a);
+      assert(laminar && "constraint family must be laminar");
+      (void)laminar;
+    }
+  }
+}
+
+bool LaminarMatroid::is_independent(const ItemSet& s) const {
+  assert(s.universe_size() == n_);
+  for (const auto& c : constraints_) {
+    if (s.intersected(c.members).size() > c.capacity) return false;
+  }
+  return true;
+}
+
+MatroidIntersection::MatroidIntersection(std::vector<const Matroid*> matroids)
+    : matroids_(std::move(matroids)) {
+  assert(!matroids_.empty());
+  for (const auto* m : matroids_) {
+    assert(m != nullptr);
+    assert(m->ground_size() == matroids_.front()->ground_size());
+    (void)m;
+  }
+}
+
+int MatroidIntersection::ground_size() const {
+  return matroids_.front()->ground_size();
+}
+
+bool MatroidIntersection::is_independent(const ItemSet& s) const {
+  for (const auto* m : matroids_) {
+    if (!m->is_independent(s)) return false;
+  }
+  return true;
+}
+
+bool MatroidIntersection::can_add(const ItemSet& s, int item) const {
+  for (const auto* m : matroids_) {
+    if (!m->can_add(s, item)) return false;
+  }
+  return true;
+}
+
+int MatroidIntersection::max_rank() const {
+  int r = 0;
+  for (const auto* m : matroids_) r = std::max(r, m->rank());
+  return r;
+}
+
+}  // namespace ps::matroid

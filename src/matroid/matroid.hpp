@@ -1,0 +1,156 @@
+// Matroid independence oracles for the submodular matroid secretary problem
+// (Section 3.3). "We are given a matroid by a ground set U of elements and a
+// collection of independent subsets I ... assume we have an oracle to answer
+// whether a subset of U belongs to I or not."
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "submodular/item_set.hpp"
+
+namespace ps::matroid {
+
+using submodular::ItemSet;
+
+/// Independence oracle. Implementations must satisfy the three matroid
+/// axioms (hereditary, non-empty, augmentation); verify.hpp can check them
+/// exhaustively on small ground sets.
+class Matroid {
+ public:
+  virtual ~Matroid() = default;
+
+  virtual int ground_size() const = 0;
+
+  /// Whether s ∈ I.
+  virtual bool is_independent(const ItemSet& s) const = 0;
+
+  /// Whether s ∪ {item} ∈ I, for s already independent. Default costs one
+  /// is_independent call; implementations may override with O(1) checks.
+  virtual bool can_add(const ItemSet& s, int item) const {
+    return is_independent(s.with(item));
+  }
+
+  /// Rank of a subset (size of a maximum independent subset of s), computed
+  /// by greedy insertion — exact for matroids.
+  int rank_of(const ItemSet& s) const;
+
+  /// Rank of the whole ground set ("r" in the O(log^2 r) bound).
+  int rank() const;
+};
+
+/// Uniform matroid U_{k,n}: independent iff |S| <= k.
+class UniformMatroid final : public Matroid {
+ public:
+  UniformMatroid(int ground_size, int k);
+
+  int ground_size() const override { return n_; }
+  int k() const { return k_; }
+  bool is_independent(const ItemSet& s) const override;
+  bool can_add(const ItemSet& s, int item) const override;
+
+ private:
+  int n_;
+  int k_;
+};
+
+/// Partition matroid: ground elements are labelled with classes; independent
+/// iff every class c contributes at most capacity[c] elements.
+class PartitionMatroid final : public Matroid {
+ public:
+  /// `class_of[i]` in [0, capacities.size()).
+  PartitionMatroid(std::vector<int> class_of, std::vector<int> capacities);
+
+  int ground_size() const override {
+    return static_cast<int>(class_of_.size());
+  }
+  bool is_independent(const ItemSet& s) const override;
+  bool can_add(const ItemSet& s, int item) const override;
+
+ private:
+  std::vector<int> class_of_;
+  std::vector<int> capacities_;
+};
+
+/// Graphic matroid: ground elements are edges of a graph; independent iff the
+/// edge set is a forest (checked with union-find).
+class GraphicMatroid final : public Matroid {
+ public:
+  struct Edge {
+    int u;
+    int v;
+  };
+
+  GraphicMatroid(int num_vertices, std::vector<Edge> edges);
+
+  int ground_size() const override {
+    return static_cast<int>(edges_.size());
+  }
+  int num_vertices() const { return num_vertices_; }
+  bool is_independent(const ItemSet& s) const override;
+
+ private:
+  int num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+/// Transversal matroid: ground element i may be assigned to any resource in
+/// `resources_of[i]`; independent iff the elements can be simultaneously
+/// assigned to distinct resources (bipartite matchability, checked with
+/// augmenting paths).
+class TransversalMatroid final : public Matroid {
+ public:
+  TransversalMatroid(int num_resources,
+                     std::vector<std::vector<int>> resources_of);
+
+  int ground_size() const override {
+    return static_cast<int>(resources_of_.size());
+  }
+  int num_resources() const { return num_resources_; }
+  bool is_independent(const ItemSet& s) const override;
+
+ private:
+  int num_resources_;
+  std::vector<std::vector<int>> resources_of_;
+};
+
+/// Laminar matroid: a laminar family of element sets, each with a capacity;
+/// independent iff |S ∩ family_i| <= capacity_i for all i. (Uniform and
+/// partition matroids are the depth-1 special cases.)
+class LaminarMatroid final : public Matroid {
+ public:
+  struct Constraint {
+    ItemSet members;
+    int capacity;
+  };
+
+  /// Asserts that the family is laminar (any two sets are nested or disjoint).
+  LaminarMatroid(int ground_size, std::vector<Constraint> constraints);
+
+  int ground_size() const override { return n_; }
+  bool is_independent(const ItemSet& s) const override;
+
+ private:
+  int n_;
+  std::vector<Constraint> constraints_;
+};
+
+/// Conjunction of l matroid constraints ("the case in which l matroids are
+/// given and the goal is to find the set ... independent with respect to all
+/// the given matroids"). Not itself a matroid for l >= 2.
+class MatroidIntersection {
+ public:
+  explicit MatroidIntersection(std::vector<const Matroid*> matroids);
+
+  int ground_size() const;
+  std::size_t num_matroids() const { return matroids_.size(); }
+  bool is_independent(const ItemSet& s) const;
+  bool can_add(const ItemSet& s, int item) const;
+  /// max over the constituent matroids' ranks (the r of Theorem 3.1.2).
+  int max_rank() const;
+
+ private:
+  std::vector<const Matroid*> matroids_;
+};
+
+}  // namespace ps::matroid

@@ -1,0 +1,85 @@
+#include "matroid/verify.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ps::matroid {
+namespace {
+
+ItemSet mask_to_set(int n, std::uint32_t mask) {
+  ItemSet s(n);
+  for (int i = 0; i < n; ++i) {
+    if ((mask >> i) & 1u) s.insert(i);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string> find_matroid_axiom_violation(const Matroid& m) {
+  const int n = m.ground_size();
+  assert(n <= 14);
+  const std::uint32_t limit = 1u << n;
+
+  std::vector<char> indep(limit);
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    indep[mask] = m.is_independent(mask_to_set(n, mask)) ? 1 : 0;
+  }
+
+  if (!indep[0]) return "empty set is not independent";
+
+  // Hereditary: removing any one element preserves independence.
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    if (!indep[mask]) continue;
+    for (int i = 0; i < n; ++i) {
+      if (!((mask >> i) & 1u)) continue;
+      if (!indep[mask & ~(1u << i)]) {
+        return "hereditary violated at " + mask_to_set(n, mask).to_string() +
+               " minus element " + std::to_string(i);
+      }
+    }
+  }
+
+  // Augmentation.
+  for (std::uint32_t a = 0; a < limit; ++a) {
+    if (!indep[a]) continue;
+    for (std::uint32_t b = 0; b < limit; ++b) {
+      if (!indep[b]) continue;
+      if (__builtin_popcount(a) <= __builtin_popcount(b)) continue;
+      bool augmented = false;
+      for (int i = 0; i < n && !augmented; ++i) {
+        if (((a >> i) & 1u) && !((b >> i) & 1u) && indep[b | (1u << i)]) {
+          augmented = true;
+        }
+      }
+      if (!augmented) {
+        return "augmentation violated: A=" + mask_to_set(n, a).to_string() +
+               " B=" + mask_to_set(n, b).to_string();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> find_rank_submodularity_violation(const Matroid& m) {
+  const int n = m.ground_size();
+  assert(n <= 10);
+  const std::uint32_t limit = 1u << n;
+  std::vector<int> rank(limit);
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    rank[mask] = m.rank_of(mask_to_set(n, mask));
+  }
+  for (std::uint32_t a = 0; a < limit; ++a) {
+    for (std::uint32_t b = 0; b < limit; ++b) {
+      if (rank[a] + rank[b] < rank[a | b] + rank[a & b]) {
+        return "rank submodularity violated: A=" +
+               mask_to_set(n, a).to_string() +
+               " B=" + mask_to_set(n, b).to_string();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ps::matroid

@@ -1,0 +1,25 @@
+// Exhaustive matroid-axiom checkers (small ground sets only), used by the
+// property tests to certify each Matroid implementation.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "matroid/matroid.hpp"
+
+namespace ps::matroid {
+
+/// Checks all three axioms over every subset (2^n is_independent calls each,
+/// n <= ~14):
+///   1. ∅ is independent;
+///   2. hereditary: subsets of independent sets are independent;
+///   3. augmentation: |A| > |B|, both independent => some a ∈ A\B with
+///      B + a independent.
+/// Returns a human-readable description of the first violation, if any.
+std::optional<std::string> find_matroid_axiom_violation(const Matroid& m);
+
+/// Checks that the rank function is submodular:
+/// r(A) + r(B) >= r(A∪B) + r(A∩B) over all pairs (n <= ~10).
+std::optional<std::string> find_rank_submodularity_violation(const Matroid& m);
+
+}  // namespace ps::matroid

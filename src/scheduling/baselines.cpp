@@ -1,0 +1,197 @@
+#include "scheduling/baselines.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "matching/hopcroft_karp.hpp"
+#include "matching/matching_oracle.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+/// Maximum matching over every slot; the assignment both baselines start
+/// from. Returns nullopt when not all jobs can be scheduled.
+std::optional<std::vector<int>> full_assignment(
+    const SchedulingInstance& instance) {
+  const auto graph = instance.build_slot_job_graph();
+  const auto matching = matching::hopcroft_karp(graph);
+  if (matching.size != instance.num_jobs()) return std::nullopt;
+  std::vector<int> assignment(static_cast<std::size_t>(instance.num_jobs()));
+  for (int j = 0; j < instance.num_jobs(); ++j) {
+    assignment[static_cast<std::size_t>(j)] =
+        matching.match_y[static_cast<std::size_t>(j)];
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::optional<Schedule> schedule_always_on(const SchedulingInstance& instance,
+                                           const CostModel& cost_model) {
+  auto assignment = full_assignment(instance);
+  if (!assignment) return std::nullopt;
+
+  std::vector<char> processor_used(
+      static_cast<std::size_t>(instance.num_processors()), 0);
+  for (int slot : *assignment) {
+    processor_used[static_cast<std::size_t>(instance.slot_of(slot).processor)] =
+        1;
+  }
+
+  Schedule schedule;
+  schedule.assignment = std::move(*assignment);
+  for (int p = 0; p < instance.num_processors(); ++p) {
+    if (!processor_used[static_cast<std::size_t>(p)]) continue;
+    const double c = cost_model.cost(p, 0, instance.horizon());
+    if (!std::isfinite(c)) return std::nullopt;
+    schedule.intervals.push_back(AwakeInterval{p, 0, instance.horizon()});
+    schedule.energy_cost += c;
+  }
+  return schedule;
+}
+
+std::optional<Schedule> schedule_per_job_naive(
+    const SchedulingInstance& instance, const CostModel& cost_model) {
+  auto assignment = full_assignment(instance);
+  if (!assignment) return std::nullopt;
+
+  Schedule schedule;
+  schedule.assignment = std::move(*assignment);
+  for (int slot : schedule.assignment) {
+    const SlotRef ref = instance.slot_of(slot);
+    const double c = cost_model.cost(ref.processor, ref.time, ref.time + 1);
+    if (!std::isfinite(c)) return std::nullopt;
+    schedule.intervals.push_back(
+        AwakeInterval{ref.processor, ref.time, ref.time + 1});
+    schedule.energy_cost += c;
+  }
+  return schedule;
+}
+
+namespace {
+
+/// Shared enumeration engine for the two exact solvers. `feasible` judges a
+/// slot subset; the engine minimizes the exact interval-cover cost over all
+/// feasible subsets of the useful slots.
+template <typename FeasibleFn, typename AssignFn>
+std::optional<Schedule> brute_force_impl(const SchedulingInstance& instance,
+                                         const CostModel& cost_model,
+                                         FeasibleFn&& feasible,
+                                         AssignFn&& assign) {
+  // Only slots some job can use ever need to be awake.
+  std::vector<char> useful(static_cast<std::size_t>(instance.num_slots()), 0);
+  for (const auto& job : instance.jobs()) {
+    for (const auto& ref : job.allowed) {
+      useful[static_cast<std::size_t>(instance.slot_index(ref))] = 1;
+    }
+  }
+  std::vector<int> useful_slots;
+  for (int s = 0; s < instance.num_slots(); ++s) {
+    if (useful[static_cast<std::size_t>(s)]) useful_slots.push_back(s);
+  }
+  const int u = static_cast<int>(useful_slots.size());
+  assert(u <= 22 && "brute force limited to 22 useful slots");
+
+  double best_cost = kInfiniteCost;
+  std::uint32_t best_mask = 0;
+  const std::uint32_t limit = 1u << u;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    // Cost first (cheap), then feasibility, keeping the running minimum.
+    std::vector<std::vector<int>> required(
+        static_cast<std::size_t>(instance.num_processors()));
+    for (int b = 0; b < u; ++b) {
+      if (!((mask >> b) & 1u)) continue;
+      const SlotRef ref =
+          instance.slot_of(useful_slots[static_cast<std::size_t>(b)]);
+      required[static_cast<std::size_t>(ref.processor)].push_back(ref.time);
+    }
+    double cost = 0.0;
+    for (int p = 0; p < instance.num_processors() && cost < best_cost; ++p) {
+      double c = 0.0;
+      min_cost_cover(p, required[static_cast<std::size_t>(p)],
+                     instance.horizon(), cost_model, &c);
+      cost += c;
+    }
+    if (cost >= best_cost || !std::isfinite(cost)) continue;
+
+    submodular::ItemSet slots(instance.num_slots());
+    for (int b = 0; b < u; ++b) {
+      if ((mask >> b) & 1u) {
+        slots.insert(useful_slots[static_cast<std::size_t>(b)]);
+      }
+    }
+    if (!feasible(slots)) continue;
+    best_cost = cost;
+    best_mask = mask;
+  }
+  if (!std::isfinite(best_cost)) return std::nullopt;
+
+  submodular::ItemSet slots(instance.num_slots());
+  for (int b = 0; b < u; ++b) {
+    if ((best_mask >> b) & 1u) {
+      slots.insert(useful_slots[static_cast<std::size_t>(b)]);
+    }
+  }
+  Schedule schedule;
+  schedule.assignment = assign(slots);
+  std::vector<std::vector<int>> required(
+      static_cast<std::size_t>(instance.num_processors()));
+  for (int j = 0; j < instance.num_jobs(); ++j) {
+    const int slot = schedule.assignment[static_cast<std::size_t>(j)];
+    if (slot < 0) continue;
+    const SlotRef ref = instance.slot_of(slot);
+    required[static_cast<std::size_t>(ref.processor)].push_back(ref.time);
+  }
+  for (int p = 0; p < instance.num_processors(); ++p) {
+    auto& times = required[static_cast<std::size_t>(p)];
+    std::sort(times.begin(), times.end());
+    double c = 0.0;
+    auto cover = min_cost_cover(p, times, instance.horizon(), cost_model, &c);
+    schedule.energy_cost += c;
+    for (auto& iv : cover) schedule.intervals.push_back(iv);
+  }
+  return schedule;
+}
+
+}  // namespace
+
+std::optional<Schedule> brute_force_min_cost_all_jobs(
+    const SchedulingInstance& instance, const CostModel& cost_model) {
+  const auto graph = instance.build_slot_job_graph();
+  const int n = instance.num_jobs();
+  return brute_force_impl(
+      instance, cost_model,
+      [&](const submodular::ItemSet& slots) {
+        return matching::hopcroft_karp(graph, slots).size == n;
+      },
+      [&](const submodular::ItemSet& slots) {
+        const auto matching = matching::hopcroft_karp(graph, slots);
+        std::vector<int> assignment(static_cast<std::size_t>(n));
+        for (int j = 0; j < n; ++j) {
+          assignment[static_cast<std::size_t>(j)] =
+              matching.match_y[static_cast<std::size_t>(j)];
+        }
+        return assignment;
+      });
+}
+
+std::optional<Schedule> brute_force_min_cost_value(
+    const SchedulingInstance& instance, const CostModel& cost_model,
+    double value_target_z) {
+  const auto graph = instance.build_slot_job_graph();
+  const auto values = instance.job_values();
+  matching::WeightedMatchingUtilityFunction utility(graph, values);
+  return brute_force_impl(
+      instance, cost_model,
+      [&](const submodular::ItemSet& slots) {
+        return utility.value(slots) >= value_target_z - 1e-9;
+      },
+      [&](const submodular::ItemSet& slots) {
+        matching::WeightedMatchingOracle oracle(graph, values);
+        slots.for_each([&](int s) { oracle.add_x(s); });
+        return oracle.match_y();
+      });
+}
+
+}  // namespace ps::scheduling

@@ -1,0 +1,40 @@
+// Comparator schedulers: two practical baselines and an exact brute-force
+// optimum for small instances (the denominator of every approximation-ratio
+// experiment).
+#pragma once
+
+#include <optional>
+
+#include "scheduling/schedule.hpp"
+
+namespace ps::scheduling {
+
+/// "Leave everything on": assign jobs by a maximum matching over all slots,
+/// then keep every processor that hosts at least one job awake for the whole
+/// horizon. Feasible whenever anything is; typically pays for a lot of idle
+/// time. Returns nullopt when not all jobs can be scheduled at all.
+std::optional<Schedule> schedule_always_on(const SchedulingInstance& instance,
+                                           const CostModel& cost_model);
+
+/// "Wake up per job": assign jobs by a maximum matching over all slots, then
+/// open one singleton interval per used slot — the "immediately sleep again"
+/// policy whose waste is the restart cost α per job (the 1+α regime the
+/// paper contrasts with). Returns nullopt when not all jobs fit.
+std::optional<Schedule> schedule_per_job_naive(
+    const SchedulingInstance& instance, const CostModel& cost_model);
+
+/// Exact minimum-cost schedule of ALL jobs by exhaustive enumeration of
+/// used-slot subsets (restricted to slots admissible for at least one job).
+/// Each candidate subset is priced with the exact per-processor interval
+/// cover DP and checked for feasibility with a matching. Exponential: the
+/// number of useful slots must be <= 22. Returns nullopt if infeasible.
+std::optional<Schedule> brute_force_min_cost_all_jobs(
+    const SchedulingInstance& instance, const CostModel& cost_model);
+
+/// Exact minimum-cost schedule of value >= Z (prize-collecting optimum).
+/// Same enumeration; nullopt if no subset reaches Z.
+std::optional<Schedule> brute_force_min_cost_value(
+    const SchedulingInstance& instance, const CostModel& cost_model,
+    double value_target_z);
+
+}  // namespace ps::scheduling

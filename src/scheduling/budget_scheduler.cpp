@@ -1,0 +1,170 @@
+#include "scheduling/budget_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "matching/matching_oracle.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+/// Builds the final schedule from an awake slot set: max-weight matching,
+/// then exact min-cost cover of the assigned slots (never exceeds the sum
+/// of the picked candidates' costs, so the budget is respected).
+void finalize_budget(const SchedulingInstance& instance,
+                     const CostModel& cost_model,
+                     const matching::BipartiteGraph& graph,
+                     const std::vector<double>& values,
+                     const submodular::ItemSet& awake,
+                     BudgetScheduleResult* result) {
+  matching::WeightedMatchingOracle oracle(graph, values);
+  awake.for_each([&](int slot) { oracle.add_x(slot); });
+
+  const int n = instance.num_jobs();
+  result->schedule.assignment.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::vector<int>> required(
+      static_cast<std::size_t>(instance.num_processors()));
+  for (int j = 0; j < n; ++j) {
+    const int slot = oracle.match_y()[static_cast<std::size_t>(j)];
+    result->schedule.assignment[static_cast<std::size_t>(j)] = slot;
+    if (slot >= 0) {
+      const SlotRef ref = instance.slot_of(slot);
+      required[static_cast<std::size_t>(ref.processor)].push_back(ref.time);
+    }
+  }
+  result->value = oracle.value();
+  result->schedule.intervals.clear();
+  result->schedule.energy_cost = 0.0;
+  for (int p = 0; p < instance.num_processors(); ++p) {
+    auto& times = required[static_cast<std::size_t>(p)];
+    std::sort(times.begin(), times.end());
+    double c = 0.0;
+    auto cover = min_cost_cover(p, times, instance.horizon(), cost_model, &c);
+    result->schedule.energy_cost += c;
+    for (auto& iv : cover) result->schedule.intervals.push_back(iv);
+  }
+  result->budget_used = result->schedule.energy_cost;
+}
+
+}  // namespace
+
+BudgetScheduleResult schedule_max_value_with_energy_budget(
+    const SchedulingInstance& instance, const CostModel& cost_model,
+    double energy_budget, const BudgetScheduleOptions& options) {
+  assert(energy_budget >= 0.0);
+  const auto graph = instance.build_slot_job_graph();
+  const auto values = instance.job_values();
+  const IntervalPool pool =
+      generate_interval_pool(instance, cost_model, options.intervals);
+
+  // Density greedy: spend tracks the SUM of picked candidate costs, an
+  // upper bound on the final cover cost, so staying under budget here
+  // guarantees the final schedule does too.
+  matching::WeightedMatchingOracle oracle(graph, values);
+  submodular::ItemSet awake(instance.num_slots());
+  std::vector<char> picked(pool.candidates.size(), 0);
+  double spent = 0.0;
+  for (;;) {
+    int best = -1;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < pool.candidates.size(); ++i) {
+      if (picked[i]) continue;
+      const auto& cand = pool.candidates[i];
+      if (spent + cand.cost > energy_budget + 1e-12) continue;
+      const double gain = oracle.gain_of(cand.items);
+      if (gain <= 1e-12) continue;
+      const double ratio = gain / cand.cost;
+      if (best == -1 || ratio > best_ratio) {
+        best = static_cast<int>(i);
+        best_ratio = ratio;
+      }
+    }
+    if (best == -1) break;
+    picked[static_cast<std::size_t>(best)] = 1;
+    const auto& cand = pool.candidates[static_cast<std::size_t>(best)];
+    spent += cand.cost;
+    for (int slot : cand.items) {
+      oracle.add_x(slot);
+      awake.insert(slot);
+    }
+  }
+
+  // Partial enumeration guard: the single best affordable candidate.
+  int best_single = -1;
+  double best_single_gain = 0.0;
+  {
+    matching::WeightedMatchingOracle empty(graph, values);
+    for (std::size_t i = 0; i < pool.candidates.size(); ++i) {
+      const auto& cand = pool.candidates[i];
+      if (cand.cost > energy_budget + 1e-12) continue;
+      const double gain = empty.gain_of(cand.items);
+      if (gain > best_single_gain) {
+        best_single = static_cast<int>(i);
+        best_single_gain = gain;
+      }
+    }
+  }
+  if (best_single != -1 && best_single_gain > oracle.value()) {
+    awake = submodular::ItemSet(instance.num_slots());
+    for (int slot :
+         pool.candidates[static_cast<std::size_t>(best_single)].items) {
+      awake.insert(slot);
+    }
+  }
+
+  BudgetScheduleResult result;
+  finalize_budget(instance, cost_model, graph, values, awake, &result);
+  return result;
+}
+
+double brute_force_max_value_with_energy_budget(
+    const SchedulingInstance& instance, const CostModel& cost_model,
+    double energy_budget) {
+  std::vector<char> useful(static_cast<std::size_t>(instance.num_slots()), 0);
+  for (const auto& job : instance.jobs()) {
+    for (const auto& ref : job.allowed) {
+      useful[static_cast<std::size_t>(instance.slot_index(ref))] = 1;
+    }
+  }
+  std::vector<int> useful_slots;
+  for (int s = 0; s < instance.num_slots(); ++s) {
+    if (useful[static_cast<std::size_t>(s)]) useful_slots.push_back(s);
+  }
+  const int u = static_cast<int>(useful_slots.size());
+  assert(u <= 22 && "brute force limited to 22 useful slots");
+
+  const auto graph = instance.build_slot_job_graph();
+  const auto values = instance.job_values();
+  matching::WeightedMatchingUtilityFunction utility(graph, values);
+
+  double best = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << u); ++mask) {
+    std::vector<std::vector<int>> required(
+        static_cast<std::size_t>(instance.num_processors()));
+    for (int b = 0; b < u; ++b) {
+      if (!((mask >> b) & 1u)) continue;
+      const SlotRef ref =
+          instance.slot_of(useful_slots[static_cast<std::size_t>(b)]);
+      required[static_cast<std::size_t>(ref.processor)].push_back(ref.time);
+    }
+    double cost = 0.0;
+    for (int p = 0; p < instance.num_processors(); ++p) {
+      double c = 0.0;
+      min_cost_cover(p, required[static_cast<std::size_t>(p)],
+                     instance.horizon(), cost_model, &c);
+      cost += c;
+    }
+    if (cost > energy_budget + 1e-9 || !std::isfinite(cost)) continue;
+    submodular::ItemSet slots(instance.num_slots());
+    for (int b = 0; b < u; ++b) {
+      if ((mask >> b) & 1u) {
+        slots.insert(useful_slots[static_cast<std::size_t>(b)]);
+      }
+    }
+    best = std::max(best, utility.value(slots));
+  }
+  return best;
+}
+
+}  // namespace ps::scheduling

@@ -1,0 +1,96 @@
+#include "scheduling/cost_model.hpp"
+
+#include <cassert>
+
+namespace ps::scheduling {
+
+RestartCostModel::RestartCostModel(double alpha) : alpha_(alpha) {
+  assert(alpha >= 0.0);
+}
+
+RestartCostModel::RestartCostModel(double alpha, std::vector<double> rates)
+    : alpha_(alpha), rates_(std::move(rates)) {
+  assert(alpha >= 0.0);
+  for (double r : rates_) {
+    assert(r > 0.0);
+    (void)r;
+  }
+}
+
+double RestartCostModel::cost(int processor, int start, int end) const {
+  assert(start < end);
+  const double rate =
+      rates_.empty() ? 1.0 : rates_[static_cast<std::size_t>(processor)];
+  return alpha_ + rate * static_cast<double>(end - start);
+}
+
+TimeVaryingCostModel::TimeVaryingCostModel(double alpha,
+                                           std::vector<double> prices,
+                                           std::vector<double> rates)
+    : alpha_(alpha), rates_(std::move(rates)) {
+  assert(alpha >= 0.0);
+  prefix_.assign(prices.size() + 1, 0.0);
+  for (std::size_t t = 0; t < prices.size(); ++t) {
+    assert(prices[t] >= 0.0);
+    prefix_[t + 1] = prefix_[t] + prices[t];
+  }
+}
+
+double TimeVaryingCostModel::cost(int processor, int start, int end) const {
+  assert(0 <= start && start < end &&
+         end < static_cast<int>(prefix_.size()));
+  const double rate =
+      rates_.empty() ? 1.0 : rates_[static_cast<std::size_t>(processor)];
+  return alpha_ + rate * (prefix_[static_cast<std::size_t>(end)] -
+                          prefix_[static_cast<std::size_t>(start)]);
+}
+
+ConvexFanCostModel::ConvexFanCostModel(double alpha, double fan_coeff)
+    : alpha_(alpha), fan_coeff_(fan_coeff) {
+  assert(alpha >= 0.0 && fan_coeff >= 0.0);
+}
+
+double ConvexFanCostModel::cost(int /*processor*/, int start, int end) const {
+  assert(start < end);
+  const auto len = static_cast<double>(end - start);
+  return alpha_ + len + fan_coeff_ * len * len;
+}
+
+FlatIntervalCostModel::FlatIntervalCostModel(double per_interval_cost)
+    : per_interval_cost_(per_interval_cost) {
+  assert(per_interval_cost > 0.0);
+}
+
+double FlatIntervalCostModel::cost(int /*processor*/, int start,
+                                   int end) const {
+  assert(start < end);
+  (void)start;
+  (void)end;
+  return per_interval_cost_;
+}
+
+UnavailabilityCostModel::UnavailabilityCostModel(
+    const CostModel& base, int num_processors, int horizon,
+    const std::vector<Outage>& outages)
+    : base_(base),
+      horizon_(horizon),
+      blocked_(static_cast<std::size_t>(num_processors * horizon), 0) {
+  for (const auto& o : outages) {
+    assert(0 <= o.processor && o.processor < num_processors);
+    assert(0 <= o.time && o.time < horizon);
+    blocked_[static_cast<std::size_t>(o.processor * horizon + o.time)] = 1;
+  }
+}
+
+bool UnavailabilityCostModel::available(int processor, int time) const {
+  return !blocked_[static_cast<std::size_t>(processor * horizon_ + time)];
+}
+
+double UnavailabilityCostModel::cost(int processor, int start, int end) const {
+  for (int t = start; t < end; ++t) {
+    if (!available(processor, t)) return kInfiniteCost;
+  }
+  return base_.cost(processor, start, end);
+}
+
+}  // namespace ps::scheduling

@@ -1,0 +1,117 @@
+// Energy cost models c(processor, awake interval) — the "arbitrary specified
+// power consumption to be turned on for each possible time interval" of the
+// abstract, covering all three generalizations motivated in Chapter 1:
+//   1. non-identical processors (per-processor rates / restart costs),
+//   2. time-varying energy cost (energy-market prices, unavailability),
+//   3. cost an arbitrary function of interval length (convex "fan" cost).
+// Intervals are half-open [start, end) in unit slots; a processor awake over
+// [start, end) can run one job in each of its end-start slots.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace ps::scheduling {
+
+/// Value used for forbidden intervals (e.g. processor unavailability).
+inline constexpr double kInfiniteCost =
+    std::numeric_limits<double>::infinity();
+
+/// Abstract per-interval energy cost oracle ("these costs might be explicitly
+/// given in the input, or can be accessed through a query oracle").
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Energy to keep `processor` awake over [start, end), end > start.
+  /// May return kInfiniteCost for forbidden intervals; must be positive.
+  virtual double cost(int processor, int start, int end) const = 0;
+};
+
+/// The classic model of [9, 13]: restart cost α plus the interval length,
+/// optionally scaled by a per-processor energy rate (generalization 1).
+class RestartCostModel final : public CostModel {
+ public:
+  /// Uniform rate 1.0 on every processor.
+  explicit RestartCostModel(double alpha);
+  /// rates[p] multiplies the length term for processor p.
+  RestartCostModel(double alpha, std::vector<double> rates);
+
+  double alpha() const { return alpha_; }
+  double cost(int processor, int start, int end) const override;
+
+ private:
+  double alpha_;
+  std::vector<double> rates_;  // empty = all 1.0
+};
+
+/// Time-varying prices (generalization 2): cost = α + Σ_{t in [start,end)}
+/// price[t], with one shared price curve (e.g. an energy market) scaled by
+/// optional per-processor rates.
+class TimeVaryingCostModel final : public CostModel {
+ public:
+  TimeVaryingCostModel(double alpha, std::vector<double> prices,
+                       std::vector<double> rates = {});
+
+  double cost(int processor, int start, int end) const override;
+  int horizon() const { return static_cast<int>(prefix_.size()) - 1; }
+
+ private:
+  double alpha_;
+  std::vector<double> prefix_;  // prefix sums of prices
+  std::vector<double> rates_;
+};
+
+/// Superlinear length cost (generalization 3): α + len + fan_coeff·len²,
+/// modelling cooling that grows with how long the processor stays awake.
+/// Being strictly superadditive in length, it rewards splitting long awake
+/// periods — the opposite regime from RestartCostModel.
+class ConvexFanCostModel final : public CostModel {
+ public:
+  ConvexFanCostModel(double alpha, double fan_coeff);
+
+  double cost(int processor, int start, int end) const override;
+
+ private:
+  double alpha_;
+  double fan_coeff_;
+};
+
+/// Constant cost per awake interval, independent of its length — the regime
+/// of the Theorem .1.2 hardness reduction ("the cost of keeping each
+/// processor alive during a time interval is 1").
+class FlatIntervalCostModel final : public CostModel {
+ public:
+  explicit FlatIntervalCostModel(double per_interval_cost = 1.0);
+
+  double cost(int processor, int start, int end) const override;
+
+ private:
+  double per_interval_cost_;
+};
+
+/// Decorator marking some (processor, time) slots unavailable: any interval
+/// touching one costs kInfiniteCost ("a processor is not available for some
+/// time slots, which we can represent by setting the cost ... to be
+/// infinity").
+class UnavailabilityCostModel final : public CostModel {
+ public:
+  struct Outage {
+    int processor;
+    int time;
+  };
+
+  /// `base` must outlive this model.
+  UnavailabilityCostModel(const CostModel& base, int num_processors,
+                          int horizon, const std::vector<Outage>& outages);
+
+  double cost(int processor, int start, int end) const override;
+  bool available(int processor, int time) const;
+
+ private:
+  const CostModel& base_;
+  int horizon_;
+  std::vector<char> blocked_;  // [processor * horizon + time]
+};
+
+}  // namespace ps::scheduling

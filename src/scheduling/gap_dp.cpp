@@ -1,0 +1,219 @@
+#include "scheduling/gap_dp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ps::scheduling {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+bool sort_and_check_agreeable(std::vector<AgreeableJob>* jobs) {
+  std::sort(jobs->begin(), jobs->end(), [](const AgreeableJob& a,
+                                           const AgreeableJob& b) {
+    if (a.release != b.release) return a.release < b.release;
+    return a.deadline < b.deadline;
+  });
+  for (std::size_t i = 0; i + 1 < jobs->size(); ++i) {
+    if ((*jobs)[i].deadline > (*jobs)[i + 1].deadline) return false;
+  }
+  return true;
+}
+
+GapDpResult min_energy_schedule_all(const std::vector<AgreeableJob>& jobs,
+                                    int horizon, double alpha) {
+  const int n = static_cast<int>(jobs.size());
+  GapDpResult result;
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // dp[i][t]: min energy with jobs 0..i done, job i at time t, counting the
+  // opening alpha of the first interval and every slot's unit energy.
+  // Agreeability lets us assume execution times strictly increase in job
+  // order; between consecutive chosen slots we pay min(gap_len, alpha):
+  // bridge the gap awake, or sleep and pay a restart.
+  std::vector<std::vector<double>> dp(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(horizon), kInf));
+  std::vector<std::vector<int>> parent(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(horizon), -1));
+
+  for (int t = jobs[0].release; t < std::min(jobs[0].deadline, horizon); ++t) {
+    dp[0][static_cast<std::size_t>(t)] = alpha + 1.0;
+  }
+  for (int i = 1; i < n; ++i) {
+    const auto& job = jobs[static_cast<std::size_t>(i)];
+    // Prefix minimum of dp[i-1][t'] + cost-to-extend; computed incrementally
+    // over t to keep the transition O(T) per job... the extension cost
+    // depends on t - t', so we scan t' directly (O(T²) total, fine here).
+    for (int t = job.release; t < std::min(job.deadline, horizon); ++t) {
+      for (int tp = 0; tp < t; ++tp) {
+        const double prev = dp[static_cast<std::size_t>(i - 1)]
+                              [static_cast<std::size_t>(tp)];
+        if (!std::isfinite(prev)) continue;
+        const double bridge =
+            std::min(static_cast<double>(t - tp - 1), alpha);
+        const double cand = prev + 1.0 + bridge;
+        if (cand < dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)]) {
+          dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] = cand;
+          parent[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] = tp;
+        }
+      }
+    }
+  }
+
+  int best_t = -1;
+  double best = kInf;
+  for (int t = 0; t < horizon; ++t) {
+    if (dp[static_cast<std::size_t>(n - 1)][static_cast<std::size_t>(t)] <
+        best) {
+      best = dp[static_cast<std::size_t>(n - 1)][static_cast<std::size_t>(t)];
+      best_t = t;
+    }
+  }
+  if (best_t == -1) return result;  // infeasible
+
+  result.feasible = true;
+  result.energy = best;
+  result.slots.assign(static_cast<std::size_t>(n), -1);
+  for (int i = n - 1, t = best_t; i >= 0; --i) {
+    result.slots[static_cast<std::size_t>(i)] = t;
+    t = parent[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)];
+  }
+  return result;
+}
+
+std::optional<int> min_gaps_schedule_all(const std::vector<AgreeableJob>& jobs,
+                                         int horizon) {
+  const int n = static_cast<int>(jobs.size());
+  if (n == 0) return 0;
+  constexpr int kIntInf = std::numeric_limits<int>::max() / 2;
+
+  std::vector<std::vector<int>> dp(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(horizon), kIntInf));
+  for (int t = jobs[0].release; t < std::min(jobs[0].deadline, horizon); ++t) {
+    dp[0][static_cast<std::size_t>(t)] = 0;
+  }
+  for (int i = 1; i < n; ++i) {
+    const auto& job = jobs[static_cast<std::size_t>(i)];
+    for (int t = job.release; t < std::min(job.deadline, horizon); ++t) {
+      for (int tp = 0; tp < t; ++tp) {
+        const int prev =
+            dp[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(tp)];
+        if (prev >= kIntInf) continue;
+        const int cand = prev + (t > tp + 1 ? 1 : 0);
+        dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] =
+            std::min(dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)],
+                     cand);
+      }
+    }
+  }
+  int best = kIntInf;
+  for (int t = 0; t < horizon; ++t) {
+    best =
+        std::min(best, dp[static_cast<std::size_t>(n - 1)][static_cast<std::size_t>(t)]);
+  }
+  if (best >= kIntInf) return std::nullopt;
+  return best;
+}
+
+PrizeGapDpResult max_value_with_gap_budget(
+    const std::vector<AgreeableJob>& jobs, int horizon, int max_gaps) {
+  const int n = static_cast<int>(jobs.size());
+  PrizeGapDpResult result;
+  result.slots.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return result;
+
+  // State: (last scheduled time + 1 in [0, horizon], gaps used).
+  // Index 0 encodes "nothing scheduled yet"; index t+1 encodes "last job ran
+  // at time t". Value = best total value; dp advances job by job, each job
+  // either skipped or scheduled after the last one.
+  const int states = horizon + 1;
+  const int budget = max_gaps + 1;
+  const double neg = -1.0;
+  // choice[i][state][q]: time at which job i ran to reach this state, or -1.
+  std::vector<std::vector<double>> dp(
+      static_cast<std::size_t>(states),
+      std::vector<double>(static_cast<std::size_t>(budget), neg));
+  dp[0][0] = 0.0;
+  // For reconstruction: predecessor pointers per job layer.
+  struct Step {
+    int prev_state = -1;
+    int prev_q = -1;
+    int time = -1;  // -1 = skipped
+  };
+  std::vector<std::vector<std::vector<Step>>> trace(
+      static_cast<std::size_t>(n),
+      std::vector<std::vector<Step>>(
+          static_cast<std::size_t>(states),
+          std::vector<Step>(static_cast<std::size_t>(budget))));
+
+  for (int i = 0; i < n; ++i) {
+    const auto& job = jobs[static_cast<std::size_t>(i)];
+    auto next = dp;  // skip transition: state unchanged
+    auto& steps = trace[static_cast<std::size_t>(i)];
+    for (int s = 0; s < states; ++s) {
+      for (int q = 0; q < budget; ++q) {
+        steps[static_cast<std::size_t>(s)][static_cast<std::size_t>(q)] =
+            Step{s, q, -1};
+      }
+    }
+    for (int s = 0; s < states; ++s) {
+      for (int q = 0; q < budget; ++q) {
+        const double base = dp[static_cast<std::size_t>(s)]
+                              [static_cast<std::size_t>(q)];
+        if (base < 0.0) continue;
+        const int last_time = s - 1;  // -1 when nothing scheduled
+        const int from = std::max(job.release, last_time + 1);
+        for (int t = from; t < std::min(job.deadline, horizon); ++t) {
+          const int extra_gap =
+              (last_time >= 0 && t > last_time + 1) ? 1 : 0;
+          const int nq = q + extra_gap;
+          if (nq >= budget) continue;
+          const double cand = base + job.value;
+          auto& cell =
+              next[static_cast<std::size_t>(t + 1)][static_cast<std::size_t>(nq)];
+          if (cand > cell) {
+            cell = cand;
+            steps[static_cast<std::size_t>(t + 1)][static_cast<std::size_t>(nq)] =
+                Step{s, q, t};
+          }
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+
+  int best_s = 0, best_q = 0;
+  for (int s = 0; s < states; ++s) {
+    for (int q = 0; q < budget; ++q) {
+      if (dp[static_cast<std::size_t>(s)][static_cast<std::size_t>(q)] >
+          result.value) {
+        result.value = dp[static_cast<std::size_t>(s)][static_cast<std::size_t>(q)];
+        best_s = s;
+        best_q = q;
+      }
+    }
+  }
+  result.gaps_used = best_q;
+
+  // Walk back through the per-job traces.
+  int s = best_s, q = best_q;
+  for (int i = n - 1; i >= 0; --i) {
+    const Step& step = trace[static_cast<std::size_t>(i)]
+                            [static_cast<std::size_t>(s)]
+                            [static_cast<std::size_t>(q)];
+    result.slots[static_cast<std::size_t>(i)] = step.time;
+    s = step.prev_state;
+    q = step.prev_q;
+  }
+  return result;
+}
+
+}  // namespace ps::scheduling

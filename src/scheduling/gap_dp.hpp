@@ -1,0 +1,65 @@
+// Exact dynamic programs for the one-processor, one-interval-per-job case
+// under the classic restart-cost model — the polynomial-time regime of
+// Baptiste [9] / Demaine et al. [13], and the prize-collecting gap-budget
+// variant of Appendix .2 (Theorem .2.1).
+//
+// Substitution note (see DESIGN.md): the full Baptiste DP handles arbitrary
+// nested windows; these DPs require AGREEABLE windows (sortable so that
+// releases and deadlines are both non-decreasing), where an exchange argument
+// shows an optimal schedule runs jobs in window order at strictly increasing
+// times. That keeps the DP exact on a rich instance class; the general small
+// cases are covered by the brute-force optimum in baselines.hpp.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace ps::scheduling {
+
+/// A unit job executable at any integer time in [release, deadline).
+struct AgreeableJob {
+  int release = 0;
+  int deadline = 0;  // exclusive
+  double value = 1.0;
+};
+
+/// Sorts jobs by (release, deadline) and reports whether the instance is
+/// agreeable (deadlines non-decreasing in that order). The DPs below require
+/// this to hold.
+bool sort_and_check_agreeable(std::vector<AgreeableJob>* jobs);
+
+struct GapDpResult {
+  bool feasible = false;
+  /// Minimum energy: Σ over awake intervals of (alpha + length), where the
+  /// awake intervals optimally bridge gaps shorter than alpha.
+  double energy = 0.0;
+  /// slots[i] = execution time of job i (in the sorted order).
+  std::vector<int> slots;
+};
+
+/// Exact minimum-energy schedule of ALL jobs on one processor under the
+/// restart-cost model (alpha + length). O(n·T²). `jobs` must be sorted
+/// agreeable (call sort_and_check_agreeable first).
+GapDpResult min_energy_schedule_all(const std::vector<AgreeableJob>& jobs,
+                                    int horizon, double alpha);
+
+/// Exact minimum number of gaps (idle periods between busy periods; the
+/// objective of [9, 13]) to schedule all jobs; nullopt if infeasible.
+/// A schedule with g gaps uses g+1 awake intervals. O(n·T²).
+std::optional<int> min_gaps_schedule_all(const std::vector<AgreeableJob>& jobs,
+                                         int horizon);
+
+struct PrizeGapDpResult {
+  /// Maximum total value schedulable with at most `max_gaps` gaps.
+  double value = 0.0;
+  int gaps_used = 0;
+  /// slots[i] = execution time of job i, or -1 if skipped.
+  std::vector<int> slots;
+};
+
+/// Theorem .2.1 (agreeable case): maximum-value job subset schedulable on
+/// one processor with at most `max_gaps` gaps. O(n·T²·g).
+PrizeGapDpResult max_value_with_gap_budget(
+    const std::vector<AgreeableJob>& jobs, int horizon, int max_gaps);
+
+}  // namespace ps::scheduling

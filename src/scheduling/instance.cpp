@@ -1,0 +1,65 @@
+#include "scheduling/instance.hpp"
+
+#include <algorithm>
+
+namespace ps::scheduling {
+
+SchedulingInstance::SchedulingInstance(int num_processors, int horizon,
+                                       std::vector<Job> jobs)
+    : num_processors_(num_processors),
+      horizon_(horizon),
+      jobs_(std::move(jobs)) {
+  assert(num_processors >= 1);
+  assert(horizon >= 1);
+  for (const auto& job : jobs_) {
+    assert(job.value > 0.0);
+    for (const auto& ref : job.allowed) {
+      assert(0 <= ref.processor && ref.processor < num_processors_);
+      assert(0 <= ref.time && ref.time < horizon_);
+      (void)ref;
+    }
+  }
+}
+
+matching::BipartiteGraph SchedulingInstance::build_slot_job_graph() const {
+  matching::BipartiteGraph g(num_slots(), num_jobs());
+  for (int j = 0; j < num_jobs(); ++j) {
+    for (const auto& ref : jobs_[static_cast<std::size_t>(j)].allowed) {
+      g.add_edge(slot_index(ref), j);
+    }
+  }
+  return g;
+}
+
+std::vector<double> SchedulingInstance::job_values() const {
+  std::vector<double> values;
+  values.reserve(jobs_.size());
+  for (const auto& job : jobs_) values.push_back(job.value);
+  return values;
+}
+
+double SchedulingInstance::total_value() const {
+  double total = 0.0;
+  for (const auto& job : jobs_) total += job.value;
+  return total;
+}
+
+double SchedulingInstance::max_value() const {
+  double best = 0.0;
+  for (const auto& job : jobs_) best = std::max(best, job.value);
+  return best;
+}
+
+double SchedulingInstance::min_value() const {
+  if (jobs_.empty()) return 0.0;
+  double worst = jobs_.front().value;
+  for (const auto& job : jobs_) worst = std::min(worst, job.value);
+  return worst;
+}
+
+double SchedulingInstance::value_spread() const {
+  const double lo = min_value();
+  return lo > 0.0 ? max_value() / lo : 1.0;
+}
+
+}  // namespace ps::scheduling

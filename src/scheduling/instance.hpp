@@ -1,0 +1,81 @@
+// The multi-interval multiprocessor scheduling instance of Definition 2.
+//
+// Time is discretized into unit slots 0..horizon-1. There are p processors;
+// each (processor, time) pair is a "slot" with a global index, and these
+// slots form the X side of the bipartite reduction (Section 2.2). Each job
+// has unit processing time, an arbitrary list of valid slot/processor pairs
+// (the set T of Definition 2 — not necessarily an interval, possibly
+// different per processor), and a value (1.0 in the schedule-all setting,
+// arbitrary positive in the prize-collecting setting of Section 2.3).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "matching/bipartite_graph.hpp"
+
+namespace ps::scheduling {
+
+/// One valid execution opportunity: job may run on `processor` at `time`.
+struct SlotRef {
+  int processor = 0;
+  int time = 0;
+
+  bool operator==(const SlotRef&) const = default;
+};
+
+/// A unit-time job with its admissible slot/processor pairs and a value.
+struct Job {
+  std::vector<SlotRef> allowed;
+  double value = 1.0;
+};
+
+/// Immutable description of a scheduling instance.
+class SchedulingInstance {
+ public:
+  SchedulingInstance(int num_processors, int horizon, std::vector<Job> jobs);
+
+  int num_processors() const { return num_processors_; }
+  int horizon() const { return horizon_; }
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+  const std::vector<Job>& jobs() const { return jobs_; }
+  const Job& job(int j) const { return jobs_[static_cast<std::size_t>(j)]; }
+
+  /// Total number of (processor, time) slots = size of the X side.
+  int num_slots() const { return num_processors_ * horizon_; }
+
+  /// Global slot index of (processor, time).
+  int slot_index(int processor, int time) const {
+    assert(0 <= processor && processor < num_processors_);
+    assert(0 <= time && time < horizon_);
+    return processor * horizon_ + time;
+  }
+  int slot_index(const SlotRef& ref) const {
+    return slot_index(ref.processor, ref.time);
+  }
+  SlotRef slot_of(int index) const {
+    assert(0 <= index && index < num_slots());
+    return SlotRef{index / horizon_, index % horizon_};
+  }
+
+  /// The bipartite graph of Section 2.2: X = slots, Y = jobs, an edge for
+  /// every admissible pair.
+  matching::BipartiteGraph build_slot_job_graph() const;
+
+  /// Job values as a vector indexed by job id (the Y-side weights of the
+  /// Section 2.3 reduction).
+  std::vector<double> job_values() const;
+
+  double total_value() const;
+  double max_value() const;
+  double min_value() const;
+  /// The value-spread Δ = vmax / vmin of Theorem 2.3.3.
+  double value_spread() const;
+
+ private:
+  int num_processors_;
+  int horizon_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace ps::scheduling

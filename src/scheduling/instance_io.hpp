@@ -1,0 +1,32 @@
+// Plain-text (de)serialization of scheduling instances, so experiment
+// failures are reproducible outside the generator that made them and users
+// can feed their own workloads in.
+//
+// Format (line oriented, '#' comments allowed):
+//   powersched-instance v1
+//   processors <p>
+//   horizon <T>
+//   jobs <n>
+//   job <value> <k> <proc:time> <proc:time> ...   (one line per job)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "scheduling/instance.hpp"
+
+namespace ps::scheduling {
+
+/// Serializes `instance` in the v1 text format.
+std::string instance_to_text(const SchedulingInstance& instance);
+void write_instance(std::ostream& os, const SchedulingInstance& instance);
+
+/// Parses the v1 text format; returns nullopt (with a diagnostic in *error
+/// when provided) on malformed input. Round-trips with instance_to_text.
+std::optional<SchedulingInstance> parse_instance(const std::string& text,
+                                                 std::string* error = nullptr);
+std::optional<SchedulingInstance> read_instance(std::istream& is,
+                                                std::string* error = nullptr);
+
+}  // namespace ps::scheduling

@@ -1,0 +1,65 @@
+#include "scheduling/powerdown.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ps::scheduling {
+namespace {
+
+/// Cost of one gap under a wait-threshold policy: stay awake `threshold`
+/// time units (or until the gap ends), then sleep and pay the restart if
+/// the gap outlasted the wait.
+double gap_cost_with_threshold(double gap, double threshold, double alpha) {
+  if (gap <= threshold) return gap;
+  return threshold + alpha;
+}
+
+}  // namespace
+
+double powerdown_offline_cost(const std::vector<double>& gaps, double alpha) {
+  assert(alpha >= 0.0);
+  double total = 0.0;
+  for (double gap : gaps) {
+    assert(gap >= 0.0);
+    total += std::min(gap, alpha);
+  }
+  return total;
+}
+
+double powerdown_break_even_cost(const std::vector<double>& gaps,
+                                 double alpha) {
+  double total = 0.0;
+  for (double gap : gaps) total += gap_cost_with_threshold(gap, alpha, alpha);
+  return total;
+}
+
+double powerdown_eager_sleep_cost(const std::vector<double>& gaps,
+                                  double alpha) {
+  double total = 0.0;
+  for (double gap : gaps) total += gap_cost_with_threshold(gap, 0.0, alpha);
+  return total;
+}
+
+double powerdown_never_sleep_cost(const std::vector<double>& gaps,
+                                  double /*alpha*/) {
+  double total = 0.0;
+  for (double gap : gaps) total += gap;
+  return total;
+}
+
+double powerdown_randomized_cost(const std::vector<double>& gaps, double alpha,
+                                 util::Rng& rng) {
+  // Threshold density p(x) = e^{x/α} / (α(e-1)) on [0, α]; inverse-CDF
+  // sampling: x = α·ln(1 + (e-1)·u).
+  double total = 0.0;
+  for (double gap : gaps) {
+    const double u = rng.uniform_double();
+    const double threshold =
+        alpha * std::log(1.0 + (std::exp(1.0) - 1.0) * u);
+    total += gap_cost_with_threshold(gap, threshold, alpha);
+  }
+  return total;
+}
+
+}  // namespace ps::scheduling

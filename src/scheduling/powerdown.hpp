@@ -1,0 +1,39 @@
+// Online power-down ("ski rental") — the prior-work setting the paper
+// builds from (Augustine-Irani-Swamy [5], Irani-Shukla-Gupta [31]): a
+// single processor sees idle gaps of unknown length; staying awake costs 1
+// per unit, restarting after a sleep costs α. The offline optimum pays
+// min(gap, α) per gap; the deterministic break-even strategy (stay awake
+// for α, then sleep) is 2-competitive, and the classic randomized strategy
+// achieves e/(e-1) ≈ 1.582.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ps::scheduling {
+
+/// Offline optimum for a sequence of idle gaps: Σ min(gap, α).
+double powerdown_offline_cost(const std::vector<double>& gaps, double alpha);
+
+/// Deterministic break-even: awake for min(gap, α); pay a restart (α) iff
+/// the gap outlasted the wait. Guaranteed <= 2 · offline.
+double powerdown_break_even_cost(const std::vector<double>& gaps,
+                                 double alpha);
+
+/// Sleep immediately on going idle: pays α per nonzero gap (good only for
+/// long gaps).
+double powerdown_eager_sleep_cost(const std::vector<double>& gaps,
+                                  double alpha);
+
+/// Never sleep: pays the full gap lengths (good only for short gaps).
+double powerdown_never_sleep_cost(const std::vector<double>& gaps,
+                                  double alpha);
+
+/// Randomized threshold with density proportional to e^{x/α} on [0, α]
+/// (the classic e/(e-1)-competitive strategy); a fresh threshold is drawn
+/// per gap.
+double powerdown_randomized_cost(const std::vector<double>& gaps, double alpha,
+                                 util::Rng& rng);
+
+}  // namespace ps::scheduling

@@ -1,0 +1,74 @@
+// Prize-collecting scheduling (Section 2.3): jobs carry values, and only a
+// subset reaching a value threshold Z must be scheduled.
+//
+// Theorem 2.3.1: schedule value >= (1-ε)Z at cost O(B log 1/ε).
+// Theorem 2.3.3: schedule value >= Z at cost O((log n + log Δ) B), obtained
+// by running 2.3.1 with ε small enough that the deficit is below the minimum
+// job value and then adding one more interval ("a simple search among all
+// time intervals").
+#pragma once
+
+#include <cstddef>
+
+#include "core/budgeted_maximization.hpp"
+#include "matching/matching_oracle.hpp"
+#include "scheduling/schedule.hpp"
+
+namespace ps::scheduling {
+
+/// IncrementalUtility over the weighted matching oracle of Lemma 2.3.2.
+class WeightedOracleUtility final : public core::IncrementalUtility {
+ public:
+  WeightedOracleUtility(const matching::BipartiteGraph& graph,
+                        const std::vector<double>& y_values)
+      : oracle_(graph, y_values) {}
+
+  double current() const override { return oracle_.value(); }
+  double gain_of(const std::vector<int>& items) const override {
+    return oracle_.gain_of(items);
+  }
+  void commit(const std::vector<int>& items) override {
+    for (int x : items) oracle_.add_x(x);
+  }
+
+  const matching::WeightedMatchingOracle& oracle() const { return oracle_; }
+
+ private:
+  matching::WeightedMatchingOracle oracle_;
+};
+
+struct PrizeCollectingOptions {
+  /// ε of Theorem 2.3.1 (the value slack). Ignored by
+  /// schedule_value_at_least, which picks the Theorem 2.3.3 ε itself.
+  double epsilon = 0.1;
+  bool lazy = true;
+  std::size_t num_threads = 1;
+  IntervalGenerationOptions intervals;
+};
+
+struct PrizeCollectingResult {
+  Schedule schedule;
+  /// Value of the scheduled job subset.
+  double value = 0.0;
+  /// Whether the algorithm's value target was met ((1-ε)Z or Z resp.).
+  bool reached_target = false;
+  std::size_t gain_evaluations = 0;
+  std::size_t num_candidates = 0;
+};
+
+/// Theorem 2.3.1: value >= (1-ε)·Z at cost O(B log 1/ε), where B is the cost
+/// of the best schedule of value >= Z (assumed to exist; reached_target is
+/// false otherwise).
+PrizeCollectingResult schedule_value_fraction(
+    const SchedulingInstance& instance, const CostModel& cost_model,
+    double value_target_z, const PrizeCollectingOptions& options = {});
+
+/// Theorem 2.3.3: value >= Z exactly, at cost O((log n + log Δ)·B). Runs
+/// schedule_value_fraction with ε = vmin / (n·vmax) and, if the result is
+/// still short of Z, adds the single cheapest interval with positive gain
+/// (the proof shows one exists and closes the gap).
+PrizeCollectingResult schedule_value_at_least(
+    const SchedulingInstance& instance, const CostModel& cost_model,
+    double value_target_z, const PrizeCollectingOptions& options = {});
+
+}  // namespace ps::scheduling

@@ -1,0 +1,66 @@
+#include "scheduling/processor_selection.hpp"
+
+#include "submodular/greedy.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+/// Expands a processor set into the slot set of its columns.
+submodular::ItemSet slots_of_processors(const SchedulingInstance& instance,
+                                        const submodular::ItemSet& processors) {
+  submodular::ItemSet slots(instance.num_slots());
+  processors.for_each([&](int p) {
+    for (int t = 0; t < instance.horizon(); ++t) {
+      slots.insert(instance.slot_index(p, t));
+    }
+  });
+  return slots;
+}
+
+}  // namespace
+
+ProcessorCoverageFunction::ProcessorCoverageFunction(
+    const SchedulingInstance& instance)
+    : instance_(&instance), graph_(instance.build_slot_job_graph()) {}
+
+double ProcessorCoverageFunction::value(
+    const submodular::ItemSet& processors) const {
+  matching::IncrementalMatchingOracle oracle(graph_);
+  slots_of_processors(*instance_, processors).for_each([&](int slot) {
+    oracle.add_x(slot);
+  });
+  return oracle.size();
+}
+
+ProcessorValueFunction::ProcessorValueFunction(
+    const SchedulingInstance& instance)
+    : instance_(&instance),
+      graph_(instance.build_slot_job_graph()),
+      values_(instance.job_values()) {}
+
+double ProcessorValueFunction::value(
+    const submodular::ItemSet& processors) const {
+  matching::WeightedMatchingOracle oracle(graph_, values_);
+  slots_of_processors(*instance_, processors).for_each([&](int slot) {
+    oracle.add_x(slot);
+  });
+  return oracle.value();
+}
+
+ProcessorHireResult hire_processors_online(
+    const SchedulingInstance& instance, int k,
+    const std::vector<int>& arrival_order) {
+  ProcessorCoverageFunction f(instance);
+  const auto selection =
+      secretary::monotone_submodular_secretary(f, k, arrival_order);
+  return ProcessorHireResult{selection.chosen, selection.value};
+}
+
+ProcessorHireResult hire_processors_offline_greedy(
+    const SchedulingInstance& instance, int k) {
+  ProcessorCoverageFunction f(instance);
+  const auto greedy = submodular::lazy_greedy_max_cardinality(f, k);
+  return ProcessorHireResult{greedy.chosen, greedy.value};
+}
+
+}  // namespace ps::scheduling

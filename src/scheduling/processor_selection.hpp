@@ -1,0 +1,71 @@
+// The online-setting bridge the thesis introduces in Chapter 1 and
+// motivates Chapter 3 with: "Assume that you have a set of tasks to do, and
+// the processors arrive one by one. You want to pick a number of processors
+// (according to your budget) to do the tasks ... We can see the processors
+// as some secretaries."
+//
+// The utility of a processor set S is the number (or value) of jobs
+// schedulable using only slots on processors in S. That is exactly the
+// matching utility of Lemma 2.2.2 (resp. 2.3.2) evaluated on the union of
+// the processors' slot columns, hence monotone submodular — so the
+// submodular secretary machinery of Chapter 3 applies verbatim, and hiring
+// processors online is constant-competitive.
+#pragma once
+
+#include "matching/matching_oracle.hpp"
+#include "scheduling/instance.hpp"
+#include "secretary/submodular_secretary.hpp"
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::scheduling {
+
+/// SetFunction over PROCESSORS: value(S) = max number of jobs schedulable
+/// using only slots on processors in S. Monotone submodular (a matching
+/// utility over grouped columns).
+class ProcessorCoverageFunction final : public submodular::SetFunction {
+ public:
+  /// `instance` must outlive the function.
+  explicit ProcessorCoverageFunction(const SchedulingInstance& instance);
+
+  int ground_size() const override { return instance_->num_processors(); }
+  double value(const submodular::ItemSet& processors) const override;
+
+ private:
+  const SchedulingInstance* instance_;
+  matching::BipartiteGraph graph_;
+};
+
+/// Weighted variant: value(S) = max total job value schedulable on S.
+class ProcessorValueFunction final : public submodular::SetFunction {
+ public:
+  explicit ProcessorValueFunction(const SchedulingInstance& instance);
+
+  int ground_size() const override { return instance_->num_processors(); }
+  double value(const submodular::ItemSet& processors) const override;
+
+ private:
+  const SchedulingInstance* instance_;
+  matching::BipartiteGraph graph_;
+  std::vector<double> values_;
+};
+
+struct ProcessorHireResult {
+  /// Hired processors (at most k).
+  submodular::ItemSet hired;
+  /// Jobs schedulable on the hired processors (the objective value).
+  double jobs_covered = 0.0;
+};
+
+/// Online processor hiring: processors are interviewed in `arrival_order`
+/// (a permutation of processor ids), at most k may be hired, decisions are
+/// irrevocable. Runs Algorithm 1 on ProcessorCoverageFunction.
+ProcessorHireResult hire_processors_online(const SchedulingInstance& instance,
+                                           int k,
+                                           const std::vector<int>& arrival_order);
+
+/// Offline comparator: greedy processor selection (1-1/e of the best k-set).
+ProcessorHireResult hire_processors_offline_greedy(
+    const SchedulingInstance& instance, int k);
+
+}  // namespace ps::scheduling

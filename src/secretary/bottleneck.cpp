@@ -1,0 +1,113 @@
+#include "secretary/bottleneck.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ps::secretary {
+namespace {
+constexpr double kE = 2.718281828459045;
+}
+
+BottleneckResult bottleneckResult_init(int n) {
+  BottleneckResult r;
+  r.chosen = submodular::ItemSet(n);
+  return r;
+}
+
+BottleneckResult bottleneck_secretary(const std::vector<double>& values, int k,
+                                      const std::vector<int>& arrival_order) {
+  const int n = static_cast<int>(arrival_order.size());
+  assert(static_cast<int>(values.size()) == n);
+  assert(1 <= k && k <= n);
+
+  BottleneckResult result = bottleneckResult_init(n);
+  // First 1/k fraction is observation only; cap so that at least k
+  // candidates remain hireable (the rule is designed for k >= 2).
+  const int observe_len = std::clamp(n / k, 1, std::max(1, n - k));
+
+  double threshold = 0.0;
+  for (int p = 0; p < observe_len; ++p) {
+    threshold = std::max(
+        threshold,
+        values[static_cast<std::size_t>(
+            arrival_order[static_cast<std::size_t>(p)])]);
+  }
+
+  int hired = 0;
+  double worst_hired = 0.0;
+  for (int p = observe_len; p < n && hired < k; ++p) {
+    const int item = arrival_order[static_cast<std::size_t>(p)];
+    const double v = values[static_cast<std::size_t>(item)];
+    if (v > threshold) {
+      result.chosen.insert(item);
+      worst_hired = hired == 0 ? v : std::min(worst_hired, v);
+      ++hired;
+    }
+  }
+  result.hired_k = hired == k;
+  result.min_value = result.hired_k ? worst_hired : 0.0;
+
+  if (result.hired_k) {
+    // Are these exactly the k best overall?
+    std::vector<int> ids(static_cast<std::size_t>(n));
+    std::iota(ids.begin(), ids.end(), 0);
+    std::nth_element(ids.begin(), ids.begin() + (k - 1), ids.end(),
+                     [&](int a, int b) {
+                       return values[static_cast<std::size_t>(a)] >
+                              values[static_cast<std::size_t>(b)];
+                     });
+    result.hired_k_best = true;
+    for (int i = 0; i < k; ++i) {
+      if (!result.chosen.contains(ids[static_cast<std::size_t>(i)])) {
+        result.hired_k_best = false;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+SelectionResult oblivious_topk_secretary(const std::vector<double>& values,
+                                         int k,
+                                         const std::vector<int>& arrival_order) {
+  const int n = static_cast<int>(arrival_order.size());
+  assert(static_cast<int>(values.size()) == n);
+  assert(k >= 1);
+
+  SelectionResult result;
+  result.chosen = submodular::ItemSet(n);
+  for (int i = 0; i < k; ++i) {
+    const int seg_begin = static_cast<int>(static_cast<long>(n) * i / k);
+    const int seg_end = static_cast<int>(static_cast<long>(n) * (i + 1) / k);
+    if (seg_begin >= seg_end) continue;
+    const int seg_len = seg_end - seg_begin;
+    const int observe_len =
+        static_cast<int>(std::floor(static_cast<double>(seg_len) / kE));
+
+    double alpha = 0.0;
+    bool has_alpha = false;
+    for (int p = seg_begin; p < seg_begin + observe_len; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      const double v = values[static_cast<std::size_t>(item)];
+      if (!has_alpha || v > alpha) {
+        alpha = v;
+        has_alpha = true;
+      }
+    }
+    for (int p = seg_begin + observe_len; p < seg_end; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      const double v = values[static_cast<std::size_t>(item)];
+      if (!has_alpha || v > alpha) {
+        result.chosen.insert(item);
+        break;
+      }
+    }
+  }
+  // Value left for the caller's aggregate of choice (max, γ-weighted, ...).
+  result.value = 0.0;
+  return result;
+}
+
+}  // namespace ps::secretary

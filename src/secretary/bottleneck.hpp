@@ -1,0 +1,41 @@
+// Section 3.6 aggregate objectives.
+//
+// Bottleneck (min) secretary, Theorem 3.6.1: interview the first 1/k
+// fraction without hiring; let a be the best efficiency seen; hire the first
+// k applicants surpassing a. With probability >= 1/e²ᵏ-ish this hires
+// exactly the k best, so the min-efficiency objective is O(k)-competitive.
+//
+// Oblivious top-k (max / robust γ): split the stream into k segments and run
+// the classic rule inside each on raw values. The same run approximates
+// Σ γ_i·a_(i) for every non-increasing γ simultaneously (the "robustness"
+// remark closing Section 3.6).
+#pragma once
+
+#include <vector>
+
+#include "secretary/submodular_secretary.hpp"
+#include "util/rng.hpp"
+
+namespace ps::secretary {
+
+struct BottleneckResult {
+  submodular::ItemSet chosen;
+  /// min value among hires, 0 if fewer than k hired (the bottleneck model
+  /// requires exactly k).
+  double min_value = 0.0;
+  bool hired_k = false;
+  /// Whether the hires are exactly the k highest-valued applicants.
+  bool hired_k_best = false;
+};
+
+/// Theorem 3.6.1's rule. `values` indexed by item id; arrival_order is the
+/// interview order.
+BottleneckResult bottleneck_secretary(const std::vector<double>& values, int k,
+                                      const std::vector<int>& arrival_order);
+
+/// Oblivious per-segment classic rule; returns the chosen set (size <= k).
+SelectionResult oblivious_topk_secretary(const std::vector<double>& values,
+                                         int k,
+                                         const std::vector<int>& arrival_order);
+
+}  // namespace ps::secretary

@@ -1,0 +1,61 @@
+#include "secretary/classic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps::secretary {
+
+int classic_observation_length(int n) {
+  if (n <= 1) return 0;
+  // Find the largest t in [1, n) with sum_{j=t}^{n-1} 1/j >= 1; observing
+  // t - 1 ... the standard optimal rule observes the first t-1 applicants
+  // where t is the smallest index making the tail sum drop below 1.
+  double tail = 0.0;
+  int t = n - 1;
+  while (t >= 1) {
+    tail += 1.0 / static_cast<double>(t);
+    if (tail >= 1.0) break;
+    --t;
+  }
+  return std::max(0, t);
+}
+
+ClassicResult run_classic_secretary(const std::vector<double>& arrival_values) {
+  return run_classic_secretary(
+      arrival_values,
+      classic_observation_length(static_cast<int>(arrival_values.size())));
+}
+
+ClassicResult run_classic_secretary(const std::vector<double>& arrival_values,
+                                    int observation_length) {
+  const int n = static_cast<int>(arrival_values.size());
+  assert(0 <= observation_length && observation_length <= n);
+  ClassicResult result;
+  if (n == 0) return result;
+
+  double benchmark = 0.0;
+  bool has_benchmark = false;
+  for (int i = 0; i < observation_length; ++i) {
+    if (!has_benchmark ||
+        arrival_values[static_cast<std::size_t>(i)] > benchmark) {
+      benchmark = arrival_values[static_cast<std::size_t>(i)];
+      has_benchmark = true;
+    }
+  }
+  for (int i = observation_length; i < n; ++i) {
+    if (!has_benchmark ||
+        arrival_values[static_cast<std::size_t>(i)] > benchmark) {
+      result.picked_position = i;
+      result.picked_value = arrival_values[static_cast<std::size_t>(i)];
+      break;
+    }
+  }
+  if (result.picked_position != -1) {
+    const double best =
+        *std::max_element(arrival_values.begin(), arrival_values.end());
+    result.picked_best = result.picked_value >= best;
+  }
+  return result;
+}
+
+}  // namespace ps::secretary

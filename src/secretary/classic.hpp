@@ -1,0 +1,31 @@
+// The classical secretary problem (Section 3.1): observe the first t-1
+// applicants, then hire the first one beating all of them; t/n -> 1/e hires
+// the best applicant with probability -> 1/e [Dynkin 1963].
+#pragma once
+
+#include <vector>
+
+namespace ps::secretary {
+
+/// Optimal observation length: the largest t with Σ_{j=t}^{n-1} 1/j >= 1
+/// (so the rule observes positions 0..t-1). Approaches n/e.
+int classic_observation_length(int n);
+
+struct ClassicResult {
+  /// Arrival position hired, or -1 if the rule never fired.
+  int picked_position = -1;
+  /// Value of the hired applicant (0 if none).
+  double picked_value = 0.0;
+  /// Whether the hire is the maximum of the whole stream.
+  bool picked_best = false;
+};
+
+/// Runs the 1/e-rule on values listed in arrival order. Ties are broken in
+/// favor of earlier arrivals (a later equal value does not "surpass").
+ClassicResult run_classic_secretary(const std::vector<double>& arrival_values);
+
+/// Same rule with an explicit observation length (for threshold sweeps).
+ClassicResult run_classic_secretary(const std::vector<double>& arrival_values,
+                                    int observation_length);
+
+}  // namespace ps::secretary

@@ -1,0 +1,42 @@
+#include "secretary/harness.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ps::secretary {
+
+util::Accumulator monte_carlo_values(int n, const TrialFn& trial,
+                                     const MonteCarloOptions& options) {
+  std::vector<double> values(static_cast<std::size_t>(options.trials));
+  auto run_one = [&](std::size_t t) {
+    // Per-trial generator: identical results regardless of thread count.
+    util::Rng rng(options.seed + 0x9e3779b97f4a7c15ULL * (t + 1));
+    const auto order = rng.permutation(n);
+    values[t] = trial(order, rng);
+  };
+  if (options.num_threads > 1) {
+    util::ThreadPool pool(options.num_threads);
+    pool.parallel_for(0, values.size(), run_one);
+  } else {
+    for (std::size_t t = 0; t < values.size(); ++t) run_one(t);
+  }
+
+  util::Accumulator acc;
+  for (double v : values) acc.add(v);
+  return acc;
+}
+
+double monte_carlo_probability(int n, const TrialPredicate& trial,
+                               const MonteCarloOptions& options) {
+  const auto acc = monte_carlo_values(
+      n,
+      [&](const std::vector<int>& order, util::Rng& rng) {
+        return trial(order, rng) ? 1.0 : 0.0;
+      },
+      options);
+  return acc.mean();
+}
+
+}  // namespace ps::secretary

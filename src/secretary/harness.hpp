@@ -1,0 +1,40 @@
+// Monte-Carlo harness for competitive-ratio experiments: runs an online
+// algorithm over many independent random arrival orders (thread-parallel,
+// reproducible per trial) and accumulates value statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ps::secretary {
+
+/// One trial: receives a uniformly random arrival order (a permutation of
+/// item ids) and a per-trial RNG for the algorithm's own coins; returns the
+/// achieved objective value.
+using TrialFn =
+    std::function<double(const std::vector<int>& arrival_order, util::Rng&)>;
+
+struct MonteCarloOptions {
+  int trials = 1000;
+  std::uint64_t seed = 42;
+  /// Worker threads (1 = serial). Trials are seeded by index, so results are
+  /// identical for any thread count.
+  std::size_t num_threads = 1;
+};
+
+/// Runs `trial` over `options.trials` random permutations of {0..n-1} and
+/// returns the accumulated values. Divide mean() by the offline optimum to
+/// read off the empirical competitive ratio.
+util::Accumulator monte_carlo_values(int n, const TrialFn& trial,
+                                     const MonteCarloOptions& options);
+
+/// Success-probability variant for 0/1 outcomes (e.g. "picked the best").
+using TrialPredicate =
+    std::function<bool(const std::vector<int>& arrival_order, util::Rng&)>;
+double monte_carlo_probability(int n, const TrialPredicate& trial,
+                               const MonteCarloOptions& options);
+
+}  // namespace ps::secretary

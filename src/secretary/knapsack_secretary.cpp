@@ -1,0 +1,183 @@
+#include "secretary/knapsack_secretary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ps::secretary {
+namespace {
+constexpr double kE = 2.718281828459045;
+}
+
+SelectionResult offline_knapsack_greedy(const submodular::SetFunction& f,
+                                        const std::vector<double>& weights,
+                                        double capacity) {
+  const int n = f.ground_size();
+  assert(static_cast<int>(weights.size()) == n);
+
+  SelectionResult result;
+  result.chosen = submodular::ItemSet(n);
+  double current = f.value(result.chosen);
+  ++result.oracle_calls;
+  double used = 0.0;
+
+  // Density greedy.
+  submodular::ItemSet greedy_set(n);
+  double greedy_value = current;
+  for (;;) {
+    int best = -1;
+    double best_density = 0.0;
+    double best_value = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (greedy_set.contains(i)) continue;
+      const double w = weights[static_cast<std::size_t>(i)];
+      if (w <= 0.0 || used + w > capacity + 1e-12) continue;
+      const double v = f.value(greedy_set.with(i));
+      ++result.oracle_calls;
+      const double density = (v - greedy_value) / w;
+      if (density > best_density) {
+        best = i;
+        best_density = density;
+        best_value = v;
+      }
+    }
+    if (best == -1) break;
+    greedy_set.insert(best);
+    used += weights[static_cast<std::size_t>(best)];
+    greedy_value = best_value;
+  }
+
+  // Best feasible single item.
+  int best_single = -1;
+  double best_single_value = current;
+  for (int i = 0; i < n; ++i) {
+    if (weights[static_cast<std::size_t>(i)] > capacity + 1e-12) continue;
+    const double v = f.value(submodular::ItemSet(n).with(i));
+    ++result.oracle_calls;
+    if (v > best_single_value) {
+      best_single = i;
+      best_single_value = v;
+    }
+  }
+
+  if (best_single != -1 && best_single_value > greedy_value) {
+    result.chosen = submodular::ItemSet(n).with(best_single);
+    result.value = best_single_value;
+  } else {
+    result.chosen = greedy_set;
+    result.value = greedy_value;
+  }
+  return result;
+}
+
+SelectionResult knapsack_submodular_secretary(
+    const submodular::SetFunction& f, const std::vector<double>& weights,
+    double capacity, const std::vector<int>& arrival_order, util::Rng& rng) {
+  const int n = f.ground_size();
+  assert(static_cast<int>(arrival_order.size()) == n);
+
+  SelectionResult result;
+  result.chosen = submodular::ItemSet(n);
+  double current = f.value(result.chosen);
+  ++result.oracle_calls;
+
+  if (rng.bernoulli(0.5)) {
+    // Heads: classic 1/e rule for the single best feasible item.
+    const int observe_len =
+        static_cast<int>(std::floor(static_cast<double>(n) / kE));
+    double alpha = current;
+    for (int p = 0; p < observe_len; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      if (weights[static_cast<std::size_t>(item)] > capacity + 1e-12) continue;
+      const double v = f.value(submodular::ItemSet(n).with(item));
+      ++result.oracle_calls;
+      alpha = std::max(alpha, v);
+    }
+    for (int p = observe_len; p < n; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      if (weights[static_cast<std::size_t>(item)] > capacity + 1e-12) continue;
+      const double v = f.value(submodular::ItemSet(n).with(item));
+      ++result.oracle_calls;
+      if (v > alpha) {
+        result.chosen.insert(item);
+        current = v;
+        break;
+      }
+    }
+    result.value = current;
+    return result;
+  }
+
+  // Tails: estimate OPT on the first half (offline constant-factor
+  // approximation restricted to observed items), then threshold the second
+  // half on marginal-value density OPT̂/6.
+  const int half = n / 2;
+  std::vector<double> masked_weights(weights.size(),
+                                     capacity + 1.0);  // unobserved = unusable
+  for (int p = 0; p < half; ++p) {
+    const int item = arrival_order[static_cast<std::size_t>(p)];
+    masked_weights[static_cast<std::size_t>(item)] =
+        weights[static_cast<std::size_t>(item)];
+  }
+  const SelectionResult estimate =
+      offline_knapsack_greedy(f, masked_weights, capacity);
+  result.oracle_calls += estimate.oracle_calls;
+  const double opt_hat = estimate.value;
+  const double density_floor = opt_hat / 6.0;
+
+  double used = 0.0;
+  for (int p = half; p < n; ++p) {
+    const int item = arrival_order[static_cast<std::size_t>(p)];
+    const double w = weights[static_cast<std::size_t>(item)];
+    if (w <= 0.0 || used + w > capacity + 1e-12) continue;
+    const double v = f.value(result.chosen.with(item));
+    ++result.oracle_calls;
+    const double marginal = v - current;
+    if (marginal / w >= density_floor && marginal > 0.0) {
+      result.chosen.insert(item);
+      current = v;
+      used += w;
+    }
+  }
+  result.value = current;
+  return result;
+}
+
+SelectionResult multi_knapsack_submodular_secretary(
+    const submodular::SetFunction& f,
+    const std::vector<std::vector<double>>& weights,
+    const std::vector<double>& capacities,
+    const std::vector<int>& arrival_order, util::Rng& rng) {
+  const int n = f.ground_size();
+  const std::size_t l = weights.size();
+  assert(capacities.size() == l);
+  assert(l >= 1);
+
+  // Lemma 3.4.1: w'_j = max_i w_ij / C_i against a unit knapsack.
+  std::vector<double> reduced(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t i = 0; i < l; ++i) {
+    assert(static_cast<int>(weights[i].size()) == n);
+    assert(capacities[i] > 0.0);
+    for (int j = 0; j < n; ++j) {
+      reduced[static_cast<std::size_t>(j)] =
+          std::max(reduced[static_cast<std::size_t>(j)],
+                   weights[i][static_cast<std::size_t>(j)] / capacities[i]);
+    }
+  }
+  return knapsack_submodular_secretary(f, reduced, 1.0, arrival_order, rng);
+}
+
+bool fits_knapsacks(const submodular::ItemSet& s,
+                    const std::vector<std::vector<double>>& weights,
+                    const std::vector<double>& capacities) {
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    double total = 0.0;
+    s.for_each([&](int item) {
+      total += weights[i][static_cast<std::size_t>(item)];
+    });
+    if (total > capacities[i] + 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace ps::secretary

@@ -1,0 +1,45 @@
+// Section 3.4 — the submodular secretary problem under l knapsack
+// constraints. Theorem 3.1.3: O(l)-competitive. Two pieces, both from the
+// text: (a) Lemma 3.4.1's reduction collapsing l knapsacks to one by
+// w'_j = max_i w_ij / C_i (loses at most a 4l factor), and (b) the single-
+// knapsack algorithm: flip a coin between "hire the best single item via the
+// classic rule" and "estimate OPT on the observed first half, then take every
+// later item whose marginal-value density clears OPT̂/6 while it fits".
+#pragma once
+
+#include <vector>
+
+#include "secretary/submodular_secretary.hpp"
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::secretary {
+
+/// Offline constant-factor estimator for max f(S) s.t. Σ w_j <= capacity:
+/// the better of (density greedy) and (best feasible single item). Used both
+/// as the algorithm's internal OPT̂ and as the experiment baseline.
+SelectionResult offline_knapsack_greedy(const submodular::SetFunction& f,
+                                        const std::vector<double>& weights,
+                                        double capacity);
+
+/// Single-knapsack submodular secretary (weights normalized so the capacity
+/// is `capacity`; all single items assumed feasible or they are skipped).
+SelectionResult knapsack_submodular_secretary(
+    const submodular::SetFunction& f, const std::vector<double>& weights,
+    double capacity, const std::vector<int>& arrival_order, util::Rng& rng);
+
+/// The l-knapsack wrapper: reduces weights[i][j] (knapsack i, item j) with
+/// capacities[i] to the single knapsack of Lemma 3.4.1 and runs the
+/// single-knapsack algorithm.
+SelectionResult multi_knapsack_submodular_secretary(
+    const submodular::SetFunction& f,
+    const std::vector<std::vector<double>>& weights,
+    const std::vector<double>& capacities,
+    const std::vector<int>& arrival_order, util::Rng& rng);
+
+/// Whether `s` fits all l knapsacks (the experiment's feasibility check).
+bool fits_knapsacks(const submodular::ItemSet& s,
+                    const std::vector<std::vector<double>>& weights,
+                    const std::vector<double>& capacities);
+
+}  // namespace ps::secretary

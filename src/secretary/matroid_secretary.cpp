@@ -1,0 +1,143 @@
+#include "secretary/matroid_secretary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ps::secretary {
+namespace {
+constexpr double kE = 2.718281828459045;
+}
+
+SelectionResult matroid_constrained_segments(
+    const submodular::SetFunction& f,
+    const matroid::MatroidIntersection& constraint, int k,
+    const std::vector<int>& arrival_order, int begin, int end) {
+  const int n = f.ground_size();
+  assert(static_cast<int>(arrival_order.size()) == n);
+  assert(constraint.ground_size() == n);
+  assert(k >= 1);
+
+  SelectionResult result;
+  result.chosen = submodular::ItemSet(n);
+  double current = f.value(result.chosen);
+  ++result.oracle_calls;
+
+  const int range_len = end - begin;
+  if (range_len == 0) {
+    result.value = current;
+    return result;
+  }
+
+  for (int i = 0; i < k; ++i) {
+    const int seg_begin =
+        begin + static_cast<int>(static_cast<long>(range_len) * i / k);
+    const int seg_end =
+        begin + static_cast<int>(static_cast<long>(range_len) * (i + 1) / k);
+    if (seg_begin >= seg_end) continue;
+    const int seg_len = seg_end - seg_begin;
+    const int observe_len =
+        static_cast<int>(std::floor(static_cast<double>(seg_len) / kE));
+
+    // Threshold over feasible additions only (the "respect the matroid
+    // independence oracle I" lines of Algorithm 3).
+    double alpha = current;
+    for (int p = seg_begin; p < seg_begin + observe_len; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      if (result.chosen.contains(item) ||
+          !constraint.can_add(result.chosen, item)) {
+        continue;
+      }
+      const double v = f.value(result.chosen.with(item));
+      ++result.oracle_calls;
+      alpha = std::max(alpha, v);
+    }
+    for (int p = seg_begin + observe_len; p < seg_end; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      if (result.chosen.contains(item) ||
+          !constraint.can_add(result.chosen, item)) {
+        continue;
+      }
+      const double v = f.value(result.chosen.with(item));
+      ++result.oracle_calls;
+      if (v >= alpha && v >= current) {
+        result.chosen.insert(item);
+        current = v;
+        break;
+      }
+    }
+  }
+  result.value = current;
+  return result;
+}
+
+SelectionResult matroid_submodular_secretary(
+    const submodular::SetFunction& f,
+    const matroid::MatroidIntersection& constraint,
+    const std::vector<int>& arrival_order, util::Rng& rng) {
+  const int n = static_cast<int>(arrival_order.size());
+  const int half = n / 2;
+  const int r = std::max(1, constraint.max_rank());
+
+  // k <- uniformly random power of two in {1, 2, ..., 2^ceil(log2 r)}.
+  const int log_r =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(r))));
+  const int j = rng.uniform_int(0, log_r);
+  const int k = 1 << j;
+
+  if (k == 1) {
+    // "Select the best item of U1": classic 1/e rule over the first half,
+    // restricted to feasible singletons.
+    SelectionResult result;
+    result.chosen = submodular::ItemSet(f.ground_size());
+    double current = f.value(result.chosen);
+    ++result.oracle_calls;
+    const int observe_len =
+        static_cast<int>(std::floor(static_cast<double>(half) / kE));
+    double alpha = current;
+    for (int p = 0; p < observe_len; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      if (!constraint.can_add(result.chosen, item)) continue;
+      const double v = f.value(result.chosen.with(item));
+      ++result.oracle_calls;
+      alpha = std::max(alpha, v);
+    }
+    for (int p = observe_len; p < half; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      if (!constraint.can_add(result.chosen, item)) continue;
+      const double v = f.value(result.chosen.with(item));
+      ++result.oracle_calls;
+      if (v >= alpha && v > current) {
+        result.chosen.insert(item);
+        current = v;
+        break;
+      }
+    }
+    result.value = current;
+    return result;
+  }
+
+  return matroid_constrained_segments(f, constraint, k, arrival_order, 0,
+                                      half);
+}
+
+SelectionResult nonmonotone_matroid_submodular_secretary(
+    const submodular::SetFunction& f,
+    const matroid::MatroidIntersection& constraint,
+    const std::vector<int>& arrival_order, util::Rng& rng) {
+  const int n = static_cast<int>(arrival_order.size());
+  const int half = n / 2;
+  const int r = std::max(1, constraint.max_rank());
+  const int log_r =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(r))));
+  const int k = 1 << rng.uniform_int(0, log_r);
+
+  // Algorithm 2's coin: restrict to one half so a disjoint-complement
+  // argument (Lemma 3.2.7) bounds the non-monotone loss.
+  const int begin = rng.bernoulli(0.5) ? 0 : half;
+  const int end = begin == 0 ? half : n;
+  return matroid_constrained_segments(f, constraint, k, arrival_order, begin,
+                                      end);
+}
+
+}  // namespace ps::secretary

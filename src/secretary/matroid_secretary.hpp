@@ -1,0 +1,42 @@
+// Algorithm 3 of Section 3.3 — the submodular matroid secretary problem.
+// Theorem 3.1.2: O(l·log² r)-competitive for l matroid constraints of max
+// rank r. Structure: work only on the first half of the stream (so a large
+// independent fraction of OPT is still addable late), guess |S*| as a random
+// power of two (the log r guessing penalty), then run the Algorithm 1 segment
+// scheme while respecting all independence oracles.
+#pragma once
+
+#include <vector>
+
+#include "matroid/matroid.hpp"
+#include "secretary/submodular_secretary.hpp"
+#include "util/rng.hpp"
+
+namespace ps::secretary {
+
+/// Algorithm 1's segment scheme with a matroid-intersection feasibility
+/// filter and an explicit target size k, confined to positions [begin, end).
+SelectionResult matroid_constrained_segments(
+    const submodular::SetFunction& f,
+    const matroid::MatroidIntersection& constraint, int k,
+    const std::vector<int>& arrival_order, int begin, int end);
+
+/// Algorithm 3: guesses k = 2^j, j uniform in {0, ..., ceil(log2 r)}; for the
+/// k = 1 guess it runs the classic 1/e rule on the best feasible singleton of
+/// the first half; otherwise it runs the segment scheme on the first half,
+/// searching for k items subject to all matroids.
+SelectionResult matroid_submodular_secretary(
+    const submodular::SetFunction& f,
+    const matroid::MatroidIntersection& constraint,
+    const std::vector<int>& arrival_order, util::Rng& rng);
+
+/// The non-monotone extension the paper notes is "straightforward to
+/// combine" (end of Section 3.3): flip a coin between running Algorithm 3's
+/// machinery on the first half or on the second half of the stream, exactly
+/// as Algorithm 2 extends Algorithm 1.
+SelectionResult nonmonotone_matroid_submodular_secretary(
+    const submodular::SetFunction& f,
+    const matroid::MatroidIntersection& constraint,
+    const std::vector<int>& arrival_order, util::Rng& rng);
+
+}  // namespace ps::secretary

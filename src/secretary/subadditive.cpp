@@ -1,0 +1,75 @@
+#include "secretary/subadditive.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "secretary/classic.hpp"
+
+namespace ps::secretary {
+
+SelectionResult random_segment_secretary(const submodular::SetFunction& f,
+                                         int k,
+                                         const std::vector<int>& arrival_order,
+                                         util::Rng& rng) {
+  const int n = f.ground_size();
+  assert(static_cast<int>(arrival_order.size()) == n);
+  assert(k >= 1);
+
+  // ceil(n/k) segments of size <= k; hire one uniformly at random, whole.
+  const int num_segments = (n + k - 1) / k;
+  const int pick = rng.uniform_int(0, num_segments - 1);
+
+  SelectionResult result;
+  result.chosen = submodular::ItemSet(n);
+  const int seg_begin = pick * k;
+  const int seg_end = std::min(n, seg_begin + k);
+  for (int p = seg_begin; p < seg_end; ++p) {
+    result.chosen.insert(arrival_order[static_cast<std::size_t>(p)]);
+  }
+  result.value = f.value(result.chosen);
+  result.oracle_calls = 1;
+  return result;
+}
+
+SelectionResult subadditive_secretary(const submodular::SetFunction& f, int k,
+                                      const std::vector<int>& arrival_order,
+                                      util::Rng& rng) {
+  const int n = f.ground_size();
+  if (rng.bernoulli(0.5)) {
+    // Best-single-item arm via the classic rule on singleton values.
+    SelectionResult result;
+    result.chosen = submodular::ItemSet(n);
+    std::vector<double> singleton_values(arrival_order.size());
+    for (std::size_t p = 0; p < arrival_order.size(); ++p) {
+      singleton_values[p] =
+          f.value(submodular::ItemSet(n).with(arrival_order[p]));
+    }
+    result.oracle_calls = arrival_order.size();
+    const ClassicResult classic = run_classic_secretary(singleton_values);
+    if (classic.picked_position >= 0) {
+      result.chosen.insert(
+          arrival_order[static_cast<std::size_t>(classic.picked_position)]);
+    }
+    result.value = f.value(result.chosen);
+    ++result.oracle_calls;
+    return result;
+  }
+  return random_segment_secretary(f, k, arrival_order, rng);
+}
+
+double random_query_attack(const submodular::SetFunction& f, int num_queries,
+                           int max_query_size, util::Rng& rng) {
+  const int n = f.ground_size();
+  double best = 0.0;
+  for (int q = 0; q < num_queries; ++q) {
+    const int size = rng.uniform_int(1, max_query_size);
+    submodular::ItemSet query(n);
+    for (int item : rng.sample_without_replacement(n, std::min(size, n))) {
+      query.insert(item);
+    }
+    best = std::max(best, f.value(query));
+  }
+  return best;
+}
+
+}  // namespace ps::secretary

@@ -1,0 +1,38 @@
+// Section 3.5 — the subadditive secretary problem. Theorem 3.1.4: no
+// algorithm beats Õ(√n), and a simple mixture achieves O(√n):
+//   * with probability 1/2, hire the single best item (k-competitive on its
+//     own);
+//   * with probability 1/2, partition the stream into n/k segments of size
+//     <= k and hire one uniformly random segment wholesale (subadditivity
+//     gives E[f(segment)] >= f(S)·k/n).
+// The hardness side is exercised through HiddenGoodSetFunction plus the
+// query-attack helper below.
+#pragma once
+
+#include <vector>
+
+#include "secretary/submodular_secretary.hpp"
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::secretary {
+
+/// The O(√n) mixture algorithm for monotone subadditive f, hiring at most k.
+SelectionResult subadditive_secretary(const submodular::SetFunction& f, int k,
+                                      const std::vector<int>& arrival_order,
+                                      util::Rng& rng);
+
+/// "Hire one random segment" arm alone (for the ablation table).
+SelectionResult random_segment_secretary(const submodular::SetFunction& f,
+                                         int k,
+                                         const std::vector<int>& arrival_order,
+                                         util::Rng& rng);
+
+/// Offline value-oracle attack: issues `num_queries` uniformly random
+/// queries of size at most `max_query_size` and returns the best value seen.
+/// Against HiddenGoodSetFunction with the Theorem 3.5.1 parameters this
+/// flat-lines at 1 with high probability — the Ω(√n) hardness in action.
+double random_query_attack(const submodular::SetFunction& f, int num_queries,
+                           int max_query_size, util::Rng& rng);
+
+}  // namespace ps::secretary

@@ -1,0 +1,86 @@
+#include "secretary/submodular_secretary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ps::secretary {
+namespace {
+constexpr double kE = 2.718281828459045;
+}
+
+SelectionResult monotone_submodular_secretary(
+    const submodular::SetFunction& f, int k,
+    const std::vector<int>& arrival_order) {
+  return monotone_submodular_secretary_range(
+      f, k, arrival_order, 0, static_cast<int>(arrival_order.size()));
+}
+
+SelectionResult monotone_submodular_secretary_range(
+    const submodular::SetFunction& f, int k,
+    const std::vector<int>& arrival_order, int begin, int end) {
+  const int n = f.ground_size();
+  assert(static_cast<int>(arrival_order.size()) == n);
+  assert(0 <= begin && begin <= end && end <= n);
+  assert(k >= 1);
+
+  SelectionResult result;
+  result.chosen = submodular::ItemSet(n);
+  double current = f.value(result.chosen);
+  ++result.oracle_calls;
+
+  const int range_len = end - begin;
+  if (range_len == 0) {
+    result.value = current;
+    return result;
+  }
+
+  for (int i = 0; i < k; ++i) {
+    // Segment i of the k near-equal segments of [begin, end).
+    const int seg_begin =
+        begin + static_cast<int>(static_cast<long>(range_len) * i / k);
+    const int seg_end =
+        begin + static_cast<int>(static_cast<long>(range_len) * (i + 1) / k);
+    if (seg_begin >= seg_end) continue;
+    const int seg_len = seg_end - seg_begin;
+    const int observe_len =
+        static_cast<int>(std::floor(static_cast<double>(seg_len) / kE));
+
+    // Observation: α_i = max over the first 1/e of the segment of
+    // f(T_{i-1} ∪ {a_j}), floored at f(T_{i-1}).
+    double alpha = current;
+    for (int p = seg_begin; p < seg_begin + observe_len; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      const double v = f.value(result.chosen.with(item));
+      ++result.oracle_calls;
+      alpha = std::max(alpha, v);
+    }
+
+    // Selection: hire the first item reaching the threshold.
+    for (int p = seg_begin + observe_len; p < seg_end; ++p) {
+      const int item = arrival_order[static_cast<std::size_t>(p)];
+      const double v = f.value(result.chosen.with(item));
+      ++result.oracle_calls;
+      if (v >= alpha && v >= current) {
+        result.chosen.insert(item);
+        current = v;
+        break;
+      }
+    }
+  }
+  result.value = current;
+  return result;
+}
+
+SelectionResult submodular_secretary(const submodular::SetFunction& f, int k,
+                                     const std::vector<int>& arrival_order,
+                                     util::Rng& rng) {
+  const int n = static_cast<int>(arrival_order.size());
+  const int half = n / 2;
+  if (rng.bernoulli(0.5)) {
+    return monotone_submodular_secretary_range(f, k, arrival_order, 0, half);
+  }
+  return monotone_submodular_secretary_range(f, k, arrival_order, half, n);
+}
+
+}  // namespace ps::secretary

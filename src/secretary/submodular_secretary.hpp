@@ -1,0 +1,48 @@
+// Algorithms 1 and 2 of Section 3.2 — the (non-)monotone submodular
+// secretary problem. Theorem 3.1.1: Algorithm 1 is Ω(1)-competitive (the
+// proof gives value >= f(R)·m/7ek in expectation) for monotone f; Algorithm 2
+// extends this to non-monotone f at an 8e² factor via the half-split trick.
+#pragma once
+
+#include <vector>
+
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::secretary {
+
+struct SelectionResult {
+  submodular::ItemSet chosen;
+  double value = 0.0;
+  /// Number of f-oracle calls made by the online algorithm.
+  std::size_t oracle_calls = 0;
+};
+
+/// Algorithm 1 (Monotone Submodular Secretary Algorithm).
+///
+/// `arrival_order` is a permutation of the ground set of f: arrival_order[p]
+/// is the item interviewed at position p. The stream is split into k
+/// near-equal segments; in segment i the first 1/e fraction only calibrates a
+/// threshold α_i = max f(T_{i-1} ∪ {a_j}) (floored at f(T_{i-1}), which is
+/// what keeps values non-decreasing for non-monotone f), and the first later
+/// item reaching α_i is hired. `restrict_to` (optional) limits hiring and
+/// thresholding to a sub-range of positions [begin, end) — Algorithm 2 and
+/// the matroid algorithm run Algorithm 1 "on U1" this way.
+SelectionResult monotone_submodular_secretary(
+    const submodular::SetFunction& f, int k,
+    const std::vector<int>& arrival_order);
+
+/// Algorithm 1 confined to positions [begin, end) of the stream (the items
+/// outside are interviewed but never hired; segments divide [begin, end)).
+SelectionResult monotone_submodular_secretary_range(
+    const submodular::SetFunction& f, int k,
+    const std::vector<int>& arrival_order, int begin, int end);
+
+/// Algorithm 2 (Submodular Secretary Algorithm, possibly non-monotone):
+/// with probability 1/2 runs Algorithm 1 on the first half of the stream,
+/// otherwise on the second half.
+SelectionResult submodular_secretary(const submodular::SetFunction& f, int k,
+                                     const std::vector<int>& arrival_order,
+                                     util::Rng& rng);
+
+}  // namespace ps::secretary

@@ -1,0 +1,40 @@
+#include "submodular/additive.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps::submodular {
+
+AdditiveFunction::AdditiveFunction(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  for (double w : weights_) {
+    assert(w >= 0.0);
+    (void)w;
+  }
+}
+
+double AdditiveFunction::value(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  double total = 0.0;
+  s.for_each([&](int i) { total += weights_[static_cast<std::size_t>(i)]; });
+  return total;
+}
+
+double AdditiveFunction::marginal(const ItemSet& s, int item) const {
+  return s.contains(item) ? 0.0 : weights_[static_cast<std::size_t>(item)];
+}
+
+BudgetedAdditiveFunction::BudgetedAdditiveFunction(std::vector<double> weights,
+                                                   double cap)
+    : weights_(std::move(weights)), cap_(cap) {
+  assert(cap >= 0.0);
+}
+
+double BudgetedAdditiveFunction::value(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  double total = 0.0;
+  s.for_each([&](int i) { total += weights_[static_cast<std::size_t>(i)]; });
+  return std::min(total, cap_);
+}
+
+}  // namespace ps::submodular

@@ -1,0 +1,53 @@
+// Modular (additive) utilities and their budget-capped variant.
+//
+// The classical multiple-choice secretary objective "sum of the individual
+// values" [36] is the additive special case of the submodular secretary
+// problem; min(sum, cap) is the simplest strictly-submodular monotone example
+// and is handy as a test fixture.
+#pragma once
+
+#include <vector>
+
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::submodular {
+
+/// F(S) = Σ_{i in S} weight[i]. Modular, hence monotone submodular for
+/// non-negative weights.
+class AdditiveFunction final : public SetFunction {
+ public:
+  explicit AdditiveFunction(std::vector<double> weights);
+
+  int ground_size() const override {
+    return static_cast<int>(weights_.size());
+  }
+  double value(const ItemSet& s) const override;
+  double marginal(const ItemSet& s, int item) const override;
+
+  double weight(int item) const {
+    return weights_[static_cast<std::size_t>(item)];
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// F(S) = min(Σ weights in S, cap). Monotone submodular, non-modular once the
+/// cap binds; exercises the min{x, F(...)} clipping of Lemma 2.1.2.
+class BudgetedAdditiveFunction final : public SetFunction {
+ public:
+  BudgetedAdditiveFunction(std::vector<double> weights, double cap);
+
+  int ground_size() const override {
+    return static_cast<int>(weights_.size());
+  }
+  double value(const ItemSet& s) const override;
+  double cap() const { return cap_; }
+
+ private:
+  std::vector<double> weights_;
+  double cap_;
+};
+
+}  // namespace ps::submodular

@@ -1,0 +1,60 @@
+#include "submodular/aggregates.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+
+namespace ps::submodular {
+
+MaxAggregateFunction::MaxAggregateFunction(std::vector<double> values)
+    : values_(std::move(values)) {}
+
+double MaxAggregateFunction::value(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  double best = 0.0;
+  s.for_each([&](int i) {
+    best = std::max(best, values_[static_cast<std::size_t>(i)]);
+  });
+  return best;
+}
+
+MinAggregateFunction::MinAggregateFunction(std::vector<double> values)
+    : values_(std::move(values)) {}
+
+double MinAggregateFunction::value(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  if (s.empty()) return 0.0;
+  double worst = std::numeric_limits<double>::infinity();
+  s.for_each([&](int i) {
+    worst = std::min(worst, values_[static_cast<std::size_t>(i)]);
+  });
+  return worst;
+}
+
+TopGammaFunction::TopGammaFunction(std::vector<double> values,
+                                   std::vector<double> gamma)
+    : values_(std::move(values)), gamma_(std::move(gamma)) {
+  for (std::size_t i = 0; i + 1 < gamma_.size(); ++i) {
+    assert(gamma_[i] >= gamma_[i + 1]);
+  }
+  for (double g : gamma_) {
+    assert(g >= 0.0);
+    (void)g;
+  }
+}
+
+double TopGammaFunction::value(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  std::vector<double> vals;
+  vals.reserve(static_cast<std::size_t>(s.size()));
+  s.for_each(
+      [&](int i) { vals.push_back(values_[static_cast<std::size_t>(i)]); });
+  std::sort(vals.begin(), vals.end(), std::greater<>());
+  double total = 0.0;
+  const std::size_t top = std::min(vals.size(), gamma_.size());
+  for (std::size_t i = 0; i < top; ++i) total += gamma_[i] * vals[i];
+  return total;
+}
+
+}  // namespace ps::submodular

@@ -1,0 +1,61 @@
+// Aggregate objectives from Section 3.6 ("two other aggregate functions max
+// and min"). Max is monotone submodular; min is NOT submodular — it models
+// the bottleneck secretary problem of Theorem 3.6.1. TopGamma generalizes max
+// to the robust γ-weighted objective Σ γ_i a_(i) discussed at the end of §3.6.
+#pragma once
+
+#include <vector>
+
+#include "submodular/set_function.hpp"
+
+namespace ps::submodular {
+
+/// F(S) = max_{i in S} value[i]; F(∅) = 0. Monotone submodular — this is the
+/// classical (single-hire) secretary objective [22, 23].
+class MaxAggregateFunction final : public SetFunction {
+ public:
+  explicit MaxAggregateFunction(std::vector<double> values);
+
+  int ground_size() const override {
+    return static_cast<int>(values_.size());
+  }
+  double value(const ItemSet& s) const override;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// F(S) = min_{i in S} value[i]; F(∅) = 0. NOT submodular: models the
+/// bottleneck situation where a team is only as fast as its slowest member.
+class MinAggregateFunction final : public SetFunction {
+ public:
+  explicit MinAggregateFunction(std::vector<double> values);
+
+  int ground_size() const override {
+    return static_cast<int>(values_.size());
+  }
+  double value(const ItemSet& s) const override;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// F(S) = Σ_i γ_i · a_(i) where a_(1) >= a_(2) >= ... are the values of S in
+/// non-increasing order and γ is a non-increasing non-negative weight vector
+/// (missing positions contribute 0). Monotone submodular. γ = (1, 0, ..., 0)
+/// recovers MaxAggregateFunction.
+class TopGammaFunction final : public SetFunction {
+ public:
+  TopGammaFunction(std::vector<double> values, std::vector<double> gamma);
+
+  int ground_size() const override {
+    return static_cast<int>(values_.size());
+  }
+  double value(const ItemSet& s) const override;
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> gamma_;
+};
+
+}  // namespace ps::submodular

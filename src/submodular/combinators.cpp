@@ -1,0 +1,55 @@
+#include "submodular/combinators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps::submodular {
+
+ScaledFunction::ScaledFunction(const SetFunction& inner, double factor)
+    : inner_(&inner), factor_(factor) {
+  assert(factor >= 0.0);
+}
+
+double ScaledFunction::value(const ItemSet& s) const {
+  return factor_ * inner_->value(s);
+}
+
+double ScaledFunction::marginal(const ItemSet& s, int item) const {
+  return factor_ * inner_->marginal(s, item);
+}
+
+SumFunction::SumFunction(std::vector<const SetFunction*> terms)
+    : terms_(std::move(terms)) {
+  assert(!terms_.empty());
+  for (const auto* t : terms_) {
+    assert(t != nullptr);
+    assert(t->ground_size() == terms_.front()->ground_size());
+    (void)t;
+  }
+}
+
+int SumFunction::ground_size() const { return terms_.front()->ground_size(); }
+
+double SumFunction::value(const ItemSet& s) const {
+  double total = 0.0;
+  for (const auto* t : terms_) total += t->value(s);
+  return total;
+}
+
+TruncatedFunction::TruncatedFunction(const SetFunction& inner, double cap)
+    : inner_(&inner), cap_(cap) {}
+
+double TruncatedFunction::value(const ItemSet& s) const {
+  return std::min(cap_, inner_->value(s));
+}
+
+RestrictedFunction::RestrictedFunction(const SetFunction& inner, ItemSet alive)
+    : inner_(&inner), alive_(std::move(alive)) {
+  assert(alive_.universe_size() == inner.ground_size());
+}
+
+double RestrictedFunction::value(const ItemSet& s) const {
+  return inner_->value(s.intersected(alive_));
+}
+
+}  // namespace ps::submodular

@@ -1,0 +1,74 @@
+// Closure operations on set functions. Submodularity is preserved by
+// non-negative scaling, addition, and truncation min{x, F} — the last being
+// exactly the clipping Lemma 2.1.2 applies to the utility ("we just care
+// about the increments in our utility up to value x"). These combinators
+// make that argument executable and reusable.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "submodular/set_function.hpp"
+
+namespace ps::submodular {
+
+/// c·F for c >= 0. Preserves monotonicity and submodularity.
+class ScaledFunction final : public SetFunction {
+ public:
+  /// `inner` must outlive this object.
+  ScaledFunction(const SetFunction& inner, double factor);
+
+  int ground_size() const override { return inner_->ground_size(); }
+  double value(const ItemSet& s) const override;
+  double marginal(const ItemSet& s, int item) const override;
+
+ private:
+  const SetFunction* inner_;
+  double factor_;
+};
+
+/// F₁ + F₂ + ... (all over the same ground set). Preserves monotonicity and
+/// submodularity.
+class SumFunction final : public SetFunction {
+ public:
+  /// All pointers must be non-null, share a ground size, and outlive this.
+  explicit SumFunction(std::vector<const SetFunction*> terms);
+
+  int ground_size() const override;
+  double value(const ItemSet& s) const override;
+
+ private:
+  std::vector<const SetFunction*> terms_;
+};
+
+/// min{cap, F}. For monotone submodular F this is again monotone submodular
+/// — the Lemma 2.1.2 clipping.
+class TruncatedFunction final : public SetFunction {
+ public:
+  TruncatedFunction(const SetFunction& inner, double cap);
+
+  int ground_size() const override { return inner_->ground_size(); }
+  double value(const ItemSet& s) const override;
+  double cap() const { return cap_; }
+
+ private:
+  const SetFunction* inner_;
+  double cap_;
+};
+
+/// F restricted to a sub-universe: items outside `alive` contribute nothing
+/// (they are stripped before evaluation). Used to model "only the first half
+/// of the stream counts" arguments (Algorithm 2, Section 3.3).
+class RestrictedFunction final : public SetFunction {
+ public:
+  RestrictedFunction(const SetFunction& inner, ItemSet alive);
+
+  int ground_size() const override { return inner_->ground_size(); }
+  double value(const ItemSet& s) const override;
+
+ private:
+  const SetFunction* inner_;
+  ItemSet alive_;
+};
+
+}  // namespace ps::submodular

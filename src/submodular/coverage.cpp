@@ -1,0 +1,68 @@
+#include "submodular/coverage.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace ps::submodular {
+
+CoverageFunction::CoverageFunction(int num_elements,
+                                   std::vector<std::vector<int>> covers,
+                                   std::vector<double> element_weights)
+    : num_elements_(num_elements),
+      covers_(std::move(covers)),
+      element_weights_(std::move(element_weights)) {
+  assert(num_elements >= 0);
+  if (element_weights_.empty()) {
+    element_weights_.assign(static_cast<std::size_t>(num_elements), 1.0);
+  }
+  assert(static_cast<int>(element_weights_.size()) == num_elements);
+  total_weight_ =
+      std::accumulate(element_weights_.begin(), element_weights_.end(), 0.0);
+  cover_masks_.reserve(covers_.size());
+  for (const auto& cover : covers_) {
+    ItemSet mask(num_elements_);
+    for (int e : cover) {
+      assert(0 <= e && e < num_elements_);
+      mask.insert(e);
+    }
+    cover_masks_.push_back(std::move(mask));
+  }
+}
+
+ItemSet CoverageFunction::covered_elements(const ItemSet& s) const {
+  ItemSet covered(num_elements_);
+  s.for_each([&](int item) { covered |= cover_masks_[static_cast<std::size_t>(item)]; });
+  return covered;
+}
+
+double CoverageFunction::value(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  double total = 0.0;
+  covered_elements(s).for_each(
+      [&](int e) { total += element_weights_[static_cast<std::size_t>(e)]; });
+  return total;
+}
+
+double CoverageFunction::marginal(const ItemSet& s, int item) const {
+  const ItemSet covered = covered_elements(s);
+  double gain = 0.0;
+  cover_masks_[static_cast<std::size_t>(item)].minus(covered).for_each(
+      [&](int e) { gain += element_weights_[static_cast<std::size_t>(e)]; });
+  return gain;
+}
+
+CoverageFunction CoverageFunction::random(int num_items, int num_elements,
+                                          int cover_size, double max_weight,
+                                          util::Rng& rng) {
+  assert(cover_size <= num_elements);
+  std::vector<std::vector<int>> covers;
+  covers.reserve(static_cast<std::size_t>(num_items));
+  for (int i = 0; i < num_items; ++i) {
+    covers.push_back(rng.sample_without_replacement(num_elements, cover_size));
+  }
+  std::vector<double> weights(static_cast<std::size_t>(num_elements));
+  for (auto& w : weights) w = rng.uniform_double(1.0, max_weight);
+  return CoverageFunction(num_elements, std::move(covers), std::move(weights));
+}
+
+}  // namespace ps::submodular

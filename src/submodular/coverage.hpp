@@ -1,0 +1,56 @@
+// (Weighted) coverage functions — "Set-Cover type functions ... are special
+// cases of monotone submodular functions" (Section 2.1).
+#pragma once
+
+#include <vector>
+
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::submodular {
+
+/// F(S) = total weight of elements covered by the union of the items' sets.
+/// Monotone and submodular. With unit weights this is exactly the Max-Cover /
+/// Set-Cover utility the paper specializes to.
+class CoverageFunction final : public SetFunction {
+ public:
+  /// `covers[i]` lists the element ids covered by ground item i; elements are
+  /// in [0, num_elements). `element_weights` is optional (empty = all 1.0)
+  /// and must have `num_elements` entries otherwise.
+  CoverageFunction(int num_elements, std::vector<std::vector<int>> covers,
+                   std::vector<double> element_weights = {});
+
+  int ground_size() const override {
+    return static_cast<int>(covers_.size());
+  }
+  int num_elements() const { return num_elements_; }
+
+  double value(const ItemSet& s) const override;
+  double marginal(const ItemSet& s, int item) const override;
+
+  /// Weight of the whole element universe, i.e. F(full set) upper bound.
+  double total_weight() const { return total_weight_; }
+
+  const std::vector<int>& cover_of(int item) const {
+    return covers_[static_cast<std::size_t>(item)];
+  }
+
+  /// Random instance: `num_items` items, each covering a uniform subset of
+  /// size `cover_size` of `num_elements` elements, weights in [1, max_weight].
+  static CoverageFunction random(int num_items, int num_elements,
+                                 int cover_size, double max_weight,
+                                 util::Rng& rng);
+
+ private:
+  /// Coverage bitmask over elements of the union of item covers in `s`.
+  ItemSet covered_elements(const ItemSet& s) const;
+
+  int num_elements_;
+  std::vector<std::vector<int>> covers_;
+  std::vector<double> element_weights_;
+  double total_weight_;
+  // covers_ re-encoded as element bitsets, built once for fast unions.
+  std::vector<ItemSet> cover_masks_;
+};
+
+}  // namespace ps::submodular

@@ -1,0 +1,52 @@
+#include "submodular/cut.hpp"
+
+#include <cassert>
+
+namespace ps::submodular {
+
+GraphCutFunction::GraphCutFunction(int num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices),
+      edges_(std::move(edges)),
+      adjacency_(static_cast<std::size_t>(num_vertices)) {
+  for (const auto& e : edges_) {
+    assert(0 <= e.u && e.u < num_vertices_);
+    assert(0 <= e.v && e.v < num_vertices_);
+    assert(e.u != e.v);
+    assert(e.weight >= 0.0);
+    adjacency_[static_cast<std::size_t>(e.u)].emplace_back(e.v, e.weight);
+    adjacency_[static_cast<std::size_t>(e.v)].emplace_back(e.u, e.weight);
+  }
+}
+
+double GraphCutFunction::value(const ItemSet& s) const {
+  assert(s.universe_size() == num_vertices_);
+  double total = 0.0;
+  for (const auto& e : edges_) {
+    if (s.contains(e.u) != s.contains(e.v)) total += e.weight;
+  }
+  return total;
+}
+
+double GraphCutFunction::marginal(const ItemSet& s, int item) const {
+  // Adding `item` flips the contribution of each incident edge.
+  double gain = 0.0;
+  for (const auto& [nbr, w] : adjacency_[static_cast<std::size_t>(item)]) {
+    gain += s.contains(nbr) ? -w : w;
+  }
+  return gain;
+}
+
+GraphCutFunction GraphCutFunction::random(int num_vertices, double edge_prob,
+                                          double max_weight, util::Rng& rng) {
+  std::vector<Edge> edges;
+  for (int u = 0; u < num_vertices; ++u) {
+    for (int v = u + 1; v < num_vertices; ++v) {
+      if (rng.bernoulli(edge_prob)) {
+        edges.push_back({u, v, rng.uniform_double(1.0, max_weight)});
+      }
+    }
+  }
+  return GraphCutFunction(num_vertices, std::move(edges));
+}
+
+}  // namespace ps::submodular

@@ -1,0 +1,43 @@
+// Undirected graph-cut utility — the canonical NON-monotone non-negative
+// submodular function ("Edge Cut functions in graphs", Sections 1 and 3.1).
+// Used to exercise Algorithm 2 (the non-monotone submodular secretary).
+#pragma once
+
+#include <vector>
+
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::submodular {
+
+/// F(S) = total weight of edges with exactly one endpoint in S.
+/// Submodular and non-negative but NOT monotone (F(V) = 0).
+class GraphCutFunction final : public SetFunction {
+ public:
+  struct Edge {
+    int u;
+    int v;
+    double weight;
+  };
+
+  GraphCutFunction(int num_vertices, std::vector<Edge> edges);
+
+  int ground_size() const override { return num_vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  double value(const ItemSet& s) const override;
+  double marginal(const ItemSet& s, int item) const override;
+
+  /// Erdos-Renyi style random graph: each pair is an edge with probability
+  /// `edge_prob`, weights uniform in [1, max_weight].
+  static GraphCutFunction random(int num_vertices, double edge_prob,
+                                 double max_weight, util::Rng& rng);
+
+ private:
+  int num_vertices_;
+  std::vector<Edge> edges_;
+  // Adjacency list (neighbor, weight) for O(deg) marginals.
+  std::vector<std::vector<std::pair<int, double>>> adjacency_;
+};
+
+}  // namespace ps::submodular

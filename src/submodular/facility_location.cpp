@@ -1,0 +1,71 @@
+#include "submodular/facility_location.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps::submodular {
+
+FacilityLocationFunction::FacilityLocationFunction(
+    std::vector<std::vector<double>> service)
+    : service_(std::move(service)) {
+  num_clients_ = service_.empty() ? 0 : static_cast<int>(service_[0].size());
+  for (const auto& row : service_) {
+    assert(static_cast<int>(row.size()) == num_clients_);
+    for (double v : row) {
+      assert(v >= 0.0);
+      (void)v;
+    }
+  }
+}
+
+double FacilityLocationFunction::value(const ItemSet& s) const {
+  assert(s.universe_size() == ground_size());
+  if (s.empty() || num_clients_ == 0) return 0.0;
+  std::vector<double> best(static_cast<std::size_t>(num_clients_), 0.0);
+  s.for_each([&](int facility) {
+    const auto& row = service_[static_cast<std::size_t>(facility)];
+    for (int j = 0; j < num_clients_; ++j) {
+      best[static_cast<std::size_t>(j)] =
+          std::max(best[static_cast<std::size_t>(j)],
+                   row[static_cast<std::size_t>(j)]);
+    }
+  });
+  double total = 0.0;
+  for (double b : best) total += b;
+  return total;
+}
+
+double FacilityLocationFunction::marginal(const ItemSet& s, int item) const {
+  // Gain of `item` over S, computed in one pass over clients.
+  std::vector<double> best(static_cast<std::size_t>(num_clients_), 0.0);
+  s.for_each([&](int facility) {
+    const auto& row = service_[static_cast<std::size_t>(facility)];
+    for (int j = 0; j < num_clients_; ++j) {
+      best[static_cast<std::size_t>(j)] =
+          std::max(best[static_cast<std::size_t>(j)],
+                   row[static_cast<std::size_t>(j)]);
+    }
+  });
+  const auto& row = service_[static_cast<std::size_t>(item)];
+  double gain = 0.0;
+  for (int j = 0; j < num_clients_; ++j) {
+    gain += std::max(0.0, row[static_cast<std::size_t>(j)] -
+                              best[static_cast<std::size_t>(j)]);
+  }
+  return gain;
+}
+
+FacilityLocationFunction FacilityLocationFunction::random(int num_facilities,
+                                                          int num_clients,
+                                                          double max_service,
+                                                          util::Rng& rng) {
+  std::vector<std::vector<double>> service(
+      static_cast<std::size_t>(num_facilities),
+      std::vector<double>(static_cast<std::size_t>(num_clients)));
+  for (auto& row : service) {
+    for (auto& v : row) v = rng.uniform_double(0.0, max_service);
+  }
+  return FacilityLocationFunction(std::move(service));
+}
+
+}  // namespace ps::submodular

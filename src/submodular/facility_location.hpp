@@ -1,0 +1,37 @@
+// Facility-location utility — one of the canonical monotone submodular
+// functions cited in Chapter 3's background ("maximum facility location").
+#pragma once
+
+#include <vector>
+
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::submodular {
+
+/// F(S) = Σ_clients max_{facility ∈ S} service[facility][client]
+/// (0 for the empty set). Monotone submodular for non-negative service values.
+class FacilityLocationFunction final : public SetFunction {
+ public:
+  /// `service[i][j]` >= 0 is the value facility i provides to client j; all
+  /// rows must have the same length.
+  explicit FacilityLocationFunction(std::vector<std::vector<double>> service);
+
+  int ground_size() const override {
+    return static_cast<int>(service_.size());
+  }
+  int num_clients() const { return num_clients_; }
+
+  double value(const ItemSet& s) const override;
+  double marginal(const ItemSet& s, int item) const override;
+
+  /// Random instance with service values uniform in [0, max_service].
+  static FacilityLocationFunction random(int num_facilities, int num_clients,
+                                         double max_service, util::Rng& rng);
+
+ private:
+  std::vector<std::vector<double>> service_;
+  int num_clients_;
+};
+
+}  // namespace ps::submodular

@@ -1,0 +1,182 @@
+#include "submodular/greedy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace ps::submodular {
+
+GreedyResult greedy_max_cardinality(const SetFunction& f, int k) {
+  const int n = f.ground_size();
+  GreedyResult result;
+  result.chosen = ItemSet(n);
+  double current = f.value(result.chosen);
+  ++result.oracle_calls;
+
+  for (int round = 0; round < k; ++round) {
+    int best_item = -1;
+    double best_gain = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (result.chosen.contains(i)) continue;
+      const double gain = f.value(result.chosen.with(i)) - current;
+      ++result.oracle_calls;
+      if (best_item == -1 || gain > best_gain) {
+        best_item = i;
+        best_gain = gain;
+      }
+    }
+    if (best_item == -1 || best_gain <= 0.0) break;
+    result.chosen.insert(best_item);
+    current += best_gain;
+    result.order.push_back(best_item);
+    result.value_curve.push_back(current);
+  }
+  result.value = current;
+  return result;
+}
+
+GreedyResult lazy_greedy_max_cardinality(const SetFunction& f, int k) {
+  const int n = f.ground_size();
+  GreedyResult result;
+  result.chosen = ItemSet(n);
+  double current = f.value(result.chosen);
+  ++result.oracle_calls;
+
+  // Max-heap of (stale upper bound on gain, item, round the bound was
+  // computed in). Submodularity guarantees true gain <= stale bound, so a
+  // fresh bound that stays on top is exact. Ties break toward the smaller
+  // item index, matching the plain greedy's first-maximum rule so the two
+  // algorithms produce identical outputs.
+  struct Entry {
+    double bound;
+    int item;
+    int round;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.bound != b.bound) return a.bound < b.bound;
+    return a.item > b.item;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (int i = 0; i < n; ++i) {
+    const double gain = f.value(result.chosen.with(i)) - current;
+    ++result.oracle_calls;
+    heap.push({gain, i, 0});
+  }
+
+  for (int round = 1; round <= k && !heap.empty();) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.round == round) {
+      if (top.bound <= 0.0) break;
+      result.chosen.insert(top.item);
+      current += top.bound;
+      result.order.push_back(top.item);
+      result.value_curve.push_back(current);
+      ++round;
+    } else {
+      const double gain = f.value(result.chosen.with(top.item)) - current;
+      ++result.oracle_calls;
+      heap.push({gain, top.item, round});
+    }
+  }
+  result.value = current;
+  return result;
+}
+
+GreedyResult stochastic_greedy_max_cardinality(const SetFunction& f, int k,
+                                               double epsilon,
+                                               util::Rng& rng) {
+  assert(0.0 < epsilon && epsilon < 1.0);
+  const int n = f.ground_size();
+  GreedyResult result;
+  result.chosen = ItemSet(n);
+  double current = f.value(result.chosen);
+  ++result.oracle_calls;
+
+  const int sample_size = std::max(
+      1, static_cast<int>(std::ceil(static_cast<double>(n) /
+                                    std::max(1, k) *
+                                    std::log(1.0 / epsilon))));
+
+  std::vector<int> remaining;
+  remaining.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) remaining.push_back(i);
+
+  for (int round = 0; round < k && !remaining.empty(); ++round) {
+    // Partial Fisher-Yates: the first `take` entries become the sample.
+    const int take =
+        std::min<int>(sample_size, static_cast<int>(remaining.size()));
+    for (int i = 0; i < take; ++i) {
+      const auto j =
+          i + static_cast<int>(rng.uniform_u64(remaining.size() -
+                                               static_cast<std::size_t>(i)));
+      std::swap(remaining[static_cast<std::size_t>(i)],
+                remaining[static_cast<std::size_t>(j)]);
+    }
+    int best_pos = -1;
+    double best_gain = 0.0;
+    for (int i = 0; i < take; ++i) {
+      const int item = remaining[static_cast<std::size_t>(i)];
+      const double gain = f.value(result.chosen.with(item)) - current;
+      ++result.oracle_calls;
+      if (best_pos == -1 || gain > best_gain) {
+        best_pos = i;
+        best_gain = gain;
+      }
+    }
+    if (best_pos == -1 || best_gain <= 0.0) continue;
+    const int item = remaining[static_cast<std::size_t>(best_pos)];
+    result.chosen.insert(item);
+    current += best_gain;
+    result.order.push_back(item);
+    result.value_curve.push_back(current);
+    remaining.erase(remaining.begin() + best_pos);
+  }
+  result.value = current;
+  return result;
+}
+
+namespace {
+
+GreedyResult exhaustive_impl(const SetFunction& f, int k, bool exact_size) {
+  const int n = f.ground_size();
+  assert(n <= 24 && "exhaustive maximization is exponential in ground size");
+  GreedyResult result;
+  result.chosen = ItemSet(n);
+  result.value = f.value(result.chosen);
+  ++result.oracle_calls;
+
+  const std::uint32_t limit = 1u << n;
+  const int target = std::min(k, n);
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size > k) continue;
+    if (exact_size && size != target) continue;
+    ItemSet s(n);
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) s.insert(i);
+    }
+    const double v = f.value(s);
+    ++result.oracle_calls;
+    if (v > result.value) {
+      result.value = v;
+      result.chosen = std::move(s);
+    }
+  }
+  result.order = result.chosen.to_vector();
+  result.value_curve.assign(1, result.value);
+  return result;
+}
+
+}  // namespace
+
+GreedyResult exhaustive_max_cardinality(const SetFunction& f, int k) {
+  return exhaustive_impl(f, k, /*exact_size=*/false);
+}
+
+GreedyResult exhaustive_max_exact_cardinality(const SetFunction& f, int k) {
+  return exhaustive_impl(f, k, /*exact_size=*/true);
+}
+
+}  // namespace ps::submodular

@@ -1,0 +1,57 @@
+// Offline submodular maximization under a cardinality constraint.
+//
+// The (1 - 1/e)-greedy of Nemhauser-Wolsey-Fisher [41] is the offline
+// comparator ("OPT estimate") for the online secretary experiments, and lazy
+// (CELF-style) evaluation is the ablation subject of bench A1. An exhaustive
+// maximizer covers small instances where exact OPT is needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::submodular {
+
+/// Result of a cardinality-constrained maximization run.
+struct GreedyResult {
+  ItemSet chosen;
+  /// Items in pick order (useful for anytime curves).
+  std::vector<int> order;
+  /// F value after each pick; gains[i] = value_curve[i] - value_curve[i-1].
+  std::vector<double> value_curve;
+  double value = 0.0;
+  std::size_t oracle_calls = 0;
+};
+
+/// Plain greedy: k rounds, each scanning all remaining items' marginals.
+/// For monotone submodular F this is a (1 - 1/e)-approximation [41].
+/// Stops early if no item has positive gain.
+GreedyResult greedy_max_cardinality(const SetFunction& f, int k);
+
+/// Lazy greedy (CELF): identical output to greedy_max_cardinality for any
+/// submodular F (stale upper bounds are only ever over-estimates), but
+/// typically evaluates far fewer marginals.
+GreedyResult lazy_greedy_max_cardinality(const SetFunction& f, int k);
+
+/// Stochastic ("lazier than lazy") greedy: each round scans a uniform
+/// random sample of (n/k)·ln(1/epsilon) remaining items instead of all of
+/// them, giving a (1 - 1/e - epsilon) guarantee in expectation with only
+/// O(n·ln(1/epsilon)) total oracle calls — the sampling trick referenced by
+/// the stochastic-submodular-maximization line of work [4] in the paper's
+/// background. Randomized: pass the RNG explicitly.
+GreedyResult stochastic_greedy_max_cardinality(const SetFunction& f, int k,
+                                               double epsilon,
+                                               util::Rng& rng);
+
+/// Exact maximum of F over all subsets of size <= k, by exhaustive
+/// enumeration. Requires ground_size() <= 24; exponential time.
+GreedyResult exhaustive_max_cardinality(const SetFunction& f, int k);
+
+/// Exact maximum of F over subsets of size exactly k (or fewer if the ground
+/// set is smaller). Used where the paper's benchmark R is "the optimal
+/// solution" of exactly k secretaries.
+GreedyResult exhaustive_max_exact_cardinality(const SetFunction& f, int k);
+
+}  // namespace ps::submodular

@@ -1,0 +1,52 @@
+#include "submodular/hidden_good_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ps::submodular {
+
+HiddenGoodSetFunction::HiddenGoodSetFunction(int universe_size,
+                                             ItemSet good_set, double r)
+    : universe_size_(universe_size), good_set_(std::move(good_set)), r_(r) {
+  assert(good_set_.universe_size() == universe_size);
+  assert(r >= 1.0);
+}
+
+HiddenGoodSetFunction HiddenGoodSetFunction::random(int universe_size,
+                                                    int expected_good_k,
+                                                    int max_query_size,
+                                                    double lambda,
+                                                    util::Rng& rng) {
+  assert(lambda > 1.0);
+  ItemSet good(universe_size);
+  const double p =
+      static_cast<double>(expected_good_k) / static_cast<double>(universe_size);
+  for (int i = 0; i < universe_size; ++i) {
+    if (rng.bernoulli(p)) good.insert(i);
+  }
+  const double r = std::max(
+      1.0, lambda * static_cast<double>(max_query_size) *
+               static_cast<double>(expected_good_k) /
+               static_cast<double>(universe_size));
+  return HiddenGoodSetFunction(universe_size, std::move(good), r);
+}
+
+int HiddenGoodSetFunction::overlap(const ItemSet& s) const {
+  return s.intersected(good_set_).size();
+}
+
+double HiddenGoodSetFunction::value(const ItemSet& s) const {
+  assert(s.universe_size() == universe_size_);
+  if (s.empty()) return 0.0;
+  const double g = static_cast<double>(overlap(s));
+  return std::max(1.0, std::ceil(g / r_));
+}
+
+double HiddenGoodSetFunction::optimum() const {
+  if (good_set_.empty()) return 1.0;
+  return std::max(1.0,
+                  std::ceil(static_cast<double>(good_set_.size()) / r_));
+}
+
+}  // namespace ps::submodular

@@ -1,0 +1,48 @@
+// The hard subadditive function of Section 3.5.1 (Theorem 3.5.1).
+//
+// A random "good set" S* is hidden inside the universe (each element included
+// with probability k/n). With g(S) = |S ∩ S*| and a resolution parameter r,
+//
+//   f(∅) = 0,   f(S) = max(1, ceil(g(S)/r))   for S ≠ ∅.
+//
+// f is monotone, subadditive, and "almost submodular" (Proposition 3.5.3:
+// f(A) + f(B) >= f(A∪B) + f(A∩B) - 2). Any algorithm whose queries all have
+// small intersection with S* only ever sees the value 1, which is the engine
+// of the Ω(√n) lower bound.
+#pragma once
+
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::submodular {
+
+/// The §3.5.1 construction. The good set is explicit so tests and experiments
+/// can measure how much of it an algorithm found.
+class HiddenGoodSetFunction final : public SetFunction {
+ public:
+  /// `good_set` must live in a universe of `universe_size`; r >= 1.
+  HiddenGoodSetFunction(int universe_size, ItemSet good_set, double r);
+
+  /// Samples S* with per-element probability k/n and sets r = lambda*m*k/n,
+  /// matching the proof of Lemma 3.5.2 (m = max query size, lambda > 1).
+  static HiddenGoodSetFunction random(int universe_size, int expected_good_k,
+                                      int max_query_size, double lambda,
+                                      util::Rng& rng);
+
+  int ground_size() const override { return universe_size_; }
+  double value(const ItemSet& s) const override;
+
+  const ItemSet& good_set() const { return good_set_; }
+  double r() const { return r_; }
+  /// g(S) = |S ∩ S*|.
+  int overlap(const ItemSet& s) const;
+  /// The value of the optimum query, f(S*).
+  double optimum() const;
+
+ private:
+  int universe_size_;
+  ItemSet good_set_;
+  double r_;
+};
+
+}  // namespace ps::submodular

@@ -1,0 +1,168 @@
+#include "submodular/item_set.hpp"
+
+#include <cassert>
+
+namespace ps::submodular {
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(int universe_size) {
+  return (static_cast<std::size_t>(universe_size) + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+ItemSet::ItemSet(int universe_size)
+    : universe_size_(universe_size), words_(words_for(universe_size), 0) {
+  assert(universe_size >= 0);
+}
+
+ItemSet::ItemSet(int universe_size, std::initializer_list<int> items)
+    : ItemSet(universe_size) {
+  for (int item : items) insert(item);
+}
+
+ItemSet::ItemSet(int universe_size, const std::vector<int>& items)
+    : ItemSet(universe_size) {
+  for (int item : items) insert(item);
+}
+
+ItemSet ItemSet::full(int universe_size) {
+  ItemSet s(universe_size);
+  for (auto& w : s.words_) w = ~0ULL;
+  // Clear the bits beyond universe_size in the last word.
+  const int rem = universe_size % static_cast<int>(kWordBits);
+  if (rem != 0 && !s.words_.empty()) {
+    s.words_.back() &= (1ULL << rem) - 1;
+  }
+  return s;
+}
+
+int ItemSet::size() const {
+  int total = 0;
+  for (auto w : words_) total += __builtin_popcountll(w);
+  return total;
+}
+
+bool ItemSet::contains(int item) const {
+  assert(0 <= item && item < universe_size_);
+  return (words_[static_cast<std::size_t>(item) / kWordBits] >>
+          (static_cast<std::size_t>(item) % kWordBits)) &
+         1ULL;
+}
+
+void ItemSet::insert(int item) {
+  assert(0 <= item && item < universe_size_);
+  words_[static_cast<std::size_t>(item) / kWordBits] |=
+      1ULL << (static_cast<std::size_t>(item) % kWordBits);
+}
+
+void ItemSet::erase(int item) {
+  assert(0 <= item && item < universe_size_);
+  words_[static_cast<std::size_t>(item) / kWordBits] &=
+      ~(1ULL << (static_cast<std::size_t>(item) % kWordBits));
+}
+
+void ItemSet::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+ItemSet& ItemSet::operator|=(const ItemSet& other) {
+  assert(universe_size_ == other.universe_size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+ItemSet& ItemSet::operator&=(const ItemSet& other) {
+  assert(universe_size_ == other.universe_size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+ItemSet& ItemSet::operator-=(const ItemSet& other) {
+  assert(universe_size_ == other.universe_size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+ItemSet ItemSet::united(const ItemSet& other) const {
+  ItemSet out = *this;
+  out |= other;
+  return out;
+}
+
+ItemSet ItemSet::intersected(const ItemSet& other) const {
+  ItemSet out = *this;
+  out &= other;
+  return out;
+}
+
+ItemSet ItemSet::minus(const ItemSet& other) const {
+  ItemSet out = *this;
+  out -= other;
+  return out;
+}
+
+ItemSet ItemSet::complement() const {
+  return full(universe_size_).minus(*this);
+}
+
+ItemSet ItemSet::with(int item) const {
+  ItemSet out = *this;
+  out.insert(item);
+  return out;
+}
+
+ItemSet ItemSet::without(int item) const {
+  ItemSet out = *this;
+  out.erase(item);
+  return out;
+}
+
+bool ItemSet::is_subset_of(const ItemSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool ItemSet::intersects(const ItemSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+bool ItemSet::operator==(const ItemSet& other) const {
+  return universe_size_ == other.universe_size_ && words_ == other.words_;
+}
+
+std::vector<int> ItemSet::to_vector() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for_each([&](int item) { out.push_back(item); });
+  return out;
+}
+
+std::string ItemSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for_each([&](int item) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(item);
+  });
+  out += "}";
+  return out;
+}
+
+std::size_t ItemSet::hash() const {
+  std::size_t h = static_cast<std::size_t>(universe_size_) * 0x9e3779b97f4a7c15ULL;
+  for (auto w : words_) {
+    h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace ps::submodular

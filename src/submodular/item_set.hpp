@@ -1,0 +1,95 @@
+// A subset of a fixed ground set {0, ..., n-1}, stored as a bitset.
+//
+// This is the universal "set of items" currency across the library: ground
+// elements for submodular functions, time-slot/processor pairs in the
+// scheduling reduction, selected secretaries in the online algorithms.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ps::submodular {
+
+/// Dense bitset over a ground set of fixed size. All binary operations
+/// require both operands to share the same universe size.
+class ItemSet {
+ public:
+  /// Empty set over an empty universe.
+  ItemSet() = default;
+
+  /// Empty set over a universe of `universe_size` elements.
+  explicit ItemSet(int universe_size);
+
+  /// Set containing exactly `items` (each in [0, universe_size)).
+  ItemSet(int universe_size, std::initializer_list<int> items);
+  ItemSet(int universe_size, const std::vector<int>& items);
+
+  /// The full set {0, ..., universe_size-1}.
+  static ItemSet full(int universe_size);
+
+  int universe_size() const { return universe_size_; }
+
+  /// Number of elements currently in the set (popcount).
+  int size() const;
+  bool empty() const { return size() == 0; }
+
+  bool contains(int item) const;
+  void insert(int item);
+  void erase(int item);
+  void clear();
+
+  /// In-place set algebra.
+  ItemSet& operator|=(const ItemSet& other);
+  ItemSet& operator&=(const ItemSet& other);
+  /// Set difference: removes every element of `other`.
+  ItemSet& operator-=(const ItemSet& other);
+
+  ItemSet united(const ItemSet& other) const;
+  ItemSet intersected(const ItemSet& other) const;
+  ItemSet minus(const ItemSet& other) const;
+  /// Complement within the universe.
+  ItemSet complement() const;
+  /// Copy with one extra element; the workhorse of marginal-gain queries.
+  ItemSet with(int item) const;
+  ItemSet without(int item) const;
+
+  bool is_subset_of(const ItemSet& other) const;
+  bool intersects(const ItemSet& other) const;
+
+  bool operator==(const ItemSet& other) const;
+  bool operator!=(const ItemSet& other) const { return !(*this == other); }
+
+  /// Elements in increasing order.
+  std::vector<int> to_vector() const;
+
+  /// Calls fn(item) for each element in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        const int bit = __builtin_ctzll(bits);
+        fn(static_cast<int>(w * 64) + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// "{0, 3, 7}" rendering for logs and test failures.
+  std::string to_string() const;
+
+  /// Hash suitable for unordered containers.
+  std::size_t hash() const;
+
+ private:
+  int universe_size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct ItemSetHash {
+  std::size_t operator()(const ItemSet& s) const { return s.hash(); }
+};
+
+}  // namespace ps::submodular

@@ -1,0 +1,77 @@
+// Value-oracle interface for set functions (Definition 1 of the paper and the
+// f : 2^S -> R oracle of Chapter 3).
+//
+// The paper works with three nested classes:
+//   monotone submodular  ⊂  submodular  ⊂  subadditive,
+// plus two deliberately-non-submodular aggregates (min / max with weights)
+// from Section 3.6. All are exposed through the same value oracle; which
+// properties actually hold is documented per concrete class and validated by
+// the checkers in submodular/verify.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "submodular/item_set.hpp"
+
+namespace ps::submodular {
+
+/// Abstract value oracle F : 2^U -> R over a ground set of fixed size.
+class SetFunction {
+ public:
+  virtual ~SetFunction() = default;
+
+  /// Size of the ground set U.
+  virtual int ground_size() const = 0;
+
+  /// F(s). `s.universe_size()` must equal ground_size().
+  virtual double value(const ItemSet& s) const = 0;
+
+  /// Marginal gain F(s ∪ {item}) - F(s). Concrete classes may override with
+  /// a faster incremental computation; the default costs two oracle calls.
+  virtual double marginal(const ItemSet& s, int item) const {
+    return value(s.with(item)) - value(s);
+  }
+};
+
+/// Decorator counting oracle calls, the complexity currency the paper uses
+/// ("we assume a value oracle access to the submodular function").
+/// Thread-safe: counts are atomics so the parallel greedy can share one.
+class CountingOracle final : public SetFunction {
+ public:
+  explicit CountingOracle(const SetFunction& inner) : inner_(inner) {}
+
+  int ground_size() const override { return inner_.ground_size(); }
+
+  double value(const ItemSet& s) const override {
+    value_calls_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.value(s);
+  }
+
+  double marginal(const ItemSet& s, int item) const override {
+    marginal_calls_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.marginal(s, item);
+  }
+
+  /// Number of value() calls since construction or reset().
+  std::size_t value_calls() const {
+    return value_calls_.load(std::memory_order_relaxed);
+  }
+  std::size_t marginal_calls() const {
+    return marginal_calls_.load(std::memory_order_relaxed);
+  }
+  /// value() + marginal() calls.
+  std::size_t total_calls() const { return value_calls() + marginal_calls(); }
+
+  void reset() {
+    value_calls_.store(0, std::memory_order_relaxed);
+    marginal_calls_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const SetFunction& inner_;
+  mutable std::atomic<std::size_t> value_calls_{0};
+  mutable std::atomic<std::size_t> marginal_calls_{0};
+};
+
+}  // namespace ps::submodular

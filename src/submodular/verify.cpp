@@ -1,0 +1,198 @@
+#include "submodular/verify.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace ps::submodular {
+namespace {
+
+// Enumerates all pairs (A, B) with A ⊆ B ⊆ U by iterating over B's bitmask
+// and A over submasks of B. Only valid for n <= 20 or so; callers keep n
+// small. fn returns true to stop early.
+template <typename Fn>
+void for_each_nested_pair(int n, Fn&& fn) {
+  assert(n <= 20);
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t b = 0; b < limit; ++b) {
+    // Iterate over submasks of b, including b itself and 0.
+    std::uint32_t a = b;
+    for (;;) {
+      if (fn(a, b)) return;
+      if (a == 0) break;
+      a = (a - 1) & b;
+    }
+  }
+}
+
+ItemSet mask_to_set(int n, std::uint32_t mask) {
+  ItemSet s(n);
+  for (int i = 0; i < n; ++i) {
+    if ((mask >> i) & 1u) s.insert(i);
+  }
+  return s;
+}
+
+// Random pair A ⊆ B over [0, n): each element goes to neither / B only /
+// both with equal probability.
+std::pair<ItemSet, ItemSet> random_nested_pair(int n, util::Rng& rng) {
+  ItemSet a(n), b(n);
+  for (int i = 0; i < n; ++i) {
+    switch (rng.uniform_int(0, 2)) {
+      case 1:
+        b.insert(i);
+        break;
+      case 2:
+        a.insert(i);
+        b.insert(i);
+        break;
+      default:
+        break;
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace
+
+std::string Violation::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), " lhs=%.9g rhs=%.9g element=%d", lhs, rhs,
+                element);
+  return "A=" + a.to_string() + " B=" + b.to_string() + buf;
+}
+
+std::optional<Violation> find_monotonicity_violation_exhaustive(
+    const SetFunction& f, double tol) {
+  const int n = f.ground_size();
+  std::optional<Violation> found;
+  for_each_nested_pair(n, [&](std::uint32_t am, std::uint32_t bm) {
+    const ItemSet a = mask_to_set(n, am);
+    const ItemSet b = mask_to_set(n, bm);
+    const double fa = f.value(a);
+    const double fb = f.value(b);
+    if (fa > fb + tol) {
+      found = Violation{a, b, -1, fa, fb};
+      return true;
+    }
+    return false;
+  });
+  return found;
+}
+
+std::optional<Violation> find_submodularity_violation_exhaustive(
+    const SetFunction& f, double tol) {
+  const int n = f.ground_size();
+  std::optional<Violation> found;
+  for_each_nested_pair(n, [&](std::uint32_t am, std::uint32_t bm) {
+    const ItemSet a = mask_to_set(n, am);
+    const ItemSet b = mask_to_set(n, bm);
+    for (int z = 0; z < n; ++z) {
+      if (b.contains(z)) continue;
+      const double gain_a = f.value(a.with(z)) - f.value(a);
+      const double gain_b = f.value(b.with(z)) - f.value(b);
+      if (gain_a + tol < gain_b) {
+        found = Violation{a, b, z, gain_a, gain_b};
+        return true;
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+std::optional<Violation> find_subadditivity_violation_exhaustive(
+    const SetFunction& f, double tol) {
+  const int n = f.ground_size();
+  assert(n <= 14);
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t am = 0; am < limit; ++am) {
+    for (std::uint32_t bm = 0; bm < limit; ++bm) {
+      const ItemSet a = mask_to_set(n, am);
+      const ItemSet b = mask_to_set(n, bm);
+      const double lhs = f.value(a) + f.value(b);
+      const double rhs = f.value(a.united(b));
+      if (lhs + tol < rhs) return Violation{a, b, -1, lhs, rhs};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> find_monotonicity_violation_random(
+    const SetFunction& f, int trials, util::Rng& rng, double tol) {
+  const int n = f.ground_size();
+  for (int t = 0; t < trials; ++t) {
+    auto [a, b] = random_nested_pair(n, rng);
+    const double fa = f.value(a);
+    const double fb = f.value(b);
+    if (fa > fb + tol) return Violation{a, b, -1, fa, fb};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> find_submodularity_violation_random(
+    const SetFunction& f, int trials, util::Rng& rng, double tol) {
+  const int n = f.ground_size();
+  for (int t = 0; t < trials; ++t) {
+    auto [a, b] = random_nested_pair(n, rng);
+    const int z = rng.uniform_int(0, n - 1);
+    if (b.contains(z)) continue;
+    const double gain_a = f.value(a.with(z)) - f.value(a);
+    const double gain_b = f.value(b.with(z)) - f.value(b);
+    if (gain_a + tol < gain_b) return Violation{a, b, z, gain_a, gain_b};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> find_subadditivity_violation_random(
+    const SetFunction& f, int trials, util::Rng& rng, double tol) {
+  const int n = f.ground_size();
+  for (int t = 0; t < trials; ++t) {
+    ItemSet a(n), b(n);
+    for (int i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.5)) a.insert(i);
+      if (rng.bernoulli(0.5)) b.insert(i);
+    }
+    const double lhs = f.value(a) + f.value(b);
+    const double rhs = f.value(a.united(b));
+    if (lhs + tol < rhs) return Violation{a, b, -1, lhs, rhs};
+  }
+  return std::nullopt;
+}
+
+bool check_union_marginal_lemma(const SetFunction& f, int trials, int max_k,
+                                util::Rng& rng, std::string* message,
+                                double tol) {
+  const int n = f.ground_size();
+  for (int t = 0; t < trials; ++t) {
+    const int k = rng.uniform_int(1, max_k);
+    std::vector<ItemSet> subsets;
+    ItemSet union_t(n);
+    for (int j = 0; j < k; ++j) {
+      ItemSet s(n);
+      for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3)) s.insert(i);
+      }
+      union_t |= s;
+      subsets.push_back(std::move(s));
+    }
+    ItemSet s_prime(n);
+    for (int i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.3)) s_prime.insert(i);
+    }
+    const double base = f.value(s_prime);
+    double lhs = 0.0;
+    for (const auto& s : subsets) lhs += f.value(s_prime.united(s)) - base;
+    const double rhs = f.value(union_t) - base;
+    if (lhs + tol < rhs) {
+      if (message) {
+        *message = "Lemma 2.1.1 violated: S'=" + s_prime.to_string() +
+                   " T=" + union_t.to_string() + " lhs=" +
+                   std::to_string(lhs) + " rhs=" + std::to_string(rhs);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ps::submodular

@@ -1,0 +1,59 @@
+// Property checkers for set-function classes (Definitions 1 and 3).
+//
+// The correctness of everything downstream (the greedy framework, the
+// scheduling reductions via Lemmas 2.2.2 / 2.3.2) hinges on functions being
+// monotone and/or submodular. These checkers verify the properties either
+// exhaustively (small ground sets) or on random triples (A ⊆ B, z ∉ B), and
+// are used heavily in the property-test suites.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::submodular {
+
+/// Description of a found violation, for test diagnostics.
+struct Violation {
+  ItemSet a;
+  ItemSet b;
+  int element = -1;  // -1 when not applicable (monotonicity uses a, b only)
+  double lhs = 0.0;
+  double rhs = 0.0;
+  std::string to_string() const;
+};
+
+/// Exhaustively checks F(A) <= F(B) for all A ⊆ B. O(3^n) value calls;
+/// intended for ground sets of size <= ~12.
+std::optional<Violation> find_monotonicity_violation_exhaustive(
+    const SetFunction& f, double tol = 1e-9);
+
+/// Exhaustively checks the diminishing-returns form (Definition 3):
+/// F(A∪{z}) - F(A) >= F(B∪{z}) - F(B) for all A ⊆ B, z ∉ B.
+/// O(3^n · n) value calls; ground sets of size <= ~10.
+std::optional<Violation> find_submodularity_violation_exhaustive(
+    const SetFunction& f, double tol = 1e-9);
+
+/// Exhaustively checks subadditivity F(A) + F(B) >= F(A ∪ B).
+std::optional<Violation> find_subadditivity_violation_exhaustive(
+    const SetFunction& f, double tol = 1e-9);
+
+/// Randomized checks of the same properties for larger ground sets: samples
+/// `trials` random (A ⊆ B, z) triples.
+std::optional<Violation> find_monotonicity_violation_random(
+    const SetFunction& f, int trials, util::Rng& rng, double tol = 1e-9);
+std::optional<Violation> find_submodularity_violation_random(
+    const SetFunction& f, int trials, util::Rng& rng, double tol = 1e-9);
+std::optional<Violation> find_subadditivity_violation_random(
+    const SetFunction& f, int trials, util::Rng& rng, double tol = 1e-9);
+
+/// Randomized check of Lemma 2.1.1: for random subsets S_1..S_k with union T
+/// and a random S', verifies Σ_j [F(S' ∪ S_j) - F(S')] >= F(T) - F(S').
+/// Returns false (with details in *message) on a violation.
+bool check_union_marginal_lemma(const SetFunction& f, int trials, int max_k,
+                                util::Rng& rng, std::string* message = nullptr,
+                                double tol = 1e-9);
+
+}  // namespace ps::submodular

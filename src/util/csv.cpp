@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace ps::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  write_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.10g", cells[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+}  // namespace ps::util

@@ -1,0 +1,29 @@
+// Minimal CSV emitter so experiments can dump machine-readable series next to
+// the human-readable tables (e.g. for plotting the reproduced figures).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ps::util {
+
+/// Writes rows to a CSV file with RFC-4180 quoting of cells that need it.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. ok() reports whether
+  /// the file opened; writes on a failed writer are silently dropped.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& cells);
+  /// Convenience overload for purely numeric rows.
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace ps::util

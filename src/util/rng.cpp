@@ -1,0 +1,128 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ps::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  // Guard against the all-zero state, which is a fixed point of xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with rejection in the biased zone.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int>(uniform_u64(
+                  static_cast<std::uint64_t>(hi) - lo + 1));
+}
+
+double Rng::uniform_double() {
+  // 53 high bits -> uniform in [0,1) with full double precision.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_double(double lo, double hi) {
+  return lo + (hi - lo) * uniform_double();
+}
+
+bool Rng::bernoulli(double p) { return uniform_double() < p; }
+
+double Rng::normal() {
+  if (has_normal_cache_) {
+    has_normal_cache_ = false;
+    return normal_cache_;
+  }
+  double u, v, s;
+  do {
+    u = uniform_double(-1.0, 1.0);
+    v = uniform_double(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  normal_cache_ = v * factor;
+  has_normal_cache_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double lambda) {
+  assert(lambda > 0);
+  double u;
+  do {
+    u = uniform_double();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  shuffle(p);
+  return p;
+}
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  assert(0 <= k && k <= n);
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<int>(uniform_u64(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[static_cast<std::size_t>(i)],
+              pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+Rng Rng::split() { return Rng((*this)() ^ 0xa0761d6478bd642fULL); }
+
+}  // namespace ps::util

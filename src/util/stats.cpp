@@ -1,0 +1,104 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ps::util {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (keep_samples_) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+}
+
+double Accumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return min_; }
+double Accumulator::max() const { return max_; }
+
+double Accumulator::quantile(double q) const {
+  assert(keep_samples_ && !samples_.empty());
+  assert(0.0 <= q && q <= 1.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Accumulator::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+std::string Accumulator::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.4g ± %.2g [%.4g, %.4g] (n=%zu)", mean(),
+                ci95_halfwidth(), min(), max(), count_);
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(lo < hi && bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "[%8.3g, %8.3g) %8zu |", bin_lo(b),
+                  bin_hi(b), counts_[b]);
+    out += head;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ps::util

@@ -1,0 +1,73 @@
+// Streaming statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ps::util {
+
+/// Accumulates samples and reports summary statistics. Mean and variance use
+/// Welford's algorithm, so the accumulator is numerically stable and O(1) per
+/// sample; quantiles require keep_samples(true) (the default).
+class Accumulator {
+ public:
+  explicit Accumulator(bool keep_samples = true)
+      : keep_samples_(keep_samples) {}
+
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// q-quantile with linear interpolation, q in [0,1].
+  /// Requires keep_samples; aborts otherwise.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Half-width of a ~95% normal confidence interval on the mean.
+  double ci95_halfwidth() const;
+
+  /// "mean ± ci95 [min,max] (n=count)" string for experiment tables.
+  std::string summary() const;
+
+ private:
+  bool keep_samples_;
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bin histogram over [lo, hi); samples outside clamp to the end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering, one row per bin.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ps::util

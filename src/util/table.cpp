@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace ps::util {
+
+std::string format_number(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  assert(!rows_.empty());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+Table& Table::cell(double value) { return cell(format_number(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!caption_.empty()) os << caption_ << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << "| " << v << std::string(widths[c] - v.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+void Table::print() const {
+  print(std::cout);
+  if (const char* dir = std::getenv("PS_CSV_DIR")) {
+    const std::string slug =
+        slugify(caption_.empty() ? "table" : caption_);
+    write_csv(std::string(dir) + "/" + slug + ".csv");
+  }
+}
+
+void Table::write_csv(const std::string& path) const {
+  CsvWriter writer(path, header_);
+  for (const auto& row : rows_) writer.write_row(row);
+}
+
+std::string Table::slugify(const std::string& text) {
+  std::string slug;
+  bool pending_dash = false;
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      if (pending_dash && !slug.empty()) slug += '-';
+      pending_dash = false;
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    } else {
+      pending_dash = true;
+    }
+    if (slug.size() >= 72) break;  // keep filenames sane
+  }
+  return slug.empty() ? "table" : slug;
+}
+
+}  // namespace ps::util

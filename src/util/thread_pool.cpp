@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace ps::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t num_workers = workers_.size() + 1;  // caller participates
+  const std::size_t chunk = (n + num_workers - 1) / num_workers;
+
+  // The caller takes the first chunk; workers take the rest.
+  for (std::size_t chunk_begin = begin + chunk; chunk_begin < end;
+       chunk_begin += chunk) {
+    const std::size_t chunk_end = std::min(chunk_begin + chunk, end);
+    submit([&body, chunk_begin, chunk_end] {
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+    });
+  }
+  const std::size_t first_end = std::min(begin + chunk, end);
+  for (std::size_t i = begin; i < first_end; ++i) body(i);
+  wait_idle();
+}
+
+void parallel_for_n(std::size_t n, const std::function<void(std::size_t)>& body,
+                    std::size_t num_threads, std::size_t serial_cutoff) {
+  if (n < serial_cutoff) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  pool.parallel_for(0, n, body);
+}
+
+}  // namespace ps::util

@@ -1,0 +1,26 @@
+// Wall-clock timing helper for coarse experiment timing (fine-grained timing
+// goes through google-benchmark in bench/).
+#pragma once
+
+#include <chrono>
+
+namespace ps::util {
+
+/// Stopwatch measuring wall time since construction or the last reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ps::util

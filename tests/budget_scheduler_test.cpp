@@ -1,0 +1,158 @@
+// Tests for the dual (energy-budget) scheduler and dominated-candidate
+// pruning.
+#include <gtest/gtest.h>
+
+#include "scheduling/budget_scheduler.hpp"
+#include "scheduling/generators.hpp"
+#include "scheduling/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+TEST(BudgetScheduler, ZeroBudgetSchedulesNothing) {
+  util::Rng rng(901);
+  RandomInstanceParams params;
+  params.num_jobs = 5;
+  params.num_processors = 2;
+  params.horizon = 6;
+  const auto instance = random_feasible_instance(params, rng);
+  RestartCostModel model(1.0);
+  const auto result =
+      schedule_max_value_with_energy_budget(instance, model, 0.0);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_DOUBLE_EQ(result.budget_used, 0.0);
+}
+
+TEST(BudgetScheduler, LargeBudgetSchedulesEverything) {
+  util::Rng rng(903);
+  RandomInstanceParams params;
+  params.num_jobs = 6;
+  params.num_processors = 2;
+  params.horizon = 8;
+  const auto instance = random_feasible_instance(params, rng);
+  RestartCostModel model(1.0);
+  const auto result =
+      schedule_max_value_with_energy_budget(instance, model, 1e6);
+  EXPECT_DOUBLE_EQ(result.value, instance.total_value());
+  EXPECT_EQ(result.schedule.num_scheduled(), 6);
+}
+
+TEST(BudgetScheduler, NeverExceedsBudget) {
+  util::Rng rng(907);
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 6;
+    params.num_processors = 2;
+    params.horizon = 8;
+    params.min_value = 1.0;
+    params.max_value = 5.0;
+    const auto instance = random_feasible_instance(params, rng);
+    RestartCostModel model(rng.uniform_double(0.5, 3.0));
+    const double budget = rng.uniform_double(2.0, 15.0);
+    const auto result =
+        schedule_max_value_with_energy_budget(instance, model, budget);
+    EXPECT_LE(result.budget_used, budget + 1e-9) << trial;
+    const auto report =
+        validate_schedule(result.schedule, instance, model, false);
+    EXPECT_TRUE(report.ok) << report.message;
+    EXPECT_NEAR(result.value, result.schedule.scheduled_value(instance),
+                1e-9);
+  }
+}
+
+TEST(BudgetScheduler, ValueMonotoneInBudget) {
+  util::Rng rng(911);
+  RandomInstanceParams params;
+  params.num_jobs = 7;
+  params.num_processors = 2;
+  params.horizon = 8;
+  params.min_value = 1.0;
+  params.max_value = 6.0;
+  const auto instance = random_feasible_instance(params, rng);
+  RestartCostModel model(1.5);
+  double previous = -1.0;
+  for (double budget : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    const auto result =
+        schedule_max_value_with_energy_budget(instance, model, budget);
+    EXPECT_GE(result.value, previous - 1e-9) << "budget " << budget;
+    previous = result.value;
+  }
+}
+
+TEST(BudgetScheduler, ConstantFactorOfBruteForce) {
+  util::Rng rng(913);
+  int compared = 0;
+  for (int trial = 0; trial < 20 && compared < 10; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 4;
+    params.num_processors = 2;
+    params.horizon = 6;
+    params.window_length = 2;
+    params.min_value = 1.0;
+    params.max_value = 4.0;
+    const auto instance = random_feasible_instance(params, rng);
+    RestartCostModel model(1.0);
+    const double budget = rng.uniform_double(3.0, 10.0);
+    const double opt =
+        brute_force_max_value_with_energy_budget(instance, model, budget);
+    if (opt <= 0.0) continue;
+    const auto greedy =
+        schedule_max_value_with_energy_budget(instance, model, budget);
+    // Density greedy + best-single is a constant-factor approximation; we
+    // assert the classical (1-1/e)/2 ≈ 0.316 floor with slack.
+    EXPECT_GE(greedy.value, 0.3 * opt) << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GE(compared, 10);
+}
+
+TEST(PruneDominated, FlatCostCollapsesToFullIntervals) {
+  util::Rng rng(917);
+  RandomInstanceParams params;
+  params.num_jobs = 4;
+  params.num_processors = 2;
+  params.horizon = 5;
+  const auto instance = random_feasible_instance(params, rng);
+  FlatIntervalCostModel model(1.0);
+  auto pool = generate_interval_pool(instance, model);
+  const std::size_t before = pool.candidates.size();
+  const std::size_t removed = prune_dominated_candidates(&pool);
+  EXPECT_EQ(before - removed, pool.candidates.size());
+  // Flat cost: only the two full-horizon intervals survive.
+  ASSERT_EQ(pool.candidates.size(), 2u);
+  for (const auto& cand : pool.candidates) {
+    const auto& iv = pool.interval_for_id(cand.id);
+    EXPECT_EQ(iv.start, 0);
+    EXPECT_EQ(iv.end, 5);
+  }
+}
+
+TEST(PruneDominated, RestartCostKeepsEverything) {
+  util::Rng rng(919);
+  RandomInstanceParams params;
+  params.num_jobs = 4;
+  params.num_processors = 1;
+  params.horizon = 5;
+  const auto instance = random_feasible_instance(params, rng);
+  RestartCostModel model(1.0);  // strictly increasing in length
+  auto pool = generate_interval_pool(instance, model);
+  EXPECT_EQ(prune_dominated_candidates(&pool), 0u);
+}
+
+TEST(PruneDominated, ExactTiesKeepExactlyOne) {
+  // Two identical-cost identical-span candidates cannot both survive.
+  util::Rng rng(923);
+  RandomInstanceParams params;
+  params.num_jobs = 2;
+  params.num_processors = 1;
+  params.horizon = 3;
+  const auto instance = random_feasible_instance(params, rng);
+  FlatIntervalCostModel model(2.0);
+  auto pool = generate_interval_pool(instance, model);
+  prune_dominated_candidates(&pool);
+  EXPECT_EQ(pool.candidates.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ps::scheduling

@@ -1,0 +1,127 @@
+// Tests for the set-function combinators: values, and the closure
+// properties (scaling/sum/truncation preserve monotone submodularity) —
+// the last being the executable form of Lemma 2.1.2's clipping argument.
+#include <gtest/gtest.h>
+
+#include "submodular/additive.hpp"
+#include "submodular/combinators.hpp"
+#include "submodular/coverage.hpp"
+#include "submodular/greedy.hpp"
+#include "submodular/verify.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ps::submodular {
+namespace {
+
+TEST(Scaled, MultipliesValuesAndMarginals) {
+  AdditiveFunction base({1.0, 2.0, 4.0});
+  ScaledFunction f(base, 2.5);
+  EXPECT_DOUBLE_EQ(f.value(ItemSet(3, {0, 2})), 12.5);
+  EXPECT_DOUBLE_EQ(f.marginal(ItemSet(3, {0}), 1), 5.0);
+  EXPECT_EQ(f.ground_size(), 3);
+}
+
+TEST(Scaled, ZeroFactorKillsEverything) {
+  AdditiveFunction base({1.0, 2.0});
+  ScaledFunction f(base, 0.0);
+  EXPECT_DOUBLE_EQ(f.value(ItemSet::full(2)), 0.0);
+}
+
+TEST(Sum, AddsTermwise) {
+  AdditiveFunction a({1.0, 0.0});
+  AdditiveFunction b({0.0, 3.0});
+  SumFunction f({&a, &b});
+  EXPECT_DOUBLE_EQ(f.value(ItemSet(2, {0})), 1.0);
+  EXPECT_DOUBLE_EQ(f.value(ItemSet(2, {1})), 3.0);
+  EXPECT_DOUBLE_EQ(f.value(ItemSet::full(2)), 4.0);
+}
+
+TEST(Truncated, ClipsAtCap) {
+  AdditiveFunction base({3.0, 3.0, 3.0});
+  TruncatedFunction f(base, 5.0);
+  EXPECT_DOUBLE_EQ(f.value(ItemSet(3, {0})), 3.0);
+  EXPECT_DOUBLE_EQ(f.value(ItemSet(3, {0, 1})), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(ItemSet::full(3)), 5.0);
+  EXPECT_DOUBLE_EQ(f.cap(), 5.0);
+}
+
+TEST(Truncated, PreservesMonotoneSubmodularity) {
+  // The Lemma 2.1.2 clipping: min{x, F} stays monotone submodular.
+  util::Rng rng(701);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto base = CoverageFunction::random(8, 12, 4, 2.0, rng);
+    TruncatedFunction f(base, 0.6 * base.total_weight());
+    EXPECT_FALSE(find_submodularity_violation_exhaustive(f).has_value());
+    EXPECT_FALSE(find_monotonicity_violation_exhaustive(f).has_value());
+  }
+}
+
+TEST(Scaled, PreservesSubmodularity) {
+  util::Rng rng(703);
+  const auto base = CoverageFunction::random(8, 12, 4, 2.0, rng);
+  ScaledFunction f(base, 3.7);
+  EXPECT_FALSE(find_submodularity_violation_exhaustive(f).has_value());
+}
+
+TEST(Sum, PreservesSubmodularity) {
+  util::Rng rng(707);
+  const auto a = CoverageFunction::random(8, 10, 3, 2.0, rng);
+  const auto b = CoverageFunction::random(8, 10, 3, 2.0, rng);
+  SumFunction f({&a, &b});
+  EXPECT_FALSE(find_submodularity_violation_exhaustive(f).has_value());
+  EXPECT_FALSE(find_monotonicity_violation_exhaustive(f).has_value());
+}
+
+TEST(Restricted, StripsDeadItems) {
+  AdditiveFunction base({1.0, 2.0, 4.0});
+  RestrictedFunction f(base, ItemSet(3, {0, 2}));
+  EXPECT_DOUBLE_EQ(f.value(ItemSet::full(3)), 5.0);  // item 1 is dead
+  EXPECT_DOUBLE_EQ(f.value(ItemSet(3, {1})), 0.0);
+}
+
+TEST(Restricted, PreservesSubmodularity) {
+  util::Rng rng(709);
+  const auto base = CoverageFunction::random(8, 12, 4, 2.0, rng);
+  RestrictedFunction f(base, ItemSet(8, {0, 2, 4, 6}));
+  EXPECT_FALSE(find_submodularity_violation_exhaustive(f).has_value());
+  EXPECT_FALSE(find_monotonicity_violation_exhaustive(f).has_value());
+}
+
+TEST(StochasticGreedy, RespectsCardinalityAndIsCompetitive) {
+  util::Rng rng(711);
+  const auto f = CoverageFunction::random(40, 60, 6, 1.0, rng);
+  const auto full = greedy_max_cardinality(f, 8);
+  util::Accumulator ratio;
+  for (int trial = 0; trial < 20; ++trial) {
+    util::Rng trial_rng(trial);
+    const auto fast =
+        stochastic_greedy_max_cardinality(f, 8, 0.1, trial_rng);
+    EXPECT_LE(fast.chosen.size(), 8);
+    ratio.add(fast.value / full.value);
+  }
+  // (1 - 1/e - eps) in expectation vs OPT; vs greedy it should be close.
+  EXPECT_GT(ratio.mean(), 0.8);
+}
+
+TEST(StochasticGreedy, UsesFewerOracleCalls) {
+  util::Rng rng(713);
+  const auto f = CoverageFunction::random(100, 150, 8, 1.0, rng);
+  const auto full = greedy_max_cardinality(f, 20);
+  util::Rng sample_rng(1);
+  const auto fast = stochastic_greedy_max_cardinality(f, 20, 0.2, sample_rng);
+  EXPECT_LT(fast.oracle_calls, full.oracle_calls / 2);
+}
+
+TEST(StochasticGreedy, DeterministicGivenRng) {
+  util::Rng rng(717);
+  const auto f = CoverageFunction::random(30, 40, 5, 1.0, rng);
+  util::Rng r1(9), r2(9);
+  const auto a = stochastic_greedy_max_cardinality(f, 5, 0.1, r1);
+  const auto b = stochastic_greedy_max_cardinality(f, 5, 0.1, r2);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+}  // namespace
+}  // namespace ps::submodular

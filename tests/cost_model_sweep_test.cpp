@@ -1,0 +1,118 @@
+// Parameterized integration sweep: the full scheduler pipeline must produce
+// valid, feasible schedules under EVERY cost model (the abstract's claim is
+// "arbitrary specified power consumption ... for each possible time
+// interval"), and the prize-collecting pipeline must hit its value targets
+// under each of them too.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "scheduling/baselines.hpp"
+#include "scheduling/generators.hpp"
+#include "scheduling/power_scheduler.hpp"
+#include "scheduling/prize_collecting.hpp"
+#include "scheduling/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+struct ModelCase {
+  const char* name;
+  // Builds a model for a (p, T) instance shape.
+  std::function<std::unique_ptr<CostModel>(int, int, util::Rng&)> make;
+};
+
+class CostModelSweep : public testing::TestWithParam<ModelCase> {};
+
+TEST_P(CostModelSweep, SchedulerValidAndFeasible) {
+  util::Rng rng(1201);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 7;
+    params.num_processors = 2;
+    params.horizon = 10;
+    const auto instance = random_feasible_instance(params, rng);
+    const auto model =
+        GetParam().make(params.num_processors, params.horizon, rng);
+    const auto result = schedule_all_jobs(instance, *model);
+    ASSERT_TRUE(result.feasible) << GetParam().name << " trial " << trial;
+    const auto report =
+        validate_schedule(result.schedule, instance, *model, true);
+    EXPECT_TRUE(report.ok) << GetParam().name << ": " << report.message;
+  }
+}
+
+TEST_P(CostModelSweep, GreedyBeatsOrMatchesAlwaysOn) {
+  util::Rng rng(1203);
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 6;
+    params.num_processors = 2;
+    params.horizon = 10;
+    const auto instance = random_feasible_instance(params, rng);
+    const auto model =
+        GetParam().make(params.num_processors, params.horizon, rng);
+    const auto greedy = schedule_all_jobs(instance, *model);
+    const auto on = schedule_always_on(instance, *model);
+    if (!greedy.feasible || !on) continue;
+    EXPECT_LE(greedy.schedule.energy_cost, on->energy_cost + 1e-9)
+        << GetParam().name;
+  }
+}
+
+TEST_P(CostModelSweep, PrizeCollectingHitsTarget) {
+  util::Rng rng(1207);
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 7;
+    params.num_processors = 2;
+    params.horizon = 10;
+    params.min_value = 1.0;
+    params.max_value = 5.0;
+    const auto instance = random_feasible_instance(params, rng);
+    const auto model =
+        GetParam().make(params.num_processors, params.horizon, rng);
+    const double z = 0.6 * instance.total_value();
+    const auto result = schedule_value_at_least(instance, *model, z);
+    EXPECT_TRUE(result.reached_target) << GetParam().name;
+    EXPECT_GE(result.value, z - 1e-9);
+    EXPECT_TRUE(
+        validate_schedule(result.schedule, instance, *model, false).ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCostModels, CostModelSweep,
+    testing::Values(
+        ModelCase{"restart",
+                  [](int, int, util::Rng& rng) -> std::unique_ptr<CostModel> {
+                    return std::make_unique<RestartCostModel>(
+                        rng.uniform_double(0.5, 4.0));
+                  }},
+        ModelCase{"restart_heterogeneous",
+                  [](int p, int, util::Rng& rng) -> std::unique_ptr<CostModel> {
+                    std::vector<double> rates(static_cast<std::size_t>(p));
+                    for (auto& r : rates) r = rng.uniform_double(0.5, 3.0);
+                    return std::make_unique<RestartCostModel>(1.0, rates);
+                  }},
+        ModelCase{"market",
+                  [](int, int t, util::Rng&) -> std::unique_ptr<CostModel> {
+                    return std::make_unique<TimeVaryingCostModel>(
+                        0.5, sinusoidal_prices(t, 0.3, 2.0, t));
+                  }},
+        ModelCase{"convex_fan",
+                  [](int, int, util::Rng& rng) -> std::unique_ptr<CostModel> {
+                    return std::make_unique<ConvexFanCostModel>(
+                        1.0, rng.uniform_double(0.1, 1.0));
+                  }},
+        ModelCase{"flat",
+                  [](int, int, util::Rng&) -> std::unique_ptr<CostModel> {
+                    return std::make_unique<FlatIntervalCostModel>(1.0);
+                  }}),
+    [](const testing::TestParamInfo<ModelCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ps::scheduling

@@ -1,0 +1,168 @@
+// Randomized differential tests ("fuzz" suites): each drives a component
+// with long random operation sequences and checks it against a trivially
+// correct reference implementation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matching/bipartite_graph.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/matching_oracle.hpp"
+#include "scheduling/cost_model.hpp"
+#include "scheduling/intervals.hpp"
+#include "submodular/item_set.hpp"
+#include "util/rng.hpp"
+
+namespace ps {
+namespace {
+
+TEST(FuzzItemSet, MatchesStdSetReference) {
+  util::Rng rng(1001);
+  for (int universe : {7, 64, 65, 130}) {
+    submodular::ItemSet set(universe);
+    std::set<int> reference;
+    for (int op = 0; op < 2000; ++op) {
+      const int item = rng.uniform_int(0, universe - 1);
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          set.insert(item);
+          reference.insert(item);
+          break;
+        case 1:
+          set.erase(item);
+          reference.erase(item);
+          break;
+        case 2:
+          ASSERT_EQ(set.contains(item), reference.count(item) > 0)
+              << "universe " << universe << " op " << op;
+          break;
+        default: {
+          ASSERT_EQ(set.size(), static_cast<int>(reference.size()));
+          const auto vec = set.to_vector();
+          ASSERT_TRUE(std::equal(vec.begin(), vec.end(), reference.begin(),
+                                 reference.end()));
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzItemSet, AlgebraIdentities) {
+  util::Rng rng(1003);
+  const int n = 90;
+  for (int trial = 0; trial < 300; ++trial) {
+    submodular::ItemSet a(n), b(n);
+    for (int i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.4)) a.insert(i);
+      if (rng.bernoulli(0.4)) b.insert(i);
+    }
+    // De Morgan, inclusion-exclusion, difference identities.
+    EXPECT_EQ(a.united(b).complement(),
+              a.complement().intersected(b.complement()));
+    EXPECT_EQ(a.united(b).size() + a.intersected(b).size(),
+              a.size() + b.size());
+    EXPECT_EQ(a.minus(b), a.intersected(b.complement()));
+    EXPECT_TRUE(a.intersected(b).is_subset_of(a));
+    EXPECT_EQ(a.minus(b).size() + a.intersected(b).size(), a.size());
+  }
+}
+
+TEST(FuzzIncrementalOracle, LongRandomAddSequences) {
+  util::Rng rng(1007);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nx = rng.uniform_int(5, 30);
+    const int ny = rng.uniform_int(5, 30);
+    const auto g =
+        matching::BipartiteGraph::random(nx, ny, rng.uniform_double(0.1, 0.5),
+                                         rng);
+    matching::IncrementalMatchingOracle oracle(g);
+    submodular::ItemSet added(nx);
+    for (int op = 0; op < 2 * nx; ++op) {
+      const int x = rng.uniform_int(0, nx - 1);  // duplicates on purpose
+      oracle.add_x(x);
+      added.insert(x);
+      ASSERT_EQ(oracle.size(), matching::hopcroft_karp(g, added).size)
+          << "trial " << trial << " op " << op;
+    }
+  }
+}
+
+TEST(FuzzWeightedOracle, AgreesWithMatroidGreedyUnderDuplicates) {
+  util::Rng rng(1009);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nx = rng.uniform_int(5, 20);
+    const int ny = rng.uniform_int(5, 15);
+    const auto g =
+        matching::BipartiteGraph::random(nx, ny, rng.uniform_double(0.2, 0.5),
+                                         rng);
+    std::vector<double> values(static_cast<std::size_t>(ny));
+    for (auto& v : values) v = rng.uniform_double(0.5, 9.5);
+    matching::WeightedMatchingUtilityFunction reference(g, values);
+
+    matching::WeightedMatchingOracle oracle(g, values);
+    submodular::ItemSet added(nx);
+    for (int op = 0; op < 2 * nx; ++op) {
+      const int x = rng.uniform_int(0, nx - 1);
+      oracle.add_x(x);
+      added.insert(x);
+      ASSERT_NEAR(oracle.value(), reference.value(added), 1e-9)
+          << "trial " << trial << " op " << op;
+    }
+  }
+}
+
+TEST(FuzzMinCostCover, CoverIsAlwaysValidAndPriced) {
+  util::Rng rng(1013);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int horizon = rng.uniform_int(3, 15);
+    std::vector<double> prices(static_cast<std::size_t>(horizon));
+    for (auto& p : prices) p = rng.uniform_double(0.0, 3.0);
+    scheduling::TimeVaryingCostModel model(rng.uniform_double(0.0, 2.0),
+                                           prices);
+    std::vector<int> required;
+    for (int t = 0; t < horizon; ++t) {
+      if (rng.bernoulli(0.35)) required.push_back(t);
+    }
+    double cost = -1.0;
+    const auto cover =
+        scheduling::min_cost_cover(0, required, horizon, model, &cost);
+    std::vector<char> awake(static_cast<std::size_t>(horizon), 0);
+    double recomputed = 0.0;
+    for (const auto& iv : cover) {
+      ASSERT_GE(iv.start, 0);
+      ASSERT_LE(iv.end, horizon);
+      ASSERT_LT(iv.start, iv.end);
+      recomputed += model.cost(0, iv.start, iv.end);
+      for (int t = iv.start; t < iv.end; ++t) {
+        awake[static_cast<std::size_t>(t)] = 1;
+      }
+    }
+    for (int t : required) ASSERT_TRUE(awake[static_cast<std::size_t>(t)]);
+    ASSERT_NEAR(cost, recomputed, 1e-9);
+  }
+}
+
+TEST(FuzzHopcroftKarp, KonigConsistency) {
+  // max matching size == num_y - (max independent-ish check is heavy);
+  // instead verify maximality: no augmenting edge between a free x and a
+  // free y exists.
+  util::Rng rng(1017);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto g = matching::BipartiteGraph::random(
+        rng.uniform_int(2, 15), rng.uniform_int(2, 15),
+        rng.uniform_double(0.1, 0.6), rng);
+    const auto m = matching::hopcroft_karp(g);
+    ASSERT_TRUE(matching::is_valid_matching(g, m));
+    for (int x = 0; x < g.num_x(); ++x) {
+      if (m.match_x[static_cast<std::size_t>(x)] != -1) continue;
+      for (int y : g.neighbors_of_x(x)) {
+        ASSERT_NE(m.match_y[static_cast<std::size_t>(y)], -1)
+            << "free-free edge => not even maximal";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ps

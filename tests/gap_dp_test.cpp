@@ -1,0 +1,227 @@
+// Tests for the agreeable-case exact DPs (the Appendix .2 comparators):
+// min-energy schedule-all, min-gaps, and the Theorem .2.1 prize-collecting
+// gap-budget DP — each cross-checked against the generic brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scheduling/baselines.hpp"
+#include "scheduling/cost_model.hpp"
+#include "scheduling/gap_dp.hpp"
+#include "scheduling/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+TEST(Agreeable, SortAndCheck) {
+  std::vector<AgreeableJob> ok{{2, 5}, {0, 3}, {1, 4}};
+  EXPECT_TRUE(sort_and_check_agreeable(&ok));
+  EXPECT_EQ(ok[0].release, 0);
+  EXPECT_EQ(ok[2].release, 2);
+
+  std::vector<AgreeableJob> nested{{0, 10}, {2, 4}};
+  EXPECT_FALSE(sort_and_check_agreeable(&nested));
+}
+
+TEST(MinEnergyDp, SingleJob) {
+  std::vector<AgreeableJob> jobs{{0, 3}};
+  const auto result = min_energy_schedule_all(jobs, 5, 2.0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.energy, 3.0);  // alpha + 1
+  EXPECT_EQ(result.slots.size(), 1u);
+}
+
+TEST(MinEnergyDp, BridgesOrSleepsOptimally) {
+  // Jobs pinned at times 0 and 4 (gap of 3 idle slots).
+  std::vector<AgreeableJob> jobs{{0, 1}, {4, 5}};
+  // alpha=1 < gap: sleep. Two intervals: 2*(1+1) = 4.
+  const auto sleepy = min_energy_schedule_all(jobs, 6, 1.0);
+  EXPECT_TRUE(sleepy.feasible);
+  EXPECT_DOUBLE_EQ(sleepy.energy, 4.0);
+  // alpha=10 > gap: bridge. One interval [0,5): 10 + 5 = 15... but the DP
+  // counts chosen slots (2) plus bridge (3) plus alpha: same thing.
+  const auto bridgy = min_energy_schedule_all(jobs, 6, 10.0);
+  EXPECT_TRUE(bridgy.feasible);
+  EXPECT_DOUBLE_EQ(bridgy.energy, 10.0 + 5.0);
+}
+
+TEST(MinEnergyDp, InfeasibleWhenWindowsCollide) {
+  std::vector<AgreeableJob> jobs{{0, 1}, {0, 1}};
+  EXPECT_FALSE(min_energy_schedule_all(jobs, 4, 1.0).feasible);
+}
+
+TEST(MinEnergyDp, SlotsRespectWindowsAndIncrease) {
+  util::Rng rng(311);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto jobs = random_agreeable_jobs(6, 14, 2, 5, 1.0, 1.0, rng);
+    const auto result = min_energy_schedule_all(jobs, 14, 2.0);
+    if (!result.feasible) continue;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_GE(result.slots[i], jobs[i].release);
+      EXPECT_LT(result.slots[i], jobs[i].deadline);
+      if (i > 0) EXPECT_GT(result.slots[i], result.slots[i - 1]);
+    }
+  }
+}
+
+TEST(MinEnergyDp, MatchesBruteForceOptimum) {
+  util::Rng rng(313);
+  int compared = 0;
+  for (int trial = 0; trial < 30 && compared < 12; ++trial) {
+    const int horizon = 8;
+    auto jobs = random_agreeable_jobs(4, horizon, 1, 4, 1.0, 1.0, rng);
+    const double alpha = rng.uniform_double(0.5, 4.0);
+    const auto dp = min_energy_schedule_all(jobs, horizon, alpha);
+
+    const auto instance = agreeable_to_instance(jobs, horizon);
+    RestartCostModel model(alpha);
+    const auto brute = brute_force_min_cost_all_jobs(instance, model);
+    ASSERT_EQ(dp.feasible, brute.has_value()) << trial;
+    if (!dp.feasible) continue;
+    EXPECT_NEAR(dp.energy, brute->energy_cost, 1e-9) << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GE(compared, 12);
+}
+
+TEST(MinGapsDp, ZeroGapsWhenContiguousPossible) {
+  std::vector<AgreeableJob> jobs{{0, 2}, {0, 3}, {1, 4}};
+  const auto gaps = min_gaps_schedule_all(jobs, 6);
+  ASSERT_TRUE(gaps.has_value());
+  EXPECT_EQ(*gaps, 0);
+}
+
+TEST(MinGapsDp, ForcedGapCounted) {
+  std::vector<AgreeableJob> jobs{{0, 1}, {5, 6}};
+  const auto gaps = min_gaps_schedule_all(jobs, 8);
+  ASSERT_TRUE(gaps.has_value());
+  EXPECT_EQ(*gaps, 1);
+}
+
+TEST(MinGapsDp, InfeasibleIsNullopt) {
+  std::vector<AgreeableJob> jobs{{0, 1}, {0, 1}};
+  EXPECT_FALSE(min_gaps_schedule_all(jobs, 3).has_value());
+}
+
+TEST(MinGapsDp, BoundsTheEnergyDp) {
+  // The min-gap schedule (no bridging) is one feasible solution of the
+  // energy problem, so  α + n <= min_energy <= (min_gaps+1)·α + n.
+  util::Rng rng(317);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int horizon = 10;
+    const int n = 5;
+    auto jobs = random_agreeable_jobs(n, horizon, 2, 4, 1.0, 1.0, rng);
+    const auto gaps = min_gaps_schedule_all(jobs, horizon);
+    if (!gaps.has_value()) continue;
+    for (double alpha : {0.5, 2.0, 50.0}) {
+      const auto energy = min_energy_schedule_all(jobs, horizon, alpha);
+      ASSERT_TRUE(energy.feasible);
+      EXPECT_GE(energy.energy, alpha + n - 1e-9);
+      EXPECT_LE(energy.energy,
+                (*gaps + 1) * alpha + horizon + 1e-9)
+          << "trial " << trial << " alpha " << alpha;
+    }
+  }
+}
+
+TEST(PrizeGapDp, TakesEverythingWithLooseBudget) {
+  std::vector<AgreeableJob> jobs{{0, 2, 3.0}, {1, 3, 1.0}, {4, 6, 2.0}};
+  const auto result = max_value_with_gap_budget(jobs, 8, 5);
+  EXPECT_DOUBLE_EQ(result.value, 6.0);
+  EXPECT_LE(result.gaps_used, 5);
+}
+
+TEST(PrizeGapDp, ZeroBudgetForcesContiguity) {
+  // Jobs at {0} and {5}: scheduling both needs a gap; with budget 0 the DP
+  // must drop the cheaper one.
+  std::vector<AgreeableJob> jobs{{0, 1, 2.0}, {5, 6, 3.0}};
+  const auto result = max_value_with_gap_budget(jobs, 8, 0);
+  EXPECT_DOUBLE_EQ(result.value, 3.0);
+  EXPECT_EQ(result.gaps_used, 0);
+  EXPECT_EQ(result.slots[0], -1);
+  EXPECT_EQ(result.slots[1], 5);
+}
+
+TEST(PrizeGapDp, BudgetOneRecoversBoth) {
+  std::vector<AgreeableJob> jobs{{0, 1, 2.0}, {5, 6, 3.0}};
+  const auto result = max_value_with_gap_budget(jobs, 8, 1);
+  EXPECT_DOUBLE_EQ(result.value, 5.0);
+  EXPECT_EQ(result.gaps_used, 1);
+}
+
+TEST(PrizeGapDp, SlotsAreAValidSchedule) {
+  util::Rng rng(331);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int horizon = 12;
+    auto jobs = random_agreeable_jobs(6, horizon, 1, 4, 1.0, 5.0, rng);
+    for (int budget : {0, 1, 3}) {
+      const auto result = max_value_with_gap_budget(jobs, horizon, budget);
+      double value = 0.0;
+      int last = -2;
+      int gaps = 0;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const int s = result.slots[i];
+        if (s < 0) continue;
+        EXPECT_GE(s, jobs[i].release);
+        EXPECT_LT(s, jobs[i].deadline);
+        EXPECT_GT(s, last);
+        if (last >= 0 && s > last + 1) ++gaps;
+        last = s;
+        value += jobs[i].value;
+      }
+      EXPECT_NEAR(value, result.value, 1e-9);
+      EXPECT_EQ(gaps, result.gaps_used);
+      EXPECT_LE(gaps, budget);
+    }
+  }
+}
+
+TEST(PrizeGapDp, MatchesExhaustiveOnSmallInstances) {
+  // Brute force over all (subset, slot assignment) pairs.
+  util::Rng rng(337);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int horizon = 6;
+    auto jobs = random_agreeable_jobs(4, horizon, 1, 3, 1.0, 4.0, rng);
+    for (int budget : {0, 1, 2}) {
+      const auto dp = max_value_with_gap_budget(jobs, horizon, budget);
+
+      double best = 0.0;
+      // Enumerate slot choices per job (-1 = skip); jobs in sorted order
+      // must get increasing slots (valid for agreeable instances).
+      auto rec = [&](auto&& self, std::size_t i, int last, int gaps,
+                     double value) -> void {
+        best = std::max(best, value);
+        if (i == jobs.size()) return;
+        self(self, i + 1, last, gaps, value);  // skip
+        for (int s = std::max(jobs[i].release, last + 1);
+             s < std::min(jobs[i].deadline, horizon); ++s) {
+          const int extra = (last >= 0 && s > last + 1) ? 1 : 0;
+          if (gaps + extra > budget) continue;
+          self(self, i + 1, s, gaps + extra, value + jobs[i].value);
+        }
+      };
+      rec(rec, 0, -1, 0, 0.0);
+      EXPECT_NEAR(dp.value, best, 1e-9)
+          << "trial " << trial << " budget " << budget;
+    }
+  }
+}
+
+TEST(Generators, AgreeableJobsAreAgreeable) {
+  util::Rng rng(341);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto jobs = random_agreeable_jobs(8, 20, 2, 6, 1.0, 3.0, rng);
+    EXPECT_TRUE(sort_and_check_agreeable(&jobs));
+    for (const auto& j : jobs) {
+      EXPECT_LE(0, j.release);
+      EXPECT_LT(j.release, j.deadline);
+      EXPECT_LE(j.deadline, 20);
+      EXPECT_GE(j.value, 1.0);
+      EXPECT_LE(j.value, 3.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ps::scheduling

@@ -1,0 +1,116 @@
+// Tests for cardinality-constrained submodular maximization: plain greedy,
+// lazy greedy equivalence, the (1-1/e) guarantee against the exhaustive
+// optimum, and oracle-call accounting.
+#include <gtest/gtest.h>
+
+#include "submodular/coverage.hpp"
+#include "submodular/facility_location.hpp"
+#include "submodular/greedy.hpp"
+#include "submodular/set_function.hpp"
+#include "util/rng.hpp"
+
+namespace ps::submodular {
+namespace {
+
+TEST(Greedy, PicksObviousBestFirst) {
+  CoverageFunction f(5, {{0}, {0, 1, 2, 3, 4}, {1}});
+  const auto result = greedy_max_cardinality(f, 1);
+  EXPECT_EQ(result.order, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(result.value, 5.0);
+}
+
+TEST(Greedy, StopsWhenNoPositiveGain) {
+  CoverageFunction f(2, {{0}, {1}, {0, 1}});
+  const auto result = greedy_max_cardinality(f, 3);
+  EXPECT_DOUBLE_EQ(result.value, 2.0);
+  EXPECT_LE(result.order.size(), 2u);  // third pick has zero gain
+}
+
+TEST(Greedy, RespectsCardinality) {
+  util::Rng rng(3);
+  const auto f = CoverageFunction::random(10, 20, 5, 1.0, rng);
+  for (int k : {1, 3, 5}) {
+    const auto result = greedy_max_cardinality(f, k);
+    EXPECT_LE(result.chosen.size(), k);
+    EXPECT_EQ(result.value_curve.size(), result.order.size());
+  }
+}
+
+TEST(Greedy, ValueCurveIsNonDecreasing) {
+  util::Rng rng(5);
+  const auto f = FacilityLocationFunction::random(12, 8, 5.0, rng);
+  const auto result = greedy_max_cardinality(f, 6);
+  for (std::size_t i = 1; i < result.value_curve.size(); ++i) {
+    EXPECT_GE(result.value_curve[i], result.value_curve[i - 1]);
+  }
+}
+
+TEST(LazyGreedy, MatchesPlainGreedyOutput) {
+  util::Rng rng(7);
+  for (int instance = 0; instance < 10; ++instance) {
+    const auto f = CoverageFunction::random(14, 25, 4, 3.0, rng);
+    for (int k : {2, 5, 9}) {
+      const auto plain = greedy_max_cardinality(f, k);
+      const auto lazy = lazy_greedy_max_cardinality(f, k);
+      EXPECT_DOUBLE_EQ(plain.value, lazy.value)
+          << "instance " << instance << " k=" << k;
+      EXPECT_EQ(plain.chosen.size(), lazy.chosen.size());
+    }
+  }
+}
+
+TEST(LazyGreedy, UsesNoMoreOracleCallsOnLargeInstances) {
+  util::Rng rng(11);
+  const auto f = CoverageFunction::random(60, 100, 8, 1.0, rng);
+  const auto plain = greedy_max_cardinality(f, 12);
+  const auto lazy = lazy_greedy_max_cardinality(f, 12);
+  EXPECT_DOUBLE_EQ(plain.value, lazy.value);
+  EXPECT_LT(lazy.oracle_calls, plain.oracle_calls);
+}
+
+TEST(Greedy, OneMinusOneOverEGuarantee) {
+  util::Rng rng(13);
+  for (int instance = 0; instance < 8; ++instance) {
+    const auto f = CoverageFunction::random(10, 16, 4, 2.0, rng);
+    for (int k : {2, 4}) {
+      const auto greedy = greedy_max_cardinality(f, k);
+      const auto opt = exhaustive_max_cardinality(f, k);
+      EXPECT_GE(greedy.value, (1.0 - 1.0 / 2.718281828) * opt.value - 1e-9)
+          << "instance " << instance << " k=" << k;
+    }
+  }
+}
+
+TEST(Exhaustive, FindsTrueOptimum) {
+  CoverageFunction f(6, {{0, 1}, {2, 3}, {4, 5}, {0, 2, 4}});
+  const auto opt2 = exhaustive_max_cardinality(f, 2);
+  EXPECT_DOUBLE_EQ(opt2.value, 4.0);  // two disjoint pair-sets
+  const auto opt3 = exhaustive_max_cardinality(f, 3);
+  EXPECT_DOUBLE_EQ(opt3.value, 6.0);
+}
+
+TEST(Exhaustive, ExactCardinalityVariant) {
+  // With exactly k, a harmful element may be forced in for non-monotone f,
+  // but for coverage more items never hurt; sizes must match exactly.
+  CoverageFunction f(4, {{0}, {1}, {2}, {3}});
+  const auto opt = exhaustive_max_exact_cardinality(f, 2);
+  EXPECT_EQ(opt.chosen.size(), 2);
+  EXPECT_DOUBLE_EQ(opt.value, 2.0);
+}
+
+TEST(Exhaustive, EmptyOptimumForZeroK) {
+  CoverageFunction f(3, {{0}, {1}});
+  const auto opt = exhaustive_max_cardinality(f, 0);
+  EXPECT_EQ(opt.chosen.size(), 0);
+  EXPECT_DOUBLE_EQ(opt.value, 0.0);
+}
+
+TEST(Greedy, OracleCallsAccounted) {
+  CoverageFunction base(5, {{0}, {1}, {2}});
+  const auto result = greedy_max_cardinality(base, 2);
+  // 1 (empty) + 3 (round 1) + 2 (round 2).
+  EXPECT_EQ(result.oracle_calls, 6u);
+}
+
+}  // namespace
+}  // namespace ps::submodular

@@ -1,0 +1,143 @@
+// Tests for the general max-weight bipartite matcher: known instances,
+// brute-force cross-checks, and agreement with the vertex-weighted oracle
+// on its special case (every edge of a job carries the job's value).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "matching/bipartite_graph.hpp"
+#include "matching/hungarian.hpp"
+#include "matching/matching_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace ps::matching {
+namespace {
+
+double brute_force_max_weight(int num_x, int num_y,
+                              const std::vector<WeightedEdge>& edges) {
+  // Recursion over X vertices: match to any free neighbor or skip.
+  std::vector<std::vector<std::pair<int, double>>> adj(
+      static_cast<std::size_t>(num_x));
+  for (const auto& e : edges) {
+    adj[static_cast<std::size_t>(e.x)].emplace_back(e.y, e.weight);
+  }
+  std::vector<char> used(static_cast<std::size_t>(num_y), 0);
+  double best = 0.0;
+  auto rec = [&](auto&& self, int x, double acc) -> void {
+    if (x == num_x) {
+      best = std::max(best, acc);
+      return;
+    }
+    self(self, x + 1, acc);
+    for (const auto& [y, w] : adj[static_cast<std::size_t>(x)]) {
+      if (used[static_cast<std::size_t>(y)]) continue;
+      used[static_cast<std::size_t>(y)] = 1;
+      self(self, x + 1, acc + w);
+      used[static_cast<std::size_t>(y)] = 0;
+    }
+  };
+  rec(rec, 0, 0.0);
+  return best;
+}
+
+TEST(Hungarian, EmptyGraph) {
+  const auto result = max_weight_matching(3, 3, {});
+  EXPECT_DOUBLE_EQ(result.total_weight, 0.0);
+  for (int m : result.match_x) EXPECT_EQ(m, -1);
+}
+
+TEST(Hungarian, SingleEdge) {
+  const auto result = max_weight_matching(2, 2, {{0, 1, 5.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 5.0);
+  EXPECT_EQ(result.match_x[0], 1);
+  EXPECT_EQ(result.match_y[1], 0);
+  EXPECT_EQ(result.match_x[1], -1);
+}
+
+TEST(Hungarian, PrefersHeavySingleOverTwoLight) {
+  // x0-y0 (10) beats the pair {x0-y1 (3), x1-y0 (3)} = 6.
+  const auto result = max_weight_matching(
+      2, 2, {{0, 0, 10.0}, {0, 1, 3.0}, {1, 0, 3.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 10.0);
+  EXPECT_EQ(result.match_x[0], 0);
+  EXPECT_EQ(result.match_x[1], -1);
+}
+
+TEST(Hungarian, AugmentingChoice) {
+  // Classic: x0 prefers y0 but must yield it so x1 (only y0) can match.
+  const auto result = max_weight_matching(
+      2, 2, {{0, 0, 5.0}, {0, 1, 4.0}, {1, 0, 5.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 9.0);
+}
+
+TEST(Hungarian, NegativeEdgesNeverUsed) {
+  const auto result = max_weight_matching(2, 2, {{0, 0, -3.0}, {1, 1, 2.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 2.0);
+  EXPECT_EQ(result.match_x[0], -1);
+}
+
+TEST(Hungarian, ParallelEdgesKeepBest) {
+  const auto result =
+      max_weight_matching(1, 1, {{0, 0, 2.0}, {0, 0, 7.0}, {0, 0, 4.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 7.0);
+}
+
+TEST(Hungarian, RectangularShapes) {
+  const auto wide = max_weight_matching(1, 4, {{0, 3, 2.0}});
+  EXPECT_DOUBLE_EQ(wide.total_weight, 2.0);
+  const auto tall = max_weight_matching(4, 1, {{2, 0, 3.0}});
+  EXPECT_DOUBLE_EQ(tall.total_weight, 3.0);
+  EXPECT_EQ(tall.match_x[2], 0);
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomInstances) {
+  util::Rng rng(601);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nx = rng.uniform_int(1, 7);
+    const int ny = rng.uniform_int(1, 7);
+    std::vector<WeightedEdge> edges;
+    for (int x = 0; x < nx; ++x) {
+      for (int y = 0; y < ny; ++y) {
+        if (rng.bernoulli(0.5)) {
+          edges.push_back({x, y, rng.uniform_double(0.1, 9.9)});
+        }
+      }
+    }
+    const auto result = max_weight_matching(nx, ny, edges);
+    EXPECT_NEAR(result.total_weight, brute_force_max_weight(nx, ny, edges),
+                1e-9)
+        << "trial " << trial;
+    // Matching consistency.
+    for (int x = 0; x < nx; ++x) {
+      const int y = result.match_x[static_cast<std::size_t>(x)];
+      if (y != -1) EXPECT_EQ(result.match_y[static_cast<std::size_t>(y)], x);
+    }
+  }
+}
+
+TEST(Hungarian, AgreesWithVertexWeightedOracle) {
+  // Vertex-weighted matching = edge weights equal to the job's value on all
+  // of its edges; the Hungarian optimum must equal the oracle's value.
+  util::Rng rng(607);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto g = BipartiteGraph::random(8, 7, 0.35, rng);
+    std::vector<double> values(7);
+    for (auto& v : values) v = rng.uniform_double(0.5, 9.5);
+
+    std::vector<WeightedEdge> edges;
+    for (int x = 0; x < 8; ++x) {
+      for (int y : g.neighbors_of_x(x)) {
+        edges.push_back({x, y, values[static_cast<std::size_t>(y)]});
+      }
+    }
+    const auto hungarian = max_weight_matching(8, 7, edges);
+
+    WeightedMatchingOracle oracle(g, values);
+    for (int x = 0; x < 8; ++x) oracle.add_x(x);
+    EXPECT_NEAR(hungarian.total_weight, oracle.value(), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ps::matching

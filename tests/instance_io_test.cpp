@@ -1,0 +1,103 @@
+// Tests for instance text (de)serialization: round-trips, comments,
+// malformed-input rejection, and the umbrella header compiling.
+#include <gtest/gtest.h>
+
+#include "powersched.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+TEST(InstanceIo, RoundTripsRandomInstances) {
+  util::Rng rng(1401);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 8;
+    params.num_processors = 3;
+    params.horizon = 9;
+    params.min_value = 0.5;
+    params.max_value = 7.5;
+    const auto original = random_instance(params, rng);
+    std::string error;
+    const auto parsed = parse_instance(instance_to_text(original), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ASSERT_EQ(parsed->num_jobs(), original.num_jobs());
+    EXPECT_EQ(parsed->num_processors(), original.num_processors());
+    EXPECT_EQ(parsed->horizon(), original.horizon());
+    for (int j = 0; j < original.num_jobs(); ++j) {
+      EXPECT_DOUBLE_EQ(parsed->job(j).value, original.job(j).value);
+      EXPECT_EQ(parsed->job(j).allowed, original.job(j).allowed);
+    }
+  }
+}
+
+TEST(InstanceIo, AcceptsCommentsAndBlankLines) {
+  const std::string text = R"(# a workload
+powersched-instance v1
+
+processors 2   # two machines
+horizon 4
+jobs 1
+job 2.5 2 0:1 1:3
+)";
+  std::string error;
+  const auto parsed = parse_instance(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->num_jobs(), 1);
+  EXPECT_DOUBLE_EQ(parsed->job(0).value, 2.5);
+  EXPECT_EQ(parsed->job(0).allowed,
+            (std::vector<SlotRef>{{0, 1}, {1, 3}}));
+}
+
+TEST(InstanceIo, RejectsMissingHeader) {
+  std::string error;
+  EXPECT_FALSE(parse_instance("processors 1\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(InstanceIo, RejectsOutOfRangePair) {
+  const std::string text =
+      "powersched-instance v1\nprocessors 1\nhorizon 3\njobs 1\n"
+      "job 1.0 1 0:7\n";
+  std::string error;
+  EXPECT_FALSE(parse_instance(text, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(InstanceIo, RejectsMalformedPair) {
+  const std::string text =
+      "powersched-instance v1\nprocessors 1\nhorizon 3\njobs 1\n"
+      "job 1.0 1 0-2\n";
+  EXPECT_FALSE(parse_instance(text).has_value());
+}
+
+TEST(InstanceIo, RejectsTruncatedJobList) {
+  const std::string text =
+      "powersched-instance v1\nprocessors 1\nhorizon 3\njobs 2\n"
+      "job 1.0 1 0:0\n";
+  std::string error;
+  EXPECT_FALSE(parse_instance(text, &error).has_value());
+  EXPECT_NE(error.find("eof"), std::string::npos);
+}
+
+TEST(InstanceIo, RejectsNonPositiveValue) {
+  const std::string text =
+      "powersched-instance v1\nprocessors 1\nhorizon 3\njobs 1\n"
+      "job 0 1 0:0\n";
+  EXPECT_FALSE(parse_instance(text).has_value());
+}
+
+TEST(InstanceIo, ParsedInstanceSchedules) {
+  // End-to-end: parse then run the full scheduler.
+  const std::string text =
+      "powersched-instance v1\nprocessors 1\nhorizon 4\njobs 2\n"
+      "job 1 2 0:0 0:1\njob 1 2 0:2 0:3\n";
+  const auto parsed = parse_instance(text);
+  ASSERT_TRUE(parsed.has_value());
+  RestartCostModel model(1.0);
+  const auto result = schedule_all_jobs(*parsed, model);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(validate_schedule(result.schedule, *parsed, model, true).ok);
+}
+
+}  // namespace
+}  // namespace ps::scheduling

@@ -1,0 +1,163 @@
+// End-to-end integration tests: full pipelines across module boundaries
+// (serialize -> parse -> schedule -> validate -> compare), determinism
+// guarantees, and the umbrella header.
+#include <gtest/gtest.h>
+
+#include "powersched.hpp"
+
+namespace ps {
+namespace {
+
+using namespace scheduling;
+
+TEST(Integration, SerializeScheduleValidateRoundTrip) {
+  util::Rng rng(1701);
+  RandomInstanceParams params;
+  params.num_jobs = 8;
+  params.num_processors = 2;
+  params.horizon = 10;
+  params.min_value = 1.0;
+  params.max_value = 4.0;
+  const auto original = random_feasible_instance(params, rng);
+  RestartCostModel model(2.0);
+
+  // Schedule the original and a parse(serialize(.)) copy: identical output.
+  const auto parsed = parse_instance(instance_to_text(original));
+  ASSERT_TRUE(parsed.has_value());
+  const auto a = schedule_all_jobs(original, model);
+  const auto b = schedule_all_jobs(*parsed, model);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_DOUBLE_EQ(a.schedule.energy_cost, b.schedule.energy_cost);
+  EXPECT_EQ(a.schedule.assignment, b.schedule.assignment);
+  EXPECT_TRUE(validate_schedule(b.schedule, original, model, true).ok);
+}
+
+TEST(Integration, SchedulerIsDeterministic) {
+  util::Rng rng(1703);
+  RandomInstanceParams params;
+  params.num_jobs = 7;
+  params.num_processors = 2;
+  params.horizon = 9;
+  const auto instance = random_feasible_instance(params, rng);
+  TimeVaryingCostModel model(1.0, sinusoidal_prices(9, 0.5, 2.0, 9));
+  const auto a = schedule_all_jobs(instance, model);
+  const auto b = schedule_all_jobs(instance, model);
+  EXPECT_EQ(a.schedule.assignment, b.schedule.assignment);
+  EXPECT_DOUBLE_EQ(a.schedule.energy_cost, b.schedule.energy_cost);
+  EXPECT_EQ(a.gain_evaluations, b.gain_evaluations);
+}
+
+TEST(Integration, PrimalDualFrontierConsistency) {
+  util::Rng rng(1707);
+  RandomInstanceParams params;
+  params.num_jobs = 10;
+  params.num_processors = 2;
+  params.horizon = 10;
+  params.min_value = 1.0;
+  params.max_value = 6.0;
+  const auto instance = random_feasible_instance(params, rng);
+  RestartCostModel model(1.5);
+
+  const double z = 0.6 * instance.total_value();
+  const auto primal = schedule_value_at_least(instance, model, z);
+  ASSERT_TRUE(primal.reached_target);
+  const auto dual = schedule_max_value_with_energy_budget(
+      instance, model, primal.schedule.energy_cost);
+  EXPECT_GE(dual.value, 0.9 * primal.value);
+  EXPECT_LE(dual.budget_used, primal.schedule.energy_cost + 1e-9);
+}
+
+TEST(Integration, OfflineOnlineProcessorPipeline) {
+  // Generate -> hire processors online -> restrict the instance to the
+  // hired set -> schedule on them -> validate.
+  util::Rng rng(1709);
+  RandomInstanceParams params;
+  params.num_jobs = 10;
+  params.num_processors = 6;
+  params.horizon = 8;
+  const auto instance = random_instance(params, rng);
+
+  const auto order = rng.permutation(6);
+  const auto hired = hire_processors_online(instance, 3, order);
+  ASSERT_LE(hired.hired.size(), 3);
+
+  // Keep only jobs fully schedulable on hired processors by dropping
+  // admissible pairs on unhired ones; jobs left with no pairs are dropped.
+  std::vector<Job> surviving;
+  for (const auto& job : instance.jobs()) {
+    Job filtered;
+    filtered.value = job.value;
+    for (const auto& ref : job.allowed) {
+      if (hired.hired.contains(ref.processor)) {
+        filtered.allowed.push_back(ref);
+      }
+    }
+    if (!filtered.allowed.empty()) surviving.push_back(std::move(filtered));
+  }
+  if (surviving.empty()) GTEST_SKIP() << "degenerate hire";
+  SchedulingInstance restricted(instance.num_processors(), instance.horizon(),
+                                std::move(surviving));
+  RestartCostModel model(1.0);
+  const auto result = schedule_all_jobs(restricted, model);
+  EXPECT_TRUE(
+      validate_schedule(result.schedule, restricted, model, false).ok);
+  // The online hire's coverage equals the max matching on hired processors,
+  // which upper-bounds what the restricted schedule can place.
+  EXPECT_LE(result.schedule.num_scheduled(),
+            static_cast<int>(hired.jobs_covered) + 1e-9);
+}
+
+TEST(Integration, GapDpAgreesWithPipelineOnAgreeableInstances) {
+  util::Rng rng(1713);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto jobs = random_agreeable_jobs(8, 20, 2, 5, 1.0, 1.0, rng);
+    const double alpha = 2.0;
+    const auto dp = min_energy_schedule_all(jobs, 20, alpha);
+    if (!dp.feasible) continue;
+    const auto instance = agreeable_to_instance(jobs, 20);
+    RestartCostModel model(alpha);
+    const auto greedy = schedule_all_jobs(instance, model);
+    ASSERT_TRUE(greedy.feasible);
+    EXPECT_GE(greedy.schedule.energy_cost, dp.energy - 1e-9);
+  }
+}
+
+TEST(Integration, CountingOracleThroughFullGreedy) {
+  // Oracle accounting wires through CountingOracle + SetFunctionUtility.
+  util::Rng rng(1717);
+  const auto f = submodular::CoverageFunction::random(10, 14, 4, 2.0, rng);
+  submodular::CountingOracle counted(f);
+  core::SetFunctionUtility utility(counted);
+  std::vector<core::CandidateSet> candidates;
+  for (int i = 0; i < 10; ++i) {
+    candidates.push_back(core::CandidateSet{{i}, 1.0, i});
+  }
+  const auto result =
+      core::maximize_with_budget(utility, candidates, 8.0, {});
+  EXPECT_GT(counted.value_calls(), 0u);
+  EXPECT_GE(counted.value_calls(), result.gain_evaluations);
+}
+
+TEST(Integration, SecretaryOverMatchingUtility) {
+  // The full Chapter 2 utility driven by the Chapter 3 algorithm: select
+  // slots online to maximize jobs scheduled.
+  util::Rng rng(1719);
+  RandomInstanceParams params;
+  params.num_jobs = 6;
+  params.num_processors = 2;
+  params.horizon = 6;
+  const auto instance = random_feasible_instance(params, rng);
+  const auto graph = instance.build_slot_job_graph();
+  matching::MatchingUtilityFunction f(graph);
+
+  const auto order = rng.permutation(instance.num_slots());
+  const auto result =
+      secretary::monotone_submodular_secretary(f, 6, order);
+  EXPECT_LE(result.value, 6.0);
+  EXPECT_GE(result.value, 0.0);
+  EXPECT_DOUBLE_EQ(result.value, f.value(result.chosen));
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,152 @@
+// Unit tests for submodular::ItemSet (the bitset currency of the library).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "submodular/item_set.hpp"
+#include "util/rng.hpp"
+
+namespace ps::submodular {
+namespace {
+
+TEST(ItemSet, EmptyConstruction) {
+  ItemSet s(10);
+  EXPECT_EQ(s.universe_size(), 10);
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_TRUE(s.empty());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(s.contains(i));
+}
+
+TEST(ItemSet, InitializerListConstruction) {
+  ItemSet s(8, {1, 3, 5});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(ItemSet, VectorConstruction) {
+  ItemSet s(8, std::vector<int>{2, 2, 7});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(7));
+}
+
+TEST(ItemSet, FullSet) {
+  for (int n : {1, 63, 64, 65, 130}) {
+    const ItemSet s = ItemSet::full(n);
+    EXPECT_EQ(s.size(), n) << "n=" << n;
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_TRUE(s.contains(n - 1));
+  }
+}
+
+TEST(ItemSet, InsertEraseIdempotent) {
+  ItemSet s(70);
+  s.insert(65);
+  s.insert(65);
+  EXPECT_EQ(s.size(), 1);
+  s.erase(65);
+  s.erase(65);
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(ItemSet, ClearRemovesAll) {
+  ItemSet s = ItemSet::full(100);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.universe_size(), 100);
+}
+
+TEST(ItemSet, UnionIntersectionDifference) {
+  ItemSet a(10, {1, 2, 3});
+  ItemSet b(10, {3, 4, 5});
+  EXPECT_EQ(a.united(b), ItemSet(10, {1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.intersected(b), ItemSet(10, {3}));
+  EXPECT_EQ(a.minus(b), ItemSet(10, {1, 2}));
+  EXPECT_EQ(b.minus(a), ItemSet(10, {4, 5}));
+}
+
+TEST(ItemSet, InPlaceOperators) {
+  ItemSet a(10, {1, 2});
+  a |= ItemSet(10, {2, 3});
+  EXPECT_EQ(a, ItemSet(10, {1, 2, 3}));
+  a &= ItemSet(10, {2, 3, 4});
+  EXPECT_EQ(a, ItemSet(10, {2, 3}));
+  a -= ItemSet(10, {3});
+  EXPECT_EQ(a, ItemSet(10, {2}));
+}
+
+TEST(ItemSet, Complement) {
+  ItemSet s(5, {0, 2});
+  EXPECT_EQ(s.complement(), ItemSet(5, {1, 3, 4}));
+  EXPECT_EQ(s.complement().complement(), s);
+}
+
+TEST(ItemSet, WithWithoutDoNotMutate) {
+  const ItemSet s(6, {1});
+  const ItemSet w = s.with(4);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(w.size(), 2);
+  EXPECT_EQ(w.without(4), s);
+}
+
+TEST(ItemSet, SubsetAndIntersects) {
+  ItemSet a(10, {1, 2});
+  ItemSet b(10, {1, 2, 3});
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(ItemSet(10).is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(ItemSet(10, {5})));
+}
+
+TEST(ItemSet, ToVectorSorted) {
+  ItemSet s(128, {100, 3, 64, 63});
+  EXPECT_EQ(s.to_vector(), (std::vector<int>{3, 63, 64, 100}));
+}
+
+TEST(ItemSet, ForEachVisitsInOrder) {
+  ItemSet s(70, {0, 69, 35});
+  std::vector<int> visited;
+  s.for_each([&](int i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<int>{0, 35, 69}));
+}
+
+TEST(ItemSet, ToStringRendering) {
+  EXPECT_EQ(ItemSet(5).to_string(), "{}");
+  EXPECT_EQ(ItemSet(5, {0, 3}).to_string(), "{0, 3}");
+}
+
+TEST(ItemSet, EqualityRequiresSameUniverse) {
+  EXPECT_NE(ItemSet(5), ItemSet(6));
+  EXPECT_EQ(ItemSet(5, {1}), ItemSet(5, {1}));
+  EXPECT_NE(ItemSet(5, {1}), ItemSet(5, {2}));
+}
+
+TEST(ItemSet, HashDistinguishes) {
+  std::unordered_set<ItemSet, ItemSetHash> sets;
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    ItemSet s(40);
+    for (int b = 0; b < 40; ++b) {
+      if (rng.bernoulli(0.3)) s.insert(b);
+    }
+    sets.insert(s);
+  }
+  EXPECT_GT(sets.size(), 90u);  // collisions in content, not hash failures
+}
+
+TEST(ItemSet, CrossWordBoundaryOperations) {
+  ItemSet a(200), b(200);
+  for (int i = 0; i < 200; i += 3) a.insert(i);
+  for (int i = 0; i < 200; i += 5) b.insert(i);
+  const ItemSet both = a.intersected(b);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(both.contains(i), i % 15 == 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ps::submodular

@@ -1,0 +1,303 @@
+// Tests for the matching engine: Hopcroft-Karp against brute force, the
+// incremental oracles against the from-scratch implementations, and the
+// submodularity lemmas (2.2.2 and 2.3.2) as executable properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "matching/bipartite_graph.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/matching_oracle.hpp"
+#include "submodular/verify.hpp"
+#include "util/rng.hpp"
+
+namespace ps::matching {
+namespace {
+
+using submodular::ItemSet;
+
+/// Exponential reference: maximum matching size over X-subset `allowed` by
+/// trying all job->slot assignments recursively.
+int brute_force_matching(const BipartiteGraph& g, const ItemSet& allowed) {
+  const auto adj_y = g.adjacency_from_y();
+  std::vector<char> slot_used(static_cast<std::size_t>(g.num_x()), 0);
+  int best = 0;
+  auto rec = [&](auto&& self, int job, int matched) -> void {
+    if (job == g.num_y()) {
+      best = std::max(best, matched);
+      return;
+    }
+    // Prune: even matching every remaining job cannot beat best.
+    if (matched + (g.num_y() - job) <= best) return;
+    self(self, job + 1, matched);  // skip job
+    for (int slot : adj_y[static_cast<std::size_t>(job)]) {
+      if (!allowed.contains(slot) || slot_used[static_cast<std::size_t>(slot)])
+        continue;
+      slot_used[static_cast<std::size_t>(slot)] = 1;
+      self(self, job + 1, matched + 1);
+      slot_used[static_cast<std::size_t>(slot)] = 0;
+    }
+  };
+  rec(rec, 0, 0);
+  return best;
+}
+
+/// Exponential reference for the weighted utility: max total value over
+/// simultaneously schedulable job subsets.
+double brute_force_weighted(const BipartiteGraph& g, const ItemSet& allowed,
+                            const std::vector<double>& values) {
+  const auto adj_y = g.adjacency_from_y();
+  std::vector<char> slot_used(static_cast<std::size_t>(g.num_x()), 0);
+  double best = 0.0;
+  auto rec = [&](auto&& self, int job, double value) -> void {
+    if (job == g.num_y()) {
+      best = std::max(best, value);
+      return;
+    }
+    self(self, job + 1, value);
+    for (int slot : adj_y[static_cast<std::size_t>(job)]) {
+      if (!allowed.contains(slot) || slot_used[static_cast<std::size_t>(slot)])
+        continue;
+      slot_used[static_cast<std::size_t>(slot)] = 1;
+      self(self, job + 1, value + values[static_cast<std::size_t>(job)]);
+      slot_used[static_cast<std::size_t>(slot)] = 0;
+    }
+  };
+  rec(rec, 0, 0.0);
+  return best;
+}
+
+TEST(BipartiteGraph, EdgesAndAdjacency) {
+  BipartiteGraph g(3, 2);
+  g.add_edge(0, 1);
+  g.add_edge(2, 0);
+  g.add_edge(2, 1);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.neighbors_of_x(2), (std::vector<int>{0, 1}));
+  const auto adj_y = g.adjacency_from_y();
+  EXPECT_EQ(adj_y[0], (std::vector<int>{2}));
+  EXPECT_EQ(adj_y[1], (std::vector<int>{0, 2}));
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnIdentity) {
+  BipartiteGraph g(4, 4);
+  for (int i = 0; i < 4; ++i) g.add_edge(i, i);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 4);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(HopcroftKarp, AugmentingPathRequired) {
+  // Classic zig-zag: greedy would get 1, optimum is 2.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 2);
+}
+
+TEST(HopcroftKarp, RestrictedToSubset) {
+  BipartiteGraph g(3, 3);
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) g.add_edge(x, y);
+  }
+  EXPECT_EQ(hopcroft_karp(g, ItemSet(3, {0})).size, 1);
+  EXPECT_EQ(hopcroft_karp(g, ItemSet(3, {0, 2})).size, 2);
+  EXPECT_EQ(hopcroft_karp(g, ItemSet(3)).size, 0);
+}
+
+TEST(HopcroftKarp, MatchesBruteForceOnRandomGraphs) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto g = BipartiteGraph::random(7, 6, 0.35, rng);
+    ItemSet allowed(7);
+    for (int x = 0; x < 7; ++x) {
+      if (rng.bernoulli(0.7)) allowed.insert(x);
+    }
+    const auto m = hopcroft_karp(g, allowed);
+    EXPECT_TRUE(is_valid_matching(g, m, allowed));
+    EXPECT_EQ(m.size, brute_force_matching(g, allowed)) << "trial " << trial;
+  }
+}
+
+TEST(IsValidMatching, RejectsFabricatedEdges) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  MatchingResult m;
+  m.size = 1;
+  m.match_x = {1, -1};  // x0 unmatched, x1 claims y... no such edge
+  m.match_y = {-1, 0};
+  EXPECT_FALSE(is_valid_matching(g, m));
+}
+
+TEST(IncrementalOracle, GrowsMatchingOneSlotAtATime) {
+  BipartiteGraph g(3, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(2, 1);
+  IncrementalMatchingOracle oracle(g);
+  EXPECT_EQ(oracle.size(), 0);
+  EXPECT_EQ(oracle.add_x(0), 1);
+  EXPECT_EQ(oracle.add_x(1), 0);  // job 0 already matched
+  EXPECT_EQ(oracle.add_x(2), 1);
+  EXPECT_EQ(oracle.size(), 2);
+  EXPECT_EQ(oracle.add_x(2), 0);  // duplicate add is a no-op
+}
+
+TEST(IncrementalOracle, MatchesHopcroftKarpOnRandomPrefixes) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto g = BipartiteGraph::random(12, 10, 0.3, rng);
+    IncrementalMatchingOracle oracle(g);
+    auto order = rng.permutation(12);
+    ItemSet added(12);
+    for (int x : order) {
+      oracle.add_x(x);
+      added.insert(x);
+      EXPECT_EQ(oracle.size(), hopcroft_karp(g, added).size);
+    }
+  }
+}
+
+TEST(IncrementalOracle, GainOfDoesNotMutate) {
+  BipartiteGraph g(2, 1);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  IncrementalMatchingOracle oracle(g);
+  EXPECT_EQ(oracle.gain_of({0, 1}), 1);
+  EXPECT_EQ(oracle.size(), 0);
+  oracle.add_x(0);
+  EXPECT_EQ(oracle.gain_of({1}), 0);
+}
+
+TEST(WeightedOracle, PrefersHighValueJobs) {
+  // One slot, two jobs with different values.
+  BipartiteGraph g(1, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  std::vector<double> values{1.0, 10.0};
+  WeightedMatchingOracle oracle(g, values);
+  EXPECT_DOUBLE_EQ(oracle.add_x(0), 10.0);
+  EXPECT_DOUBLE_EQ(oracle.value(), 10.0);
+  EXPECT_EQ(oracle.match_y()[1], 0);
+  EXPECT_EQ(oracle.match_y()[0], -1);
+}
+
+TEST(WeightedOracle, ReassignsThroughAlternatingPath) {
+  // Slot a serves both jobs; slot b serves only job 0. Adding b must let the
+  // oracle shuffle job 0 onto b so job 1 gets a.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);  // a - j0
+  g.add_edge(0, 1);  // a - j1
+  g.add_edge(1, 0);  // b - j0
+  std::vector<double> values{5.0, 3.0};
+  WeightedMatchingOracle oracle(g, values);
+  EXPECT_DOUBLE_EQ(oracle.add_x(0), 5.0);  // a takes the valuable job 0
+  EXPECT_DOUBLE_EQ(oracle.add_x(1), 3.0);  // b frees a for job 1
+  EXPECT_DOUBLE_EQ(oracle.value(), 8.0);
+}
+
+TEST(WeightedOracle, MatchesBruteForceOnRandomPrefixes) {
+  util::Rng rng(29);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto g = BipartiteGraph::random(8, 7, 0.35, rng);
+    std::vector<double> values(7);
+    for (auto& v : values) v = rng.uniform_double(0.5, 9.5);
+    WeightedMatchingOracle oracle(g, values);
+    auto order = rng.permutation(8);
+    ItemSet added(8);
+    for (int x : order) {
+      oracle.add_x(x);
+      added.insert(x);
+      EXPECT_NEAR(oracle.value(), brute_force_weighted(g, added, values),
+                  1e-9)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(WeightedOracle, AgreesWithStatelessFunction) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto g = BipartiteGraph::random(9, 8, 0.3, rng);
+    std::vector<double> values(8);
+    for (auto& v : values) v = rng.uniform_double(0.5, 9.5);
+    WeightedMatchingUtilityFunction fn(g, values);
+    ItemSet s(9);
+    for (int x = 0; x < 9; ++x) {
+      if (rng.bernoulli(0.6)) s.insert(x);
+    }
+    WeightedMatchingOracle oracle(g, values);
+    s.for_each([&](int x) { oracle.add_x(x); });
+    EXPECT_NEAR(oracle.value(), fn.value(s), 1e-9);
+  }
+}
+
+TEST(WeightedOracle, GainIsZeroOrOneJobValue) {
+  // Lemma 2.3.2's dichotomy: each add_x gains 0 or exactly one job's value.
+  util::Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = BipartiteGraph::random(10, 8, 0.3, rng);
+    std::vector<double> values(8);
+    for (auto& v : values) v = rng.uniform_double(1.0, 9.0);
+    WeightedMatchingOracle oracle(g, values);
+    for (int x : rng.permutation(10)) {
+      const double gain = oracle.add_x(x);
+      if (gain == 0.0) continue;
+      EXPECT_NE(std::find(values.begin(), values.end(), gain), values.end());
+    }
+  }
+}
+
+// --- The two submodularity lemmas as exhaustive properties -----------------
+
+TEST(Lemma222, MatchingUtilityIsMonotoneSubmodular) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = BipartiteGraph::random(8, 6, 0.35, rng);
+    MatchingUtilityFunction f(g);
+    EXPECT_FALSE(submodular::find_monotonicity_violation_exhaustive(f)
+                     .has_value());
+    EXPECT_FALSE(submodular::find_submodularity_violation_exhaustive(f)
+                     .has_value());
+  }
+}
+
+TEST(Lemma232, WeightedMatchingUtilityIsMonotoneSubmodular) {
+  util::Rng rng(43);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = BipartiteGraph::random(8, 6, 0.35, rng);
+    std::vector<double> values(6);
+    for (auto& v : values) v = rng.uniform_double(0.5, 9.5);
+    WeightedMatchingUtilityFunction f(g, values);
+    EXPECT_FALSE(submodular::find_monotonicity_violation_exhaustive(f)
+                     .has_value());
+    EXPECT_FALSE(submodular::find_submodularity_violation_exhaustive(f)
+                     .has_value());
+  }
+}
+
+TEST(MatchingUtility, AgreesWithHopcroftKarp) {
+  util::Rng rng(47);
+  const auto g = BipartiteGraph::random(10, 9, 0.3, rng);
+  MatchingUtilityFunction f(g);
+  for (int trial = 0; trial < 50; ++trial) {
+    ItemSet s(10);
+    for (int x = 0; x < 10; ++x) {
+      if (rng.bernoulli(0.5)) s.insert(x);
+    }
+    EXPECT_DOUBLE_EQ(f.value(s), hopcroft_karp(g, s).size);
+  }
+}
+
+TEST(RandomGraphs, RegularXHasRequestedDegree) {
+  util::Rng rng(53);
+  const auto g = BipartiteGraph::random_regular_x(6, 10, 3, rng);
+  for (int x = 0; x < 6; ++x) {
+    EXPECT_EQ(g.neighbors_of_x(x).size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace ps::matching

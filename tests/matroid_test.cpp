@@ -1,0 +1,164 @@
+// Tests for the matroid toolkit: per-class behaviour, the matroid axioms via
+// the exhaustive checker (parameterized over all implementations), rank
+// submodularity, and the intersection constraint.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "matroid/matroid.hpp"
+#include "matroid/verify.hpp"
+#include "util/rng.hpp"
+
+namespace ps::matroid {
+namespace {
+
+TEST(UniformMatroid, SizeThreshold) {
+  UniformMatroid m(6, 2);
+  EXPECT_TRUE(m.is_independent(ItemSet(6)));
+  EXPECT_TRUE(m.is_independent(ItemSet(6, {0, 5})));
+  EXPECT_FALSE(m.is_independent(ItemSet(6, {0, 1, 2})));
+  EXPECT_TRUE(m.can_add(ItemSet(6, {0}), 1));
+  EXPECT_FALSE(m.can_add(ItemSet(6, {0, 1}), 2));
+  EXPECT_EQ(m.rank(), 2);
+}
+
+TEST(PartitionMatroid, PerClassCapacities) {
+  // Items 0,1,2 in class 0 (cap 1); items 3,4 in class 1 (cap 2).
+  PartitionMatroid m({0, 0, 0, 1, 1}, {1, 2});
+  EXPECT_TRUE(m.is_independent(ItemSet(5, {0, 3, 4})));
+  EXPECT_FALSE(m.is_independent(ItemSet(5, {0, 1})));
+  EXPECT_TRUE(m.can_add(ItemSet(5, {3}), 4));
+  EXPECT_FALSE(m.can_add(ItemSet(5, {0}), 1));
+  EXPECT_EQ(m.rank(), 3);
+}
+
+TEST(GraphicMatroid, ForestsAreIndependent) {
+  // Triangle 0-1-2 plus pendant edge 2-3.
+  GraphicMatroid m(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_TRUE(m.is_independent(ItemSet(4, {0, 1, 3})));
+  EXPECT_FALSE(m.is_independent(ItemSet(4, {0, 1, 2})));  // the triangle
+  EXPECT_EQ(m.rank(), 3);  // spanning tree of 4 vertices
+}
+
+TEST(GraphicMatroid, SelfLoopIsDependent) {
+  GraphicMatroid m(2, {{0, 0}, {0, 1}});
+  EXPECT_FALSE(m.is_independent(ItemSet(2, {0})));
+  EXPECT_TRUE(m.is_independent(ItemSet(2, {1})));
+}
+
+TEST(TransversalMatroid, MatchableSetsIndependent) {
+  // Elements 0,1 both want resource 0 only; element 2 may use 0 or 1.
+  TransversalMatroid m(2, {{0}, {0}, {0, 1}});
+  EXPECT_TRUE(m.is_independent(ItemSet(3, {0, 2})));
+  EXPECT_FALSE(m.is_independent(ItemSet(3, {0, 1})));
+  EXPECT_EQ(m.rank(), 2);
+}
+
+TEST(LaminarMatroid, NestedCapacities) {
+  // Inner {0,1} cap 1, outer {0,1,2,3} cap 2.
+  std::vector<LaminarMatroid::Constraint> constraints;
+  constraints.push_back({ItemSet(4, {0, 1}), 1});
+  constraints.push_back({ItemSet(4, {0, 1, 2, 3}), 2});
+  LaminarMatroid m(4, std::move(constraints));
+  EXPECT_TRUE(m.is_independent(ItemSet(4, {0, 2})));
+  EXPECT_FALSE(m.is_independent(ItemSet(4, {0, 1})));
+  EXPECT_FALSE(m.is_independent(ItemSet(4, {0, 2, 3})));
+  EXPECT_EQ(m.rank(), 2);
+}
+
+TEST(Matroid, RankOfSubset) {
+  UniformMatroid m(8, 3);
+  EXPECT_EQ(m.rank_of(ItemSet(8, {1, 2})), 2);
+  EXPECT_EQ(m.rank_of(ItemSet(8, {1, 2, 3, 4, 5})), 3);
+}
+
+TEST(MatroidIntersection, AllMustAgree) {
+  UniformMatroid uniform(4, 2);
+  PartitionMatroid partition({0, 0, 1, 1}, {1, 1});
+  MatroidIntersection both({&uniform, &partition});
+  EXPECT_TRUE(both.is_independent(ItemSet(4, {0, 2})));
+  EXPECT_FALSE(both.is_independent(ItemSet(4, {0, 1})));   // partition says no
+  EXPECT_FALSE(both.is_independent(ItemSet(4, {0, 2, 3})));  // both say no
+  EXPECT_TRUE(both.can_add(ItemSet(4, {0}), 2));
+  EXPECT_FALSE(both.can_add(ItemSet(4, {0}), 1));
+  EXPECT_EQ(both.max_rank(), 2);
+  EXPECT_EQ(both.ground_size(), 4);
+  EXPECT_EQ(both.num_matroids(), 2u);
+}
+
+// --- Axiom sweep over all implementations ----------------------------------
+
+struct MatroidCase {
+  const char* name;
+  std::function<std::unique_ptr<Matroid>(util::Rng&)> make;
+};
+
+class MatroidAxiomTest : public testing::TestWithParam<MatroidCase> {};
+
+TEST_P(MatroidAxiomTest, SatisfiesAxioms) {
+  util::Rng rng(71);
+  for (int instance = 0; instance < 3; ++instance) {
+    const auto m = GetParam().make(rng);
+    const auto violation = find_matroid_axiom_violation(*m);
+    EXPECT_FALSE(violation.has_value()) << GetParam().name << ": " << *violation;
+  }
+}
+
+TEST_P(MatroidAxiomTest, RankIsSubmodular) {
+  util::Rng rng(73);
+  const auto m = GetParam().make(rng);
+  const auto violation = find_rank_submodularity_violation(*m);
+  EXPECT_FALSE(violation.has_value()) << GetParam().name << ": " << *violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatroids, MatroidAxiomTest,
+    testing::Values(
+        MatroidCase{"uniform",
+                    [](util::Rng& rng) -> std::unique_ptr<Matroid> {
+                      return std::make_unique<UniformMatroid>(
+                          8, rng.uniform_int(0, 5));
+                    }},
+        MatroidCase{"partition",
+                    [](util::Rng& rng) -> std::unique_ptr<Matroid> {
+                      std::vector<int> class_of(8);
+                      for (auto& c : class_of) c = rng.uniform_int(0, 2);
+                      std::vector<int> caps{rng.uniform_int(1, 2),
+                                            rng.uniform_int(1, 2),
+                                            rng.uniform_int(1, 2)};
+                      return std::make_unique<PartitionMatroid>(class_of, caps);
+                    }},
+        MatroidCase{"graphic",
+                    [](util::Rng& rng) -> std::unique_ptr<Matroid> {
+                      std::vector<GraphicMatroid::Edge> edges;
+                      for (int e = 0; e < 8; ++e) {
+                        edges.push_back({rng.uniform_int(0, 4),
+                                         rng.uniform_int(0, 4)});
+                      }
+                      return std::make_unique<GraphicMatroid>(5, edges);
+                    }},
+        MatroidCase{"transversal",
+                    [](util::Rng& rng) -> std::unique_ptr<Matroid> {
+                      std::vector<std::vector<int>> res(8);
+                      for (auto& r : res) {
+                        const int d = rng.uniform_int(0, 3);
+                        r = rng.sample_without_replacement(4, d);
+                      }
+                      return std::make_unique<TransversalMatroid>(4, res);
+                    }},
+        MatroidCase{"laminar",
+                    [](util::Rng&) -> std::unique_ptr<Matroid> {
+                      std::vector<LaminarMatroid::Constraint> cs;
+                      cs.push_back({ItemSet(8, {0, 1, 2}), 2});
+                      cs.push_back({ItemSet(8, {0, 1}), 1});
+                      cs.push_back({ItemSet(8, {4, 5, 6, 7}), 3});
+                      cs.push_back({ItemSet(8, {4, 5}), 1});
+                      return std::make_unique<LaminarMatroid>(8, std::move(cs));
+                    }}),
+    [](const testing::TestParamInfo<MatroidCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ps::matroid

@@ -1,0 +1,267 @@
+// Tests for the Theorem 2.2.1 scheduler: feasibility, validation, agreement
+// between the incremental-oracle and stateless-recompute paths, behaviour
+// under each cost model, and the O(log n) bound against brute-force optima.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scheduling/baselines.hpp"
+#include "scheduling/generators.hpp"
+#include "scheduling/power_scheduler.hpp"
+#include "scheduling/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+TEST(PowerScheduler, SchedulesTrivialInstance) {
+  std::vector<Job> jobs(2);
+  jobs[0].allowed = {{0, 0}};
+  jobs[1].allowed = {{0, 1}};
+  SchedulingInstance instance(1, 3, std::move(jobs));
+  RestartCostModel model(2.0);
+
+  const auto result = schedule_all_jobs(instance, model);
+  EXPECT_TRUE(result.feasible);
+  const auto report = validate_schedule(result.schedule, instance, model, true);
+  EXPECT_TRUE(report.ok) << report.message;
+  // Optimal: one interval [0,2): alpha 2 + length 2.
+  EXPECT_DOUBLE_EQ(result.schedule.energy_cost, 4.0);
+}
+
+TEST(PowerScheduler, ReportsInfeasibleInstance) {
+  // Two jobs, one admissible slot between them.
+  std::vector<Job> jobs(2);
+  jobs[0].allowed = {{0, 0}};
+  jobs[1].allowed = {{0, 0}};
+  SchedulingInstance instance(1, 2, std::move(jobs));
+  RestartCostModel model(1.0);
+  const auto result = schedule_all_jobs(instance, model);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.schedule.num_scheduled(), 1);
+}
+
+TEST(PowerScheduler, ValidOnRandomFeasibleInstances) {
+  util::Rng rng(111);
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 8;
+    params.num_processors = 2;
+    params.horizon = 10;
+    const auto instance = random_feasible_instance(params, rng);
+    RestartCostModel model(rng.uniform_double(0.5, 4.0));
+    const auto result = schedule_all_jobs(instance, model);
+    ASSERT_TRUE(result.feasible) << "trial " << trial;
+    const auto report =
+        validate_schedule(result.schedule, instance, model, true);
+    EXPECT_TRUE(report.ok) << report.message;
+  }
+}
+
+TEST(PowerScheduler, IncrementalOracleMatchesStateless) {
+  util::Rng rng(113);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 6;
+    params.num_processors = 2;
+    params.horizon = 8;
+    const auto instance = random_feasible_instance(params, rng);
+    RestartCostModel model(2.0);
+
+    PowerSchedulerOptions fast;
+    fast.use_incremental_oracle = true;
+    PowerSchedulerOptions slow = fast;
+    slow.use_incremental_oracle = false;
+
+    const auto a = schedule_all_jobs(instance, model, fast);
+    const auto b = schedule_all_jobs(instance, model, slow);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_NEAR(a.schedule.energy_cost, b.schedule.energy_cost, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(PowerScheduler, LazyMatchesPlainGreedy) {
+  util::Rng rng(117);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 6;
+    params.num_processors = 2;
+    params.horizon = 8;
+    const auto instance = random_feasible_instance(params, rng);
+    RestartCostModel model(1.5);
+
+    PowerSchedulerOptions lazy;
+    lazy.lazy = true;
+    PowerSchedulerOptions plain = lazy;
+    plain.lazy = false;
+
+    const auto a = schedule_all_jobs(instance, model, lazy);
+    const auto b = schedule_all_jobs(instance, model, plain);
+    EXPECT_NEAR(a.schedule.energy_cost, b.schedule.energy_cost, 1e-9);
+    // On tiny instances lazy's initial sweep can cost one extra evaluation;
+    // the asymptotic saving is the subject of ablation bench A1.
+    EXPECT_LE(a.gain_evaluations, b.gain_evaluations + 2);
+  }
+}
+
+TEST(PowerScheduler, WithinLogNOfBruteForceOptimum) {
+  util::Rng rng(119);
+  int compared = 0;
+  for (int trial = 0; trial < 20 && compared < 10; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 4;
+    params.num_processors = 2;
+    params.horizon = 6;
+    params.window_length = 2;
+    const auto instance = random_feasible_instance(params, rng);
+    RestartCostModel model(rng.uniform_double(0.5, 3.0));
+
+    const auto opt = brute_force_min_cost_all_jobs(instance, model);
+    if (!opt) continue;
+    const auto opt_report = validate_schedule(*opt, instance, model, true);
+    ASSERT_TRUE(opt_report.ok) << opt_report.message;
+
+    const auto greedy = schedule_all_jobs(instance, model);
+    ASSERT_TRUE(greedy.feasible);
+    // Theorem 2.2.1 bound with the lemma's constant: 2·log2(n+1)·B.
+    const double bound =
+        2.0 * std::log2(static_cast<double>(params.num_jobs) + 1.0);
+    EXPECT_LE(greedy.schedule.energy_cost,
+              opt->energy_cost * bound + 1e-9)
+        << "trial " << trial;
+    EXPECT_GE(greedy.schedule.energy_cost, opt->energy_cost - 1e-9);
+    ++compared;
+  }
+  EXPECT_GE(compared, 10);
+}
+
+TEST(PowerScheduler, HandlesTimeVaryingPrices) {
+  util::Rng rng(121);
+  RandomInstanceParams params;
+  params.num_jobs = 6;
+  params.num_processors = 2;
+  params.horizon = 12;
+  const auto instance = random_feasible_instance(params, rng);
+  TimeVaryingCostModel model(1.0, sinusoidal_prices(12, 0.5, 3.0, 12));
+  const auto result = schedule_all_jobs(instance, model);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(validate_schedule(result.schedule, instance, model, true).ok);
+}
+
+TEST(PowerScheduler, HandlesConvexFanCost) {
+  util::Rng rng(123);
+  RandomInstanceParams params;
+  params.num_jobs = 5;
+  params.num_processors = 2;
+  params.horizon = 8;
+  const auto instance = random_feasible_instance(params, rng);
+  ConvexFanCostModel model(1.0, 0.5);
+  const auto result = schedule_all_jobs(instance, model);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(validate_schedule(result.schedule, instance, model, true).ok);
+}
+
+TEST(PowerScheduler, RespectsUnavailability) {
+  std::vector<Job> jobs(1);
+  jobs[0].allowed = {{0, 0}, {0, 2}};
+  SchedulingInstance instance(1, 3, std::move(jobs));
+  RestartCostModel base(1.0);
+  UnavailabilityCostModel model(base, 1, 3, {{0, 0}});
+  const auto result = schedule_all_jobs(instance, model);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.schedule.assignment[0], instance.slot_index(0, 2));
+  EXPECT_TRUE(validate_schedule(result.schedule, instance, model, true).ok);
+}
+
+TEST(Baselines, AlwaysOnIsFeasibleAndExpensive) {
+  util::Rng rng(127);
+  RandomInstanceParams params;
+  params.num_jobs = 6;
+  params.num_processors = 2;
+  params.horizon = 10;
+  const auto instance = random_feasible_instance(params, rng);
+  RestartCostModel model(2.0);
+
+  const auto always_on = schedule_always_on(instance, model);
+  ASSERT_TRUE(always_on.has_value());
+  EXPECT_TRUE(validate_schedule(*always_on, instance, model, true).ok);
+
+  const auto greedy = schedule_all_jobs(instance, model);
+  ASSERT_TRUE(greedy.feasible);
+  EXPECT_LE(greedy.schedule.energy_cost, always_on->energy_cost + 1e-9);
+}
+
+TEST(Baselines, PerJobNaivePaysAlphaPerJob) {
+  util::Rng rng(131);
+  RandomInstanceParams params;
+  params.num_jobs = 5;
+  params.num_processors = 2;
+  params.horizon = 8;
+  const auto instance = random_feasible_instance(params, rng);
+  RestartCostModel model(3.0);
+
+  const auto naive = schedule_per_job_naive(instance, model);
+  ASSERT_TRUE(naive.has_value());
+  EXPECT_TRUE(validate_schedule(*naive, instance, model, true).ok);
+  EXPECT_DOUBLE_EQ(naive->energy_cost, 5.0 * (3.0 + 1.0));
+}
+
+TEST(Baselines, ReturnNulloptOnInfeasible) {
+  std::vector<Job> jobs(2);
+  jobs[0].allowed = {{0, 0}};
+  jobs[1].allowed = {{0, 0}};
+  SchedulingInstance instance(1, 1, std::move(jobs));
+  RestartCostModel model(1.0);
+  EXPECT_FALSE(schedule_always_on(instance, model).has_value());
+  EXPECT_FALSE(schedule_per_job_naive(instance, model).has_value());
+  EXPECT_FALSE(brute_force_min_cost_all_jobs(instance, model).has_value());
+}
+
+TEST(BruteForce, FindsKnownOptimum) {
+  // Two jobs on one processor at slots 0 and 3; alpha=1 makes sleeping
+  // through the 2-slot gap cheaper than bridging.
+  std::vector<Job> jobs(2);
+  jobs[0].allowed = {{0, 0}};
+  jobs[1].allowed = {{0, 3}};
+  SchedulingInstance instance(1, 4, std::move(jobs));
+  RestartCostModel model(1.0);
+  const auto opt = brute_force_min_cost_all_jobs(instance, model);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_DOUBLE_EQ(opt->energy_cost, 2.0 * (1.0 + 1.0));
+
+  // With alpha=5, bridging wins: one interval [0,4).
+  RestartCostModel expensive_restart(5.0);
+  const auto opt2 = brute_force_min_cost_all_jobs(instance, expensive_restart);
+  ASSERT_TRUE(opt2.has_value());
+  EXPECT_DOUBLE_EQ(opt2->energy_cost, 5.0 + 4.0);
+}
+
+TEST(BruteForce, PrizeCollectingVariantMatchesValueTarget) {
+  std::vector<Job> jobs(3);
+  jobs[0].allowed = {{0, 0}};
+  jobs[0].value = 5.0;
+  jobs[1].allowed = {{0, 3}};
+  jobs[1].value = 1.0;
+  jobs[2].allowed = {{0, 1}};
+  jobs[2].value = 2.0;
+  SchedulingInstance instance(1, 4, std::move(jobs));
+  RestartCostModel model(1.0);
+
+  // Z=5: job 0 alone suffices; optimum = one singleton interval.
+  const auto opt = brute_force_min_cost_value(instance, model, 5.0);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_DOUBLE_EQ(opt->energy_cost, 2.0);
+  EXPECT_GE(opt->scheduled_value(instance), 5.0);
+
+  // Z=8: all three jobs needed.
+  const auto opt8 = brute_force_min_cost_value(instance, model, 8.0);
+  ASSERT_TRUE(opt8.has_value());
+  EXPECT_GE(opt8->scheduled_value(instance), 8.0);
+
+  // Z too large: infeasible.
+  EXPECT_FALSE(brute_force_min_cost_value(instance, model, 9.0).has_value());
+}
+
+}  // namespace
+}  // namespace ps::scheduling

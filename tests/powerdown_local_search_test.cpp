@@ -1,0 +1,118 @@
+// Tests for the online power-down policies (prior-work substrate) and the
+// matroid local-search maximizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matroid/local_search.hpp"
+#include "scheduling/powerdown.hpp"
+#include "submodular/coverage.hpp"
+#include "submodular/cut.hpp"
+#include "submodular/greedy.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ps {
+namespace {
+
+TEST(Powerdown, OfflinePaysMinPerGap) {
+  EXPECT_DOUBLE_EQ(
+      scheduling::powerdown_offline_cost({1.0, 5.0, 2.0}, 3.0),
+      1.0 + 3.0 + 2.0);
+  EXPECT_DOUBLE_EQ(scheduling::powerdown_offline_cost({}, 3.0), 0.0);
+}
+
+TEST(Powerdown, BreakEvenIsTwoCompetitive) {
+  util::Rng rng(1601);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double alpha = rng.uniform_double(0.5, 5.0);
+    std::vector<double> gaps(static_cast<std::size_t>(rng.uniform_int(1, 30)));
+    for (auto& g : gaps) g = rng.exponential(1.0 / alpha);
+    const double off = scheduling::powerdown_offline_cost(gaps, alpha);
+    const double on = scheduling::powerdown_break_even_cost(gaps, alpha);
+    EXPECT_GE(on, off - 1e-9);
+    EXPECT_LE(on, 2.0 * off + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Powerdown, EagerAndNeverAreUnboundedlyBad) {
+  // Eager: terrible on many short gaps. Never: terrible on one long gap.
+  const double alpha = 10.0;
+  std::vector<double> short_gaps(100, 0.01);
+  EXPECT_GT(scheduling::powerdown_eager_sleep_cost(short_gaps, alpha) /
+                scheduling::powerdown_offline_cost(short_gaps, alpha),
+            100.0);
+  std::vector<double> long_gap{10000.0};
+  EXPECT_GT(scheduling::powerdown_never_sleep_cost(long_gap, alpha) /
+                scheduling::powerdown_offline_cost(long_gap, alpha),
+            100.0);
+}
+
+TEST(Powerdown, RandomizedBeatsDeterministicOnAdversarialGap) {
+  // The adversarial gap for break-even is just past α: deterministic pays
+  // 2α, randomized pays ~1.58α in expectation.
+  util::Rng rng(1607);
+  const double alpha = 1.0;
+  std::vector<double> gaps(20000, alpha + 1e-9);
+  const double off = scheduling::powerdown_offline_cost(gaps, alpha);
+  const double det = scheduling::powerdown_break_even_cost(gaps, alpha);
+  const double rand_cost =
+      scheduling::powerdown_randomized_cost(gaps, alpha, rng);
+  EXPECT_NEAR(det / off, 2.0, 1e-6);
+  const double e = std::exp(1.0);
+  EXPECT_NEAR(rand_cost / off, e / (e - 1.0), 0.02);
+}
+
+TEST(LocalSearch, MatchesGreedyBallparkOnCoverage) {
+  util::Rng rng(1613);
+  const auto f = submodular::CoverageFunction::random(14, 20, 4, 2.0, rng);
+  matroid::UniformMatroid uniform(14, 4);
+  matroid::MatroidIntersection constraint({&uniform});
+  const auto ls = matroid::local_search_max(f, constraint);
+  const auto opt = submodular::exhaustive_max_cardinality(f, 4);
+  EXPECT_TRUE(constraint.is_independent(ls.chosen));
+  EXPECT_GE(ls.value, 0.5 * opt.value - 1e-9);  // 1-matroid guarantee
+}
+
+TEST(LocalSearch, RespectsIntersection) {
+  util::Rng rng(1617);
+  const auto f = submodular::CoverageFunction::random(12, 16, 4, 2.0, rng);
+  std::vector<int> class_of(12);
+  for (int i = 0; i < 12; ++i) class_of[i] = i / 4;
+  matroid::PartitionMatroid partition(class_of, {1, 1, 1});
+  matroid::UniformMatroid uniform(12, 2);
+  matroid::MatroidIntersection constraint({&partition, &uniform});
+  const auto ls = matroid::local_search_max(f, constraint);
+  EXPECT_TRUE(constraint.is_independent(ls.chosen));
+  EXPECT_LE(ls.chosen.size(), 2);
+  EXPECT_GT(ls.value, 0.0);
+}
+
+TEST(LocalSearch, DropMovesHelpNonMonotone) {
+  // For cut functions the full set has value 0; local search must be able
+  // to end at a proper subset.
+  util::Rng rng(1619);
+  const auto f = submodular::GraphCutFunction::random(10, 0.5, 3.0, rng);
+  matroid::UniformMatroid uniform(10, 10);  // unconstrained
+  matroid::MatroidIntersection constraint({&uniform});
+  const auto ls = matroid::local_search_max(f, constraint);
+  EXPECT_GT(ls.value, 0.0);
+  EXPECT_LT(ls.chosen.size(), 10);
+  // Local optimality for cuts at an add/drop/swap optimum guarantees at
+  // least ~1/3 of the max cut; assert a loose floor vs exhaustive.
+  const auto opt = submodular::exhaustive_max_cardinality(f, 10);
+  EXPECT_GE(ls.value, opt.value / 3.0 - 1e-9);
+}
+
+TEST(LocalSearch, TerminatesOnDegenerateInstances) {
+  // All-zero function: no move ever improves.
+  submodular::CoverageFunction f(3, {{}, {}, {}});
+  matroid::UniformMatroid uniform(3, 2);
+  matroid::MatroidIntersection constraint({&uniform});
+  const auto ls = matroid::local_search_max(f, constraint);
+  EXPECT_DOUBLE_EQ(ls.value, 0.0);
+  EXPECT_EQ(ls.moves, 0);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,167 @@
+// Tests for the Section 2.3 prize-collecting schedulers (Theorems 2.3.1 and
+// 2.3.3): value targets, validation, and cost bounds against brute force.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scheduling/baselines.hpp"
+#include "scheduling/generators.hpp"
+#include "scheduling/prize_collecting.hpp"
+#include "scheduling/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+SchedulingInstance weighted_instance(util::Rng& rng, int num_jobs = 6,
+                                     double max_value = 5.0) {
+  RandomInstanceParams params;
+  params.num_jobs = num_jobs;
+  params.num_processors = 2;
+  params.horizon = 8;
+  params.min_value = 1.0;
+  params.max_value = max_value;
+  return random_feasible_instance(params, rng);
+}
+
+TEST(PrizeCollecting, FractionTargetReached) {
+  util::Rng rng(211);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = weighted_instance(rng);
+    RestartCostModel model(2.0);
+    const double z = 0.6 * instance.total_value();
+    PrizeCollectingOptions options;
+    options.epsilon = 0.2;
+    const auto result =
+        schedule_value_fraction(instance, model, z, options);
+    EXPECT_TRUE(result.reached_target) << trial;
+    EXPECT_GE(result.value, (1.0 - options.epsilon) * z - 1e-9);
+    const auto report =
+        validate_schedule(result.schedule, instance, model, false);
+    EXPECT_TRUE(report.ok) << report.message;
+    EXPECT_NEAR(result.schedule.scheduled_value(instance), result.value,
+                1e-9);
+  }
+}
+
+TEST(PrizeCollecting, ValueAtLeastReachesExactly) {
+  util::Rng rng(223);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = weighted_instance(rng);
+    RestartCostModel model(1.5);
+    const double z = 0.7 * instance.total_value();
+    const auto result = schedule_value_at_least(instance, model, z);
+    EXPECT_TRUE(result.reached_target) << trial;
+    EXPECT_GE(result.value, z - 1e-9);
+    EXPECT_TRUE(
+        validate_schedule(result.schedule, instance, model, false).ok);
+  }
+}
+
+TEST(PrizeCollecting, FullValueTargetSchedulesEverything) {
+  util::Rng rng(227);
+  const auto instance = weighted_instance(rng);
+  RestartCostModel model(1.0);
+  const auto result =
+      schedule_value_at_least(instance, model, instance.total_value());
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_EQ(result.schedule.num_scheduled(), instance.num_jobs());
+}
+
+TEST(PrizeCollecting, InfeasibleTargetReported) {
+  util::Rng rng(229);
+  const auto instance = weighted_instance(rng);
+  RestartCostModel model(1.0);
+  const auto result = schedule_value_at_least(
+      instance, model, instance.total_value() * 2.0);
+  EXPECT_FALSE(result.reached_target);
+}
+
+TEST(PrizeCollecting, PrefersValuableJobsUnderTightTarget) {
+  // One slot available; two jobs compete. The scheduler must pick the
+  // valuable one to reach Z.
+  std::vector<Job> jobs(2);
+  jobs[0].allowed = {{0, 0}};
+  jobs[0].value = 1.0;
+  jobs[1].allowed = {{0, 0}};
+  jobs[1].value = 9.0;
+  SchedulingInstance instance(1, 1, std::move(jobs));
+  RestartCostModel model(1.0);
+  const auto result = schedule_value_at_least(instance, model, 9.0);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_EQ(result.schedule.assignment[1], instance.slot_index(0, 0));
+  EXPECT_EQ(result.schedule.assignment[0], -1);
+}
+
+TEST(PrizeCollecting, CostWithinTheoremBoundOfBruteForce) {
+  util::Rng rng(233);
+  int compared = 0;
+  for (int trial = 0; trial < 25 && compared < 8; ++trial) {
+    RandomInstanceParams params;
+    params.num_jobs = 4;
+    params.num_processors = 2;
+    params.horizon = 6;
+    params.window_length = 2;
+    params.min_value = 1.0;
+    params.max_value = 4.0;
+    const auto instance = random_feasible_instance(params, rng);
+    RestartCostModel model(rng.uniform_double(0.5, 2.0));
+    const double z = 0.6 * instance.total_value();
+
+    const auto opt = brute_force_min_cost_value(instance, model, z);
+    if (!opt) continue;
+    const auto result = schedule_value_at_least(instance, model, z);
+    ASSERT_TRUE(result.reached_target) << trial;
+    // Theorem 2.3.3: O((log n + log Δ)·B); constant 2 per phase plus the
+    // one completion interval of cost <= B.
+    const double n = params.num_jobs;
+    const double spread = instance.value_spread();
+    const double bound =
+        2.0 * std::log2(n * spread / 1.0 + 2.0) + 1.0;
+    EXPECT_LE(result.schedule.energy_cost, opt->energy_cost * bound + 1e-9)
+        << "trial " << trial << " opt=" << opt->energy_cost;
+    ++compared;
+  }
+  EXPECT_GE(compared, 8);
+}
+
+TEST(PrizeCollecting, MonotoneInTarget) {
+  // Higher Z should never produce lower scheduled value.
+  util::Rng rng(239);
+  const auto instance = weighted_instance(rng);
+  RestartCostModel model(1.0);
+  double previous_value = 0.0;
+  for (double frac : {0.2, 0.5, 0.8, 1.0}) {
+    const auto result = schedule_value_at_least(
+        instance, model, frac * instance.total_value());
+    EXPECT_GE(result.value, previous_value - 1e-9);
+    previous_value = result.value;
+  }
+}
+
+TEST(PrizeCollecting, ZeroTargetCostsNothing) {
+  util::Rng rng(241);
+  const auto instance = weighted_instance(rng);
+  RestartCostModel model(1.0);
+  const auto result = schedule_value_fraction(instance, model, 0.0);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_DOUBLE_EQ(result.schedule.energy_cost, 0.0);
+  EXPECT_EQ(result.schedule.num_scheduled(), 0);
+}
+
+TEST(PrizeCollecting, UniformValuesMatchCardinalityBehaviour) {
+  // With unit values, value targets behave like job-count targets.
+  util::Rng rng(251);
+  RandomInstanceParams params;
+  params.num_jobs = 6;
+  params.num_processors = 2;
+  params.horizon = 8;
+  const auto instance = random_feasible_instance(params, rng);
+  RestartCostModel model(1.0);
+  const auto result = schedule_value_at_least(instance, model, 4.0);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_GE(result.schedule.num_scheduled(), 4);
+}
+
+}  // namespace
+}  // namespace ps::scheduling

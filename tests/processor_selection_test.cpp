@@ -1,0 +1,128 @@
+// Tests for the online processor-selection bridge (Chapter 1's motivating
+// story for the secretary setting): the processor-coverage utility is
+// monotone submodular, offline greedy earns its (1-1/e), and the online
+// hire-k algorithm is competitive.
+#include <gtest/gtest.h>
+
+#include "scheduling/generators.hpp"
+#include "scheduling/processor_selection.hpp"
+#include "secretary/harness.hpp"
+#include "submodular/greedy.hpp"
+#include "submodular/verify.hpp"
+#include "util/rng.hpp"
+
+namespace ps::scheduling {
+namespace {
+
+SchedulingInstance many_processor_instance(util::Rng& rng, int processors,
+                                           int jobs) {
+  RandomInstanceParams params;
+  params.num_jobs = jobs;
+  params.num_processors = processors;
+  params.horizon = 6;
+  params.windows_per_job = 2;
+  params.window_length = 2;
+  return random_instance(params, rng);
+}
+
+TEST(ProcessorCoverage, CountsSchedulableJobs) {
+  // Jobs 0,1 need P0; job 2 needs P1.
+  std::vector<Job> jobs(3);
+  jobs[0].allowed = {{0, 0}};
+  jobs[1].allowed = {{0, 1}};
+  jobs[2].allowed = {{1, 0}};
+  SchedulingInstance instance(2, 3, std::move(jobs));
+  ProcessorCoverageFunction f(instance);
+  EXPECT_EQ(f.ground_size(), 2);
+  EXPECT_DOUBLE_EQ(f.value(submodular::ItemSet(2)), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(submodular::ItemSet(2, {0})), 2.0);
+  EXPECT_DOUBLE_EQ(f.value(submodular::ItemSet(2, {1})), 1.0);
+  EXPECT_DOUBLE_EQ(f.value(submodular::ItemSet::full(2)), 3.0);
+}
+
+TEST(ProcessorValue, SumsJobValues) {
+  std::vector<Job> jobs(2);
+  jobs[0].allowed = {{0, 0}};
+  jobs[0].value = 5.0;
+  jobs[1].allowed = {{1, 0}};
+  jobs[1].value = 2.0;
+  SchedulingInstance instance(2, 2, std::move(jobs));
+  ProcessorValueFunction f(instance);
+  EXPECT_DOUBLE_EQ(f.value(submodular::ItemSet(2, {0})), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(submodular::ItemSet::full(2)), 7.0);
+}
+
+TEST(ProcessorCoverage, IsMonotoneSubmodular) {
+  util::Rng rng(801);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto instance = many_processor_instance(rng, 8, 10);
+    ProcessorCoverageFunction f(instance);
+    EXPECT_FALSE(
+        submodular::find_monotonicity_violation_exhaustive(f).has_value());
+    EXPECT_FALSE(
+        submodular::find_submodularity_violation_exhaustive(f).has_value());
+  }
+}
+
+TEST(ProcessorValue, IsMonotoneSubmodular) {
+  util::Rng rng(803);
+  RandomInstanceParams params;
+  params.num_jobs = 10;
+  params.num_processors = 7;
+  params.horizon = 5;
+  params.min_value = 1.0;
+  params.max_value = 6.0;
+  const auto instance = random_instance(params, rng);
+  ProcessorValueFunction f(instance);
+  EXPECT_FALSE(
+      submodular::find_monotonicity_violation_exhaustive(f).has_value());
+  EXPECT_FALSE(
+      submodular::find_submodularity_violation_exhaustive(f).has_value());
+}
+
+TEST(ProcessorHiring, OfflineGreedyNearOptimal) {
+  util::Rng rng(807);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto instance = many_processor_instance(rng, 8, 12);
+    ProcessorCoverageFunction f(instance);
+    const auto offline = hire_processors_offline_greedy(instance, 3);
+    const auto opt = submodular::exhaustive_max_cardinality(f, 3);
+    EXPECT_GE(offline.jobs_covered,
+              (1.0 - 1.0 / 2.71828) * opt.value - 1e-9);
+    EXPECT_LE(offline.hired.size(), 3);
+  }
+}
+
+TEST(ProcessorHiring, OnlineHiresAtMostK) {
+  util::Rng rng(809);
+  const auto instance = many_processor_instance(rng, 10, 12);
+  for (int trial = 0; trial < 10; ++trial) {
+    util::Rng trial_rng(trial);
+    const auto order = trial_rng.permutation(10);
+    const auto result = hire_processors_online(instance, 4, order);
+    EXPECT_LE(result.hired.size(), 4);
+    ProcessorCoverageFunction f(instance);
+    EXPECT_DOUBLE_EQ(result.jobs_covered, f.value(result.hired));
+  }
+}
+
+TEST(ProcessorHiring, OnlineCompetitiveOnAverage) {
+  util::Rng rng(811);
+  const auto instance = many_processor_instance(rng, 12, 20);
+  const auto offline = hire_processors_offline_greedy(instance, 4);
+  ASSERT_GT(offline.jobs_covered, 0.0);
+
+  secretary::MonteCarloOptions mc;
+  mc.trials = 500;
+  mc.num_threads = 4;
+  const auto acc = secretary::monte_carlo_values(
+      12,
+      [&](const std::vector<int>& order, util::Rng&) {
+        return hire_processors_online(instance, 4, order).jobs_covered;
+      },
+      mc);
+  EXPECT_GT(acc.mean() / offline.jobs_covered, 0.3);
+}
+
+}  // namespace
+}  // namespace ps::scheduling

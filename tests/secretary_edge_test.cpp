@@ -1,0 +1,191 @@
+// Edge-case tests for the online algorithms: degenerate stream sizes,
+// k at the extremes, segments too small to observe, empty selections, and
+// determinism guarantees.
+#include <gtest/gtest.h>
+
+#include "matroid/matroid.hpp"
+#include "secretary/bottleneck.hpp"
+#include "secretary/classic.hpp"
+#include "secretary/knapsack_secretary.hpp"
+#include "secretary/matroid_secretary.hpp"
+#include "secretary/subadditive.hpp"
+#include "secretary/submodular_secretary.hpp"
+#include "submodular/additive.hpp"
+#include "submodular/coverage.hpp"
+#include "util/rng.hpp"
+
+namespace ps::secretary {
+namespace {
+
+using submodular::AdditiveFunction;
+using submodular::ItemSet;
+
+TEST(ClassicEdge, EmptyAndSingleton) {
+  EXPECT_EQ(run_classic_secretary({}).picked_position, -1);
+  const auto one = run_classic_secretary({5.0});
+  // With zero observation the rule takes the first item.
+  EXPECT_EQ(one.picked_position, 0);
+  EXPECT_TRUE(one.picked_best);
+}
+
+TEST(ClassicEdge, ObservationEqualsN) {
+  const auto r = run_classic_secretary({1.0, 2.0, 3.0}, 3);
+  EXPECT_EQ(r.picked_position, -1);
+}
+
+TEST(ClassicEdge, TiesDoNotSurpass) {
+  // Equal values never beat the benchmark: nothing is picked.
+  const auto r = run_classic_secretary({4.0, 4.0, 4.0, 4.0}, 2);
+  EXPECT_EQ(r.picked_position, -1);
+}
+
+TEST(Algorithm1Edge, KEqualsOne) {
+  AdditiveFunction f({1.0, 9.0, 3.0, 4.0, 5.0, 2.0});
+  util::Rng rng(1101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto order = rng.permutation(6);
+    const auto result = monotone_submodular_secretary(f, 1, order);
+    EXPECT_LE(result.chosen.size(), 1);
+  }
+}
+
+TEST(Algorithm1Edge, KEqualsN) {
+  // One-item segments: no observation window, the first (only) item of each
+  // segment is taken whenever it does not decrease f.
+  AdditiveFunction f({1.0, 2.0, 3.0, 4.0});
+  const std::vector<int> order{0, 1, 2, 3};
+  const auto result = monotone_submodular_secretary(f, 4, order);
+  EXPECT_EQ(result.chosen.size(), 4);
+  EXPECT_DOUBLE_EQ(result.value, 10.0);
+}
+
+TEST(Algorithm1Edge, KLargerThanN) {
+  AdditiveFunction f({2.0, 1.0});
+  const std::vector<int> order{0, 1};
+  const auto result = monotone_submodular_secretary(f, 7, order);
+  EXPECT_LE(result.chosen.size(), 2);
+  EXPECT_GE(result.value, 0.0);
+}
+
+TEST(Algorithm1Edge, EmptyRangeSelectsNothing) {
+  AdditiveFunction f({1.0, 2.0, 3.0});
+  const std::vector<int> order{0, 1, 2};
+  const auto result = monotone_submodular_secretary_range(f, 2, order, 1, 1);
+  EXPECT_TRUE(result.chosen.empty());
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(Algorithm1Edge, DeterministicForFixedOrder) {
+  util::Rng rng(1103);
+  const auto f = submodular::CoverageFunction::random(12, 15, 4, 2.0, rng);
+  const auto order = rng.permutation(12);
+  const auto a = monotone_submodular_secretary(f, 3, order);
+  const auto b = monotone_submodular_secretary(f, 3, order);
+  EXPECT_EQ(a.chosen, b.chosen);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+TEST(Algorithm2Edge, TwoItemStream) {
+  AdditiveFunction f({3.0, 4.0});
+  const std::vector<int> order{0, 1};
+  util::Rng rng(1107);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto result = submodular_secretary(f, 1, order, rng);
+    EXPECT_LE(result.chosen.size(), 1);
+  }
+}
+
+TEST(MatroidEdge, RankOneMatroid) {
+  AdditiveFunction f({1.0, 5.0, 2.0});
+  matroid::UniformMatroid uniform(3, 1);
+  matroid::MatroidIntersection constraint({&uniform});
+  util::Rng rng(1109);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto order = rng.permutation(3);
+    const auto result =
+        matroid_submodular_secretary(f, constraint, order, rng);
+    EXPECT_LE(result.chosen.size(), 1);
+    EXPECT_TRUE(constraint.is_independent(result.chosen));
+  }
+}
+
+TEST(MatroidEdge, EmptyMatroidSelectsNothing) {
+  AdditiveFunction f({1.0, 2.0});
+  matroid::UniformMatroid nothing(2, 0);
+  matroid::MatroidIntersection constraint({&nothing});
+  util::Rng rng(1113);
+  const auto order = rng.permutation(2);
+  const auto result = matroid_submodular_secretary(f, constraint, order, rng);
+  EXPECT_TRUE(result.chosen.empty());
+}
+
+TEST(KnapsackEdge, AllItemsTooHeavy) {
+  AdditiveFunction f({3.0, 4.0, 5.0});
+  std::vector<double> weights{2.0, 2.0, 2.0};
+  util::Rng rng(1117);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto order = rng.permutation(3);
+    const auto result =
+        knapsack_submodular_secretary(f, weights, 1.0, order, rng);
+    EXPECT_TRUE(result.chosen.empty());
+    EXPECT_DOUBLE_EQ(result.value, 0.0);
+  }
+}
+
+TEST(KnapsackEdge, OfflineGreedyEmptyCapacity) {
+  AdditiveFunction f({3.0, 4.0});
+  const auto result = offline_knapsack_greedy(f, {1.0, 1.0}, 0.0);
+  EXPECT_TRUE(result.chosen.empty());
+}
+
+TEST(KnapsackEdge, ZeroWeightItemsNeverBlock) {
+  // Weight 0 items are skipped by the density rule (undefined density);
+  // the algorithm must not crash or divide by zero.
+  AdditiveFunction f({3.0, 4.0});
+  util::Rng rng(1119);
+  const auto order = rng.permutation(2);
+  const auto result =
+      knapsack_submodular_secretary(f, {0.0, 0.5}, 1.0, order, rng);
+  EXPECT_LE(result.chosen.size(), 2);
+}
+
+TEST(SubadditiveEdge, KEqualsN) {
+  AdditiveFunction f({1.0, 2.0, 3.0});
+  util::Rng rng(1123);
+  const auto order = rng.permutation(3);
+  const auto result = random_segment_secretary(f, 3, order, rng);
+  EXPECT_EQ(result.chosen.size(), 3);  // single segment = everything
+  EXPECT_DOUBLE_EQ(result.value, 6.0);
+}
+
+TEST(SubadditiveEdge, KEqualsOneSelectsSingleton) {
+  AdditiveFunction f({1.0, 2.0, 3.0, 4.0});
+  util::Rng rng(1129);
+  const auto order = rng.permutation(4);
+  const auto result = random_segment_secretary(f, 1, order, rng);
+  EXPECT_EQ(result.chosen.size(), 1);
+}
+
+TEST(BottleneckEdge, KEqualsNObservesLittle) {
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  util::Rng rng(1131);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto order = rng.permutation(4);
+    const auto result = bottleneck_secretary(values, 4, order);
+    EXPECT_LE(result.chosen.size(), 4);
+    // Threshold is the first arrival, so the k best can never include it:
+    // hired_k requires 4 record-beaters among 3 remaining — impossible.
+    EXPECT_FALSE(result.hired_k);
+  }
+}
+
+TEST(ObliviousEdge, MoreSegmentsThanItems) {
+  std::vector<double> values{5.0, 1.0};
+  util::Rng rng(1137);
+  const auto order = rng.permutation(2);
+  const auto result = oblivious_topk_secretary(values, 5, order);
+  EXPECT_LE(result.chosen.size(), 2);
+}
+
+}  // namespace
+}  // namespace ps::secretary

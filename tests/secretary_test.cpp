@@ -1,0 +1,387 @@
+// Tests for the online algorithms of Chapter 3: the classic rule's 1/e
+// success probability, Algorithms 1-3, the knapsack and subadditive
+// algorithms, and the Section 3.6 aggregates — including the theorem-level
+// competitive floors measured by Monte Carlo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matroid/matroid.hpp"
+#include "secretary/bottleneck.hpp"
+#include "secretary/classic.hpp"
+#include "secretary/harness.hpp"
+#include "secretary/knapsack_secretary.hpp"
+#include "secretary/matroid_secretary.hpp"
+#include "secretary/subadditive.hpp"
+#include "secretary/submodular_secretary.hpp"
+#include "submodular/additive.hpp"
+#include "submodular/aggregates.hpp"
+#include "submodular/coverage.hpp"
+#include "submodular/cut.hpp"
+#include "submodular/greedy.hpp"
+#include "submodular/hidden_good_set.hpp"
+#include "util/rng.hpp"
+
+namespace ps::secretary {
+namespace {
+
+using submodular::ItemSet;
+
+TEST(Classic, ObservationLengthApproachesNOverE) {
+  EXPECT_EQ(classic_observation_length(1), 0);
+  for (int n : {10, 100, 1000}) {
+    const int t = classic_observation_length(n);
+    EXPECT_NEAR(static_cast<double>(t) / n, 1.0 / 2.71828, 0.12) << n;
+  }
+}
+
+TEST(Classic, AlwaysPicksSomethingWhenLastIsBest) {
+  // Values increasing: the best is last, rule fires on it (or earlier items
+  // that beat the observed max).
+  std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto result = run_classic_secretary(values);
+  EXPECT_GE(result.picked_position, 0);
+}
+
+TEST(Classic, NeverPicksDuringObservation) {
+  std::vector<double> values{10, 1, 1, 1, 1, 1};
+  const auto result = run_classic_secretary(values, 3);
+  EXPECT_EQ(result.picked_position, -1);  // nothing beats the observed 10
+}
+
+TEST(Classic, SuccessProbabilityNearOneOverE) {
+  MonteCarloOptions options;
+  options.trials = 20000;
+  options.num_threads = 4;
+  const int n = 60;
+  const double p = monte_carlo_probability(
+      n,
+      [&](const std::vector<int>& order, util::Rng&) {
+        std::vector<double> values(order.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+          values[i] = static_cast<double>(order[i]);  // ranks as values
+        }
+        return run_classic_secretary(values).picked_best;
+      },
+      options);
+  EXPECT_NEAR(p, 1.0 / 2.71828, 0.03);
+}
+
+TEST(Classic, HarnessIsThreadCountInvariant) {
+  MonteCarloOptions serial;
+  serial.trials = 500;
+  serial.num_threads = 1;
+  MonteCarloOptions parallel = serial;
+  parallel.num_threads = 4;
+  auto trial_fn = [](const std::vector<int>& order, util::Rng&) {
+    return static_cast<double>(order[0]);
+  };
+  const auto a = monte_carlo_values(20, trial_fn, serial);
+  const auto b = monte_carlo_values(20, trial_fn, parallel);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(Algorithm1, ChoosesAtMostKItems) {
+  util::Rng rng(501);
+  const auto f = submodular::CoverageFunction::random(24, 30, 5, 2.0, rng);
+  for (int k : {1, 3, 6}) {
+    const auto order = rng.permutation(24);
+    const auto result = monotone_submodular_secretary(f, k, order);
+    EXPECT_LE(result.chosen.size(), k);
+    EXPECT_DOUBLE_EQ(result.value, f.value(result.chosen));
+  }
+}
+
+TEST(Algorithm1, ValueNonDecreasingInPicks) {
+  // The first-if floor guarantees f(T_i) is non-decreasing even for
+  // non-monotone f; with k=n and identity order every pick is checked.
+  util::Rng rng(503);
+  const auto f = submodular::GraphCutFunction::random(16, 0.4, 3.0, rng);
+  const auto order = rng.permutation(16);
+  const auto result = monotone_submodular_secretary(f, 4, order);
+  EXPECT_GE(result.value, 0.0);
+}
+
+TEST(Algorithm1, CompetitiveOnAdditiveObjective) {
+  // For additive f the optimum is the top-k sum; Algorithm 1's guarantee is
+  // a small constant — we check the much weaker floor 1/(7e) from the paper
+  // and expect the measured mean far above it.
+  const int n = 60, k = 6;
+  util::Rng setup(505);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = setup.uniform_double(0.0, 10.0);
+  submodular::AdditiveFunction f(weights);
+  const auto opt = submodular::exhaustive_max_exact_cardinality(
+      submodular::AdditiveFunction(weights), 0);  // placeholder, not used
+
+  std::vector<double> sorted = weights;
+  std::sort(sorted.rbegin(), sorted.rend());
+  double opt_value = 0.0;
+  for (int i = 0; i < k; ++i) opt_value += sorted[static_cast<std::size_t>(i)];
+
+  MonteCarloOptions options;
+  options.trials = 2000;
+  options.num_threads = 4;
+  const auto acc = monte_carlo_values(
+      n,
+      [&](const std::vector<int>& order, util::Rng&) {
+        return monotone_submodular_secretary(f, k, order).value;
+      },
+      options);
+  const double ratio = acc.mean() / opt_value;
+  EXPECT_GT(ratio, 1.0 / (7.0 * 2.71828));
+  EXPECT_GT(ratio, 0.3);  // empirically ~0.5+; regression floor
+}
+
+TEST(Algorithm2, RespectsHalfSplit) {
+  // Every chosen item must come from one half of the stream.
+  util::Rng rng(507);
+  const auto f = submodular::GraphCutFunction::random(20, 0.4, 3.0, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto order = rng.permutation(20);
+    util::Rng coin(trial);
+    const auto result = submodular_secretary(f, 4, order, coin);
+    bool in_first = false, in_second = false;
+    result.chosen.for_each([&](int item) {
+      const auto pos = std::find(order.begin(), order.end(), item) -
+                       order.begin();
+      (pos < 10 ? in_first : in_second) = true;
+    });
+    EXPECT_FALSE(in_first && in_second);
+  }
+}
+
+TEST(Algorithm2, NonMonotoneCompetitive) {
+  util::Rng setup(509);
+  const auto f = submodular::GraphCutFunction::random(24, 0.3, 5.0, setup);
+  const int k = 5;
+  const auto opt = submodular::exhaustive_max_cardinality(f, k);
+  ASSERT_GT(opt.value, 0.0);
+
+  MonteCarloOptions options;
+  options.trials = 2000;
+  options.num_threads = 4;
+  const auto acc = monte_carlo_values(
+      24,
+      [&](const std::vector<int>& order, util::Rng& rng) {
+        return submodular_secretary(f, k, order, rng).value;
+      },
+      options);
+  // Theorem 3.1.1 floor is 1/(8e²) ≈ 0.017; expect comfortably above.
+  EXPECT_GT(acc.mean() / opt.value, 1.0 / (8.0 * 2.71828 * 2.71828));
+}
+
+TEST(MatroidSecretary, OutputAlwaysIndependent) {
+  util::Rng rng(511);
+  const auto f = submodular::CoverageFunction::random(20, 24, 4, 2.0, rng);
+  matroid::PartitionMatroid partition(
+      {0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3},
+      {2, 2, 2, 2});
+  matroid::UniformMatroid uniform(20, 5);
+  matroid::MatroidIntersection constraint({&partition, &uniform});
+  for (int trial = 0; trial < 30; ++trial) {
+    util::Rng trial_rng(trial);
+    const auto order = trial_rng.permutation(20);
+    const auto result =
+        matroid_submodular_secretary(f, constraint, order, trial_rng);
+    EXPECT_TRUE(constraint.is_independent(result.chosen))
+        << result.chosen.to_string();
+  }
+}
+
+TEST(MatroidSecretary, PositiveCompetitiveRatio) {
+  util::Rng setup(513);
+  const auto f = submodular::CoverageFunction::random(24, 30, 5, 2.0, setup);
+  matroid::UniformMatroid uniform(24, 4);
+  matroid::MatroidIntersection constraint({&uniform});
+  const auto opt = submodular::exhaustive_max_cardinality(f, 4);
+
+  MonteCarloOptions options;
+  options.trials = 1000;
+  options.num_threads = 4;
+  const auto acc = monte_carlo_values(
+      24,
+      [&](const std::vector<int>& order, util::Rng& rng) {
+        return matroid_submodular_secretary(f, constraint, order, rng).value;
+      },
+      options);
+  EXPECT_GT(acc.mean() / opt.value, 0.05);
+}
+
+TEST(Knapsack, OfflineGreedyRespectsCapacity) {
+  util::Rng rng(517);
+  const auto f = submodular::CoverageFunction::random(15, 20, 4, 2.0, rng);
+  std::vector<double> weights(15);
+  for (auto& w : weights) w = rng.uniform_double(0.1, 0.5);
+  const auto result = offline_knapsack_greedy(f, weights, 1.0);
+  double used = 0.0;
+  result.chosen.for_each(
+      [&](int i) { used += weights[static_cast<std::size_t>(i)]; });
+  EXPECT_LE(used, 1.0 + 1e-9);
+  EXPECT_GT(result.value, 0.0);
+}
+
+TEST(Knapsack, OnlineRespectsAllConstraints) {
+  util::Rng rng(519);
+  const auto f = submodular::CoverageFunction::random(20, 25, 4, 2.0, rng);
+  std::vector<std::vector<double>> weights(2);
+  for (auto& row : weights) {
+    row.resize(20);
+    for (auto& w : row) w = rng.uniform_double(0.05, 0.6);
+  }
+  std::vector<double> capacities{1.0, 1.5};
+  for (int trial = 0; trial < 30; ++trial) {
+    util::Rng trial_rng(trial);
+    const auto order = trial_rng.permutation(20);
+    const auto result = multi_knapsack_submodular_secretary(
+        f, weights, capacities, order, trial_rng);
+    EXPECT_TRUE(fits_knapsacks(result.chosen, weights, capacities))
+        << result.chosen.to_string();
+  }
+}
+
+TEST(Knapsack, PositiveCompetitiveRatio) {
+  util::Rng setup(523);
+  const auto f = submodular::CoverageFunction::random(24, 30, 5, 2.0, setup);
+  std::vector<double> weights(24);
+  for (auto& w : weights) w = setup.uniform_double(0.1, 0.45);
+  const auto offline = offline_knapsack_greedy(f, weights, 1.0);
+
+  MonteCarloOptions options;
+  options.trials = 1500;
+  options.num_threads = 4;
+  const auto acc = monte_carlo_values(
+      24,
+      [&](const std::vector<int>& order, util::Rng& rng) {
+        return knapsack_submodular_secretary(f, weights, 1.0, order, rng)
+            .value;
+      },
+      options);
+  EXPECT_GT(acc.mean() / offline.value, 0.1);
+}
+
+TEST(Subadditive, RandomSegmentTakesWholeSegment) {
+  util::Rng setup(527);
+  const auto f = submodular::HiddenGoodSetFunction::random(30, 10, 10, 2.0,
+                                                           setup);
+  util::Rng rng(1);
+  const auto order = rng.permutation(30);
+  const auto result = random_segment_secretary(f, 10, order, rng);
+  EXPECT_EQ(result.chosen.size(), 10);
+}
+
+TEST(Subadditive, MixtureBeatsSqrtNFloor) {
+  util::Rng setup(529);
+  const int n = 36, k = 6;  // k = sqrt(n)
+  const auto f =
+      submodular::HiddenGoodSetFunction::random(n, k, k, 2.0, setup);
+  const double opt = f.optimum();
+  MonteCarloOptions options;
+  options.trials = 3000;
+  options.num_threads = 4;
+  const auto acc = monte_carlo_values(
+      n,
+      [&](const std::vector<int>& order, util::Rng& rng) {
+        return subadditive_secretary(f, k, order, rng).value;
+      },
+      options);
+  // O(sqrt(n)) competitiveness: mean >= opt / (c·sqrt(n)) with modest c.
+  EXPECT_GT(acc.mean(), opt / (4.0 * std::sqrt(static_cast<double>(n))));
+}
+
+TEST(Subadditive, QueryAttackSeesOnlyOnes) {
+  // Theorem 3.5.1's engine: with r = λ·m·k/n, random poly-size queries
+  // almost never reach value 2.
+  util::Rng setup(531);
+  const int n = 400, k = 20, m = 20;
+  // λ = 12 puts r = λ·m·k/n = 12 far above the mean overlap of 1, so even
+  // 2000 random queries stay below the r threshold w.h.p.
+  const auto f =
+      submodular::HiddenGoodSetFunction::random(n, k, m, 12.0, setup);
+  util::Rng attack_rng(7);
+  const double best = random_query_attack(f, 2000, m, attack_rng);
+  EXPECT_LE(best, 1.0 + 1e-9);
+  EXPECT_GT(f.optimum(), 1.0);  // yet the hidden optimum is bigger
+}
+
+TEST(Bottleneck, HiresKOrNothingCounted) {
+  std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  util::Rng rng(533);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto order = rng.permutation(10);
+    const auto result = bottleneck_secretary(values, 3, order);
+    EXPECT_LE(result.chosen.size(), 3);
+    if (result.hired_k) {
+      EXPECT_EQ(result.chosen.size(), 3);
+      EXPECT_GT(result.min_value, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(result.min_value, 0.0);
+    }
+  }
+}
+
+TEST(Bottleneck, PositiveSuccessProbability) {
+  const int n = 40, k = 3;
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) values[static_cast<std::size_t>(i)] = i + 1.0;
+  MonteCarloOptions options;
+  options.trials = 20000;
+  options.num_threads = 4;
+  const double p = monte_carlo_probability(
+      n,
+      [&](const std::vector<int>& order, util::Rng&) {
+        return bottleneck_secretary(values, k, order).hired_k_best;
+      },
+      options);
+  // Theorem 3.6.1 floor 1/e^2k is ~0.0025 for k=3; expect well above.
+  EXPECT_GT(p, std::pow(2.71828, -2.0 * k));
+}
+
+TEST(ObliviousTopK, PicksAtMostKDistinct) {
+  std::vector<double> values{5, 9, 1, 7, 3, 8, 2, 6, 4, 10, 11, 12};
+  util::Rng rng(537);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto order = rng.permutation(12);
+    const auto result = oblivious_topk_secretary(values, 4, order);
+    EXPECT_LE(result.chosen.size(), 4);
+  }
+}
+
+TEST(ObliviousTopK, RobustAcrossGammaVectors) {
+  // One algorithm run, evaluated under several γ: each ratio must be a
+  // reasonable constant — the "oblivious robustness" claim of §3.6.
+  const int n = 48, k = 4;
+  util::Rng setup(541);
+  std::vector<double> values(n);
+  for (auto& v : values) v = setup.uniform_double(1.0, 100.0);
+
+  std::vector<std::vector<double>> gammas{
+      {1.0, 0.0, 0.0, 0.0},
+      {1.0, 1.0, 1.0, 1.0},
+      {1.0, 0.5, 0.25, 0.125},
+  };
+  std::vector<double> sorted = values;
+  std::sort(sorted.rbegin(), sorted.rend());
+
+  for (const auto& gamma : gammas) {
+    double opt = 0.0;
+    for (std::size_t i = 0; i < gamma.size(); ++i) {
+      opt += gamma[i] * sorted[i];
+    }
+    submodular::TopGammaFunction objective(values, gamma);
+    MonteCarloOptions options;
+    options.trials = 1500;
+    options.num_threads = 4;
+    const auto acc = monte_carlo_values(
+        n,
+        [&](const std::vector<int>& order, util::Rng&) {
+          const auto sel = oblivious_topk_secretary(values, k, order);
+          return objective.value(sel.chosen);
+        },
+        options);
+    EXPECT_GT(acc.mean() / opt, 0.25) << "gamma0=" << gamma[0];
+  }
+}
+
+}  // namespace
+}  // namespace ps::secretary

@@ -1,0 +1,318 @@
+// Unit tests for src/util: RNG distributions and determinism, thread pool,
+// statistics accumulators, table and CSV formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace ps::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_u64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveEndpoints) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(13);
+  Accumulator acc(false);
+  for (int i = 0; i < 100000; ++i) acc.add(rng.uniform_double());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng rng(19);
+  Accumulator acc(false);
+  for (int i = 0; i < 100000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+  EXPECT_NEAR(acc.variance(), 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  Accumulator acc(false);
+  for (int i = 0; i < 100000; ++i) acc.add(rng.exponential(2.0));
+  EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(29);
+  const auto p = rng.permutation(50);
+  std::set<int> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(Rng, PermutationUniformFirstElement) {
+  Rng rng(31);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[static_cast<std::size_t>(rng.permutation(4)[0])];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.25, 0.02);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementSortedDistinct) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto s = rng.sample_without_replacement(20, 7);
+    ASSERT_EQ(s.size(), 7u);
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) EXPECT_LT(s[i], s[i + 1]);
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(Rng, SampleFullRange) {
+  Rng rng(41);
+  const auto s = rng.sample_without_replacement(5, 5);
+  EXPECT_EQ(s, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(43);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForN, SerialCutoffStillRuns) {
+  std::vector<int> hits(10, 0);
+  parallel_for_n(hits.size(), [&](std::size_t i) { hits[i] = 1; }, 2, 32);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Accumulator, MeanVarianceMinMax) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, QuantileInterpolates) {
+  Accumulator acc;
+  for (int i = 0; i <= 100; ++i) acc.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(acc.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(acc.median(), 50.0);
+  EXPECT_NEAR(acc.quantile(0.25), 25.0, 1e-9);
+}
+
+TEST(Accumulator, SummaryMentionsCount) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  EXPECT_NE(acc.summary().find("n=2"), std::string::npos);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(42.0);   // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.set_caption("caption");
+  t.row().cell("alpha").cell(1.5);
+  t.row().cell("b").cell(42);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("caption"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, FormatNumber) {
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(12345.678), "1.235e+04");
+}
+
+TEST(Table, Slugify) {
+  EXPECT_EQ(Table::slugify("E1: approx ratio vs n"), "e1-approx-ratio-vs-n");
+  EXPECT_EQ(Table::slugify("  ***  "), "table");
+  EXPECT_EQ(Table::slugify("Mixed CASE 42"), "mixed-case-42");
+}
+
+TEST(Table, WriteCsv) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell(1.5);
+  const std::string path = testing::TempDir() + "/ps_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,1.5");
+  std::remove(path.c_str());
+}
+
+TEST(Table, PrintDumpsCsvWhenEnvSet) {
+  const std::string dir = testing::TempDir();
+  setenv("PS_CSV_DIR", dir.c_str(), 1);
+  Table t({"col"});
+  t.set_caption("Env Test 7");
+  t.row().cell(3);
+  t.print();
+  unsetenv("PS_CSV_DIR");
+  std::ifstream in(dir + "/env-test-7.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "col");
+  std::remove((dir + "/env-test-7.csv").c_str());
+}
+
+TEST(Csv, WritesQuotedCells) {
+  const std::string path = testing::TempDir() + "/ps_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.write_row(std::vector<std::string>{"x,y", "plain"});
+    w.write_row(std::vector<double>{1.5, 2.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",plain");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::remove(path.c_str());
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.milliseconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ps::util
