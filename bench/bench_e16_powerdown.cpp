@@ -2,62 +2,49 @@
 // Competitive ratios of the break-even (2-competitive), randomized
 // (e/(e-1) ≈ 1.582), eager-sleep, and never-sleep policies across gap
 // distributions, plus the adversarial gap that realizes both classic
-// constants exactly.
+// constants exactly. Driven by the experiment engine: one sweep of the four
+// powerdown solvers over the dist axis; the engine's ratio accumulator
+// (policy cost / offline optimum) is exactly the competitive ratio.
 #include <cstdio>
 
-#include "scheduling/powerdown.hpp"
-#include "util/rng.hpp"
+#include "engine/registry.hpp"
+#include "engine/sweep_runner.hpp"
 #include "util/table.hpp"
 
 int main() {
-  using namespace ps::scheduling;
+  using namespace ps::engine;
 
-  const double alpha = 2.0;
-  ps::util::Rng rng(20100621);
+  SweepPlan plan;
+  plan.solvers = {"powerdown.break_even", "powerdown.randomized",
+                  "powerdown.eager", "powerdown.never"};
+  plan.base_params = {{"alpha", 2.0}, {"gaps", 20000.0}};
+  // dist: 0 = exponential (mean alpha), 1 = short gaps (0.2*alpha),
+  //       2 = long gaps (5*alpha), 3 = adversarial (gap = alpha+).
+  plan.axes = {{"dist", {0, 1, 2, 3}}};
+  plan.trials = 10;
+  plan.seed = 20100621;
 
-  struct Workload {
-    const char* name;
-    std::vector<double> gaps;
-  };
-  std::vector<Workload> workloads;
-  {
-    Workload w{"exponential (mean=alpha)", {}};
-    for (int i = 0; i < 20000; ++i) w.gaps.push_back(rng.exponential(1.0 / alpha));
-    workloads.push_back(std::move(w));
-  }
-  {
-    Workload w{"short gaps (0.2*alpha)", {}};
-    for (int i = 0; i < 20000; ++i) {
-      w.gaps.push_back(rng.uniform_double(0.0, 0.4 * alpha));
-    }
-    workloads.push_back(std::move(w));
-  }
-  {
-    Workload w{"long gaps (5*alpha)", {}};
-    for (int i = 0; i < 20000; ++i) {
-      w.gaps.push_back(rng.uniform_double(4.0 * alpha, 6.0 * alpha));
-    }
-    workloads.push_back(std::move(w));
-  }
-  {
-    Workload w{"adversarial (gap=alpha+)", {}};
-    w.gaps.assign(20000, alpha * (1.0 + 1e-9));
-    workloads.push_back(std::move(w));
-  }
+  const SweepRunner runner({/*num_threads=*/0});
+  const auto results = runner.run(SolverRegistry::with_builtins(), plan);
 
-  ps::util::Table table({"workload", "break-even", "randomized",
-                         "eager-sleep", "never-sleep"});
+  const char* workload_names[] = {"exponential (mean=alpha)",
+                                  "short gaps (0.2*alpha)",
+                                  "long gaps (5*alpha)",
+                                  "adversarial (gap=alpha+)"};
+  ps::util::Table table(
+      {"workload", "break-even", "randomized", "eager-sleep", "never-sleep"});
   table.set_caption(
       "E16: online power-down competitive ratios (cost / offline optimum, "
-      "alpha=2, 20000 gaps per row)");
-  for (const auto& w : workloads) {
-    const double off = powerdown_offline_cost(w.gaps, alpha);
+      "alpha=2, 20000 gaps x 10 trials per cell)");
+  // Results are axes-major, solver-minor: four consecutive rows per dist.
+  for (std::size_t i = 0; i + 3 < results.size(); i += 4) {
+    const int dist = results[i].spec.params.get_int("dist", 0);
     table.row()
-        .cell(w.name)
-        .cell(powerdown_break_even_cost(w.gaps, alpha) / off)
-        .cell(powerdown_randomized_cost(w.gaps, alpha, rng) / off)
-        .cell(powerdown_eager_sleep_cost(w.gaps, alpha) / off)
-        .cell(powerdown_never_sleep_cost(w.gaps, alpha) / off);
+        .cell(workload_names[dist])
+        .cell(results[i].ratio.mean())
+        .cell(results[i + 1].ratio.mean())
+        .cell(results[i + 2].ratio.mean())
+        .cell(results[i + 3].ratio.mean());
   }
   table.print();
   std::puts(

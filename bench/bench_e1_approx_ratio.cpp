@@ -3,63 +3,56 @@
 // by brute force and report the measured cost ratio per n, alongside the
 // theorem's 2·log2(n+1) bound and the two practical baselines.
 //
+// Driven by the experiment engine: one sweep of the three power solvers
+// over the jobs axis, all solvers seeing identical instances per trial
+// (alpha=0 draws a fresh restart cost per instance, vs_opt prices the
+// brute-force optimum in as the ratio reference).
+//
 // Expected shape: mean ratio well under the bound, growing (at most) gently
 // with n; always-on and wake-per-job ratios visibly worse.
 #include <cmath>
 #include <cstdio>
 
-#include "scheduling/baselines.hpp"
-#include "scheduling/generators.hpp"
-#include "scheduling/power_scheduler.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
+#include "engine/registry.hpp"
+#include "engine/sweep_runner.hpp"
 #include "util/table.hpp"
 
 int main() {
-  using namespace ps::scheduling;
+  using namespace ps::engine;
+
+  SweepPlan plan;
+  plan.solvers = {"power.greedy", "power.always_on", "power.per_job"};
+  plan.base_params = {{"processors", 2.0}, {"horizon", 8.0},
+                      {"windows", 2.0},    {"window_length", 2.0},
+                      {"alpha", 0.0},      {"vs_opt", 1.0}};
+  plan.axes = {{"jobs", {3, 4, 5, 6, 7, 8}}};
+  plan.trials = 20;
+  plan.seed = 20100601;
+
+  const SweepRunner runner({/*num_threads=*/0});
+  const auto results = runner.run(SolverRegistry::with_builtins(), plan);
 
   ps::util::Table table({"n jobs", "trials", "greedy/OPT mean", "max",
-                         "bound 2log2(n+1)", "always-on/OPT",
-                         "per-job/OPT"});
+                         "bound 2log2(n+1)", "always-on/OPT", "per-job/OPT"});
   table.set_caption(
       "E1: schedule-all cost ratio vs exact optimum "
       "(p=2, T=8, restart-cost model, 20 instances per row)");
 
-  ps::util::Rng rng(20100601);
-  for (int n : {3, 4, 5, 6, 7, 8}) {
-    ps::util::Accumulator greedy_ratio, on_ratio, naive_ratio;
-    int trials = 0;
-    while (trials < 20) {
-      RandomInstanceParams params;
-      params.num_jobs = n;
-      params.num_processors = 2;
-      params.horizon = 8;
-      params.window_length = 2;
-      params.windows_per_job = 2;
-      const auto instance = random_feasible_instance(params, rng);
-      RestartCostModel model(rng.uniform_double(0.5, 3.0));
-
-      const auto opt = brute_force_min_cost_all_jobs(instance, model);
-      if (!opt) continue;
-      const auto greedy = schedule_all_jobs(instance, model);
-      if (!greedy.feasible) continue;
-      greedy_ratio.add(greedy.schedule.energy_cost / opt->energy_cost);
-      if (const auto on = schedule_always_on(instance, model)) {
-        on_ratio.add(on->energy_cost / opt->energy_cost);
-      }
-      if (const auto naive = schedule_per_job_naive(instance, model)) {
-        naive_ratio.add(naive->energy_cost / opt->energy_cost);
-      }
-      ++trials;
-    }
+  // Results come back axes-major, solver-minor: three consecutive rows
+  // (greedy, always-on, per-job) per jobs value.
+  for (std::size_t i = 0; i + 2 < results.size(); i += 3) {
+    const auto& greedy = results[i];
+    const auto& always_on = results[i + 1];
+    const auto& per_job = results[i + 2];
+    const int n = greedy.spec.params.get_int("jobs", 0);
     table.row()
         .cell(n)
-        .cell(static_cast<std::size_t>(trials))
-        .cell(greedy_ratio.mean())
-        .cell(greedy_ratio.max())
+        .cell(greedy.ratio.count())
+        .cell(greedy.ratio.mean())
+        .cell(greedy.ratio.max())
         .cell(2.0 * std::log2(static_cast<double>(n) + 1.0))
-        .cell(on_ratio.mean())
-        .cell(naive_ratio.mean());
+        .cell(always_on.ratio.mean())
+        .cell(per_job.ratio.mean());
   }
   table.print();
   std::puts("\nPASS criterion: greedy max ratio <= bound on every row.");

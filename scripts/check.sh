@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 verify on a warnings-clean build: configure with -Wall -Wextra
+# -Werror, build everything, run the full test suite. CI runs exactly this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DPOWERSCHED_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"

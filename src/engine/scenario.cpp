@@ -1,0 +1,105 @@
+#include "engine/scenario.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ps::engine {
+namespace {
+
+/// FNV-1a over a byte string.
+std::uint64_t fnv1a(std::uint64_t h, const char* data, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+/// splitmix64 finalizer — spreads the low-entropy FNV state over all bits.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string format_param(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+double ParamMap::get(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int ParamMap::get_int(const std::string& name, int fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return static_cast<int>(std::lround(it->second));
+}
+
+std::string ParamMap::signature() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    if (!out.empty()) out += ',';
+    out += name;
+    out += '=';
+    out += format_param(value);
+  }
+  return out;
+}
+
+std::string ScenarioSpec::label() const {
+  return solver + "{" + params.signature() + "}";
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, const std::string& salt,
+                          const ParamMap& params, int trial) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, salt);
+  h = fnv1a(h, "|");
+  h = fnv1a(h, params.signature());
+  const std::uint64_t words[2] = {base_seed, static_cast<std::uint64_t>(trial)};
+  h = fnv1a(h, reinterpret_cast<const char*>(words), sizeof(words));
+  return mix(h);
+}
+
+std::vector<ScenarioSpec> SweepPlan::expand() const {
+  // Cartesian product over the axes, first axis slowest.
+  std::vector<ParamMap> grid{base_params};
+  for (const auto& axis : axes) {
+    std::vector<ParamMap> next;
+    next.reserve(grid.size() * axis.values.size());
+    for (const auto& point : grid) {
+      for (double value : axis.values) {
+        ParamMap expanded = point;
+        expanded.set(axis.name, value);
+        next.push_back(std::move(expanded));
+      }
+    }
+    grid = std::move(next);
+  }
+
+  std::vector<ScenarioSpec> scenarios;
+  scenarios.reserve(grid.size() * solvers.size());
+  for (const auto& point : grid) {
+    for (const auto& solver : solvers) {
+      ScenarioSpec spec;
+      spec.solver = solver;
+      spec.params = point;
+      spec.trials = trials;
+      spec.seed = seed;
+      scenarios.push_back(std::move(spec));
+    }
+  }
+  return scenarios;
+}
+
+}  // namespace ps::engine

@@ -1,0 +1,94 @@
+// Scenario model for the experiment engine: named numeric parameters, a
+// scenario (solver + parameters + trial count + base seed), and a sweep plan
+// expanding parameter grids into concrete scenarios.
+//
+// Every experiment in this library has the same shape — generate instance,
+// run solver, collect metrics, aggregate over trials — so the inputs are
+// uniform too: a solver key into the SolverRegistry plus a flat bag of
+// numeric parameters the solver's generator interprets. Seeds are derived
+// per (parameters, trial) so that (a) results are independent of thread
+// count and scenario order, and (b) two solvers swept over the same
+// generator parameters see the *same* instances, which is what makes
+// per-instance ratio comparisons meaningful.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ps::engine {
+
+/// Ordered name -> value parameter bag. Doubles cover every generator knob
+/// in the library (counts are read back with get_int); the deterministic
+/// ordering makes signatures — and therefore derived seeds — stable.
+class ParamMap {
+ public:
+  ParamMap() = default;
+  ParamMap(std::initializer_list<std::pair<const std::string, double>> init)
+      : values_(init) {}
+
+  void set(const std::string& name, double value) { values_[name] = value; }
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Value of `name`, or `fallback` when absent.
+  double get(const std::string& name, double fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+
+  const std::map<std::string, double>& values() const { return values_; }
+
+  /// Canonical "a=1.5,b=2" rendering (sorted by name, %.17g values); used in
+  /// labels and mixed into derived seeds.
+  std::string signature() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// One cell of a sweep: run `solver` for `trials` independent trials with
+/// the given generator/algorithm parameters.
+struct ScenarioSpec {
+  std::string solver;
+  ParamMap params;
+  int trials = 20;
+  std::uint64_t seed = 20100601;
+
+  /// "solver{a=1,b=2}" — the human-readable scenario key.
+  std::string label() const;
+};
+
+/// Canonical %.17g rendering of a value — the round-trippable format used
+/// by parameter signatures and the sweep CSV cells.
+std::string format_param(double value);
+
+/// Derives a per-trial RNG seed from the base seed, a salt (empty for the
+/// instance stream, the solver name for the algorithm stream), the parameter
+/// signature, and the trial index. splitmix64-finalized FNV-1a, so nearby
+/// trials get decorrelated streams.
+std::uint64_t derive_seed(std::uint64_t base_seed, const std::string& salt,
+                          const ParamMap& params, int trial);
+
+/// One swept parameter: `name` takes each of `values` in turn.
+struct ParamAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Cartesian sweep description: every solver × every grid point, each run
+/// with `trials` trials. Axes may be empty (solver comparison on one
+/// setting); solvers must not be.
+struct SweepPlan {
+  std::vector<std::string> solvers;
+  ParamMap base_params;
+  std::vector<ParamAxis> axes;
+  int trials = 20;
+  std::uint64_t seed = 20100601;
+
+  /// Expands to axes-major, solver-minor order: for each grid point (first
+  /// axis slowest), one scenario per solver. The instance stream depends
+  /// only on the parameters, so the per-grid-point scenarios are directly
+  /// comparable.
+  std::vector<ScenarioSpec> expand() const;
+};
+
+}  // namespace ps::engine

@@ -1,0 +1,62 @@
+// The Solver interface every algorithm family plugs into the experiment
+// engine through. A solver owns one whole trial — interpret the scenario's
+// parameters, generate an instance, run the algorithm, report metrics — so
+// the registry and sweep runner stay agnostic of problem domains.
+#pragma once
+
+#include <functional>
+
+#include "engine/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace ps::engine {
+
+/// Metrics of one independent trial. `objective` is the solver's primary
+/// quantity (value captured, energy cost, success indicator, ...);
+/// `reference` is the comparator for ratio reporting (offline optimum,
+/// utility upper bound, ...) with 0 meaning "no reference available";
+/// `cost` is the secondary resource reading (energy/budget spent) where the
+/// objective is a value, and `oracle_calls` is the paper's complexity
+/// currency.
+struct TrialResult {
+  double objective = 0.0;
+  double reference = 0.0;
+  double cost = 0.0;
+  double oracle_calls = 0.0;
+  bool feasible = true;
+};
+
+/// One registered algorithm adapter. Implementations must be safe to call
+/// concurrently from multiple threads (the sweep runner fans trials across
+/// a pool); all trial-local state lives on the stack or behind the RNGs.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Runs one independent trial. `instance_rng` is derived from the
+  /// parameters only — every solver swept over the same parameters and
+  /// trial index draws the identical instance from it. `algo_rng` is salted
+  /// with the solver name and feeds the algorithm's own coins.
+  virtual TrialResult run_trial(const ParamMap& params,
+                                util::Rng& instance_rng,
+                                util::Rng& algo_rng) const = 0;
+};
+
+/// Adapter for registering a plain function (the common case).
+class FunctionSolver final : public Solver {
+ public:
+  using TrialFn =
+      std::function<TrialResult(const ParamMap&, util::Rng&, util::Rng&)>;
+
+  explicit FunctionSolver(TrialFn fn) : fn_(std::move(fn)) {}
+
+  TrialResult run_trial(const ParamMap& params, util::Rng& instance_rng,
+                        util::Rng& algo_rng) const override {
+    return fn_(params, instance_rng, algo_rng);
+  }
+
+ private:
+  TrialFn fn_;
+};
+
+}  // namespace ps::engine

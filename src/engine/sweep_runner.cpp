@@ -1,0 +1,171 @@
+#include "engine/sweep_runner.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace ps::engine {
+namespace {
+
+struct TrialSlot {
+  TrialResult result;
+  double wall_ms = 0.0;
+};
+
+}  // namespace
+
+std::vector<ScenarioResult> SweepRunner::run(
+    const SolverRegistry& registry,
+    const std::vector<ScenarioSpec>& scenarios) const {
+  // Resolve every solver up front so a typo fails before any work runs.
+  std::vector<const Solver*> solvers;
+  solvers.reserve(scenarios.size());
+  for (const auto& spec : scenarios) {
+    const Solver* solver = registry.find(spec.solver);
+    if (solver == nullptr) {
+      std::fprintf(stderr,
+                   "sweep: unknown solver '%s' (registered: %s)\n",
+                   spec.solver.c_str(), registry.names_joined().c_str());
+      std::abort();
+    }
+    solvers.push_back(solver);
+  }
+
+  // Flatten to (scenario, trial) work items with index-addressed result
+  // slots: workers write disjoint slots, and the aggregation below reads
+  // them in a fixed order, so statistics do not depend on thread count.
+  std::vector<std::pair<std::size_t, int>> items;
+  std::vector<std::vector<TrialSlot>> slots(scenarios.size());
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const int trials = scenarios[s].trials;
+    slots[s].resize(static_cast<std::size_t>(trials > 0 ? trials : 0));
+    for (int t = 0; t < trials; ++t) items.emplace_back(s, t);
+  }
+
+  util::ThreadPool pool(options_.num_threads);
+  pool.parallel_for(0, items.size(), [&](std::size_t idx) {
+    const auto [s, t] = items[idx];
+    const ScenarioSpec& spec = scenarios[s];
+    util::Rng instance_rng(derive_seed(spec.seed, "", spec.params, t));
+    util::Rng algo_rng(derive_seed(spec.seed, spec.solver, spec.params, t));
+    util::Timer timer;
+    TrialSlot& slot = slots[s][static_cast<std::size_t>(t)];
+    slot.result = solvers[s]->run_trial(spec.params, instance_rng, algo_rng);
+    slot.wall_ms = timer.milliseconds();
+  });
+
+  std::vector<ScenarioResult> results(scenarios.size());
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    ScenarioResult& result = results[s];
+    result.spec = scenarios[s];
+    for (const TrialSlot& slot : slots[s]) {
+      ++result.trials_run;
+      result.wall_ms.add(slot.wall_ms);
+      if (!slot.result.feasible) {
+        ++result.infeasible;
+        continue;
+      }
+      result.objective.add(slot.result.objective);
+      result.cost.add(slot.result.cost);
+      result.oracle_calls.add(slot.result.oracle_calls);
+      if (slot.result.reference > 0.0) {
+        result.ratio.add(slot.result.objective / slot.result.reference);
+      }
+    }
+  }
+  return results;
+}
+
+util::Table results_table(const std::vector<ScenarioResult>& results,
+                          const std::string& caption) {
+  util::Table table({"solver", "params", "trials", "infeasible",
+                     "objective mean", "ci95", "ratio mean", "ratio max",
+                     "oracle mean"});
+  table.set_caption(caption);
+  for (const auto& result : results) {
+    table.row()
+        .cell(result.spec.solver)
+        .cell(result.spec.params.signature())
+        .cell(result.trials_run)
+        .cell(result.infeasible)
+        .cell(result.objective.count() > 0 ? result.objective.mean() : 0.0)
+        .cell(result.objective.count() > 1 ? result.objective.ci95_halfwidth()
+                                           : 0.0)
+        .cell(result.ratio.count() > 0 ? result.ratio.mean() : 0.0)
+        .cell(result.ratio.count() > 0 ? result.ratio.max() : 0.0)
+        .cell(result.oracle_calls.count() > 0 ? result.oracle_calls.mean()
+                                              : 0.0);
+  }
+  return table;
+}
+
+bool write_results_csv(const std::vector<ScenarioResult>& results,
+                       const std::string& path, bool include_timing) {
+  // Union of parameter names across scenarios, in sorted order, so sweeps
+  // over heterogeneous solver families still line up column-wise.
+  std::set<std::string> param_names;
+  for (const auto& result : results) {
+    for (const auto& [name, value] : result.spec.params.values()) {
+      param_names.insert(name);
+    }
+  }
+
+  std::vector<std::string> header{"solver"};
+  header.insert(header.end(), param_names.begin(), param_names.end());
+  for (const char* column :
+       {"trials", "infeasible", "objective_mean", "objective_stddev",
+        "objective_min", "objective_max", "ratio_mean", "ratio_max",
+        "cost_mean", "oracle_mean"}) {
+    header.push_back(column);
+  }
+  if (include_timing) header.push_back("wall_ms_mean");
+
+  util::CsvWriter writer(path, header);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "sweep: cannot open CSV output file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+
+  for (const auto& result : results) {
+    std::vector<std::string> row{result.spec.solver};
+    for (const auto& name : param_names) {
+      row.push_back(result.spec.params.has(name)
+                        ? format_param(result.spec.params.get(name, 0.0))
+                        : std::string());
+    }
+    const bool has_objective = result.objective.count() > 0;
+    const bool has_ratio = result.ratio.count() > 0;
+    row.push_back(format_param(static_cast<double>(result.trials_run)));
+    row.push_back(format_param(static_cast<double>(result.infeasible)));
+    row.push_back(format_param(has_objective ? result.objective.mean() : 0.0));
+    row.push_back(
+        format_param(result.objective.count() > 1 ? result.objective.stddev()
+                                                 : 0.0));
+    row.push_back(format_param(has_objective ? result.objective.min() : 0.0));
+    row.push_back(format_param(has_objective ? result.objective.max() : 0.0));
+    row.push_back(format_param(has_ratio ? result.ratio.mean() : 0.0));
+    row.push_back(format_param(has_ratio ? result.ratio.max() : 0.0));
+    row.push_back(
+        format_param(result.cost.count() > 0 ? result.cost.mean() : 0.0));
+    row.push_back(format_param(
+        result.oracle_calls.count() > 0 ? result.oracle_calls.mean() : 0.0));
+    if (include_timing) {
+      row.push_back(format_param(
+          result.wall_ms.count() > 0 ? result.wall_ms.mean() : 0.0));
+    }
+    writer.write_row(row);
+  }
+  if (!writer.flush()) {
+    std::fprintf(stderr, "sweep: write to CSV output file '%s' failed\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ps::engine

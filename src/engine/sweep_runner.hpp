@@ -1,0 +1,79 @@
+// Parallel scenario-sweep executor: fans (scenario, trial) work items
+// across a util::ThreadPool, records per-trial objective / reference /
+// oracle-call / wall-time readings into index-addressed slots, and then
+// aggregates serially in trial order — so every statistic except wall time
+// is bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "engine/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ps::engine {
+
+/// Aggregated metrics of one scenario. Infeasible trials (solver could not
+/// produce a solution, or no reference existed where one was requested) are
+/// counted but excluded from the accumulators, so means stay comparable
+/// across solvers. The accumulators are streaming-only (no per-sample
+/// retention — a 100k-trial sweep must not buffer every reading), so
+/// quantiles are unavailable; everything emitted here uses mean/stddev/
+/// min/max/ci95.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  util::Accumulator objective{/*keep_samples=*/false};
+  /// objective / reference over trials with a positive reference — the
+  /// empirical approximation / competitive ratio.
+  util::Accumulator ratio{/*keep_samples=*/false};
+  util::Accumulator cost{/*keep_samples=*/false};
+  util::Accumulator oracle_calls{/*keep_samples=*/false};
+  /// Wall time per trial; the one non-deterministic reading, excluded from
+  /// CSV output unless asked for.
+  util::Accumulator wall_ms{/*keep_samples=*/false};
+  std::size_t infeasible = 0;
+  std::size_t trials_run = 0;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial.
+  std::size_t num_threads = 1;
+};
+
+/// Runs scenarios against a registry. Unknown solver names abort with a
+/// message listing the registered keys (validate with
+/// SolverRegistry::contains first for a graceful path).
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
+
+  std::vector<ScenarioResult> run(
+      const SolverRegistry& registry,
+      const std::vector<ScenarioSpec>& scenarios) const;
+
+  std::vector<ScenarioResult> run(const SolverRegistry& registry,
+                                  const SweepPlan& plan) const {
+    return run(registry, plan.expand());
+  }
+
+ private:
+  SweepOptions options_;
+};
+
+/// One row per scenario: solver, parameter signature, trial counts, and the
+/// objective / ratio / oracle summaries.
+util::Table results_table(const std::vector<ScenarioResult>& results,
+                          const std::string& caption);
+
+/// Writes one aggregated row per scenario with the union of parameter names
+/// as columns. Deterministic for fixed scenarios (wall-time columns only
+/// with `include_timing`). Returns false — after printing a diagnostic with
+/// the path to stderr — when the file cannot be opened; callers must treat
+/// that as fatal rather than shipping an empty results file.
+bool write_results_csv(const std::vector<ScenarioResult>& results,
+                       const std::string& path, bool include_timing = false);
+
+}  // namespace ps::engine

@@ -10,9 +10,14 @@
 //   ps::core        — budgeted submodular maximization (Lemma 2.1.2)
 //   ps::scheduling  — power-minimization schedulers and comparators
 //   ps::secretary   — online (secretary) algorithms
+//   ps::engine      — solver registry and parallel scenario-sweep runner
 #pragma once
 
 #include "core/budgeted_maximization.hpp"
+#include "engine/registry.hpp"
+#include "engine/scenario.hpp"
+#include "engine/solver.hpp"
+#include "engine/sweep_runner.hpp"
 #include "matching/bipartite_graph.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/hungarian.hpp"

@@ -6,8 +6,13 @@ namespace ps::util {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : out_(path) {
+    : path_(path), out_(path) {
   write_row(header);
+}
+
+bool CsvWriter::flush() {
+  if (out_) out_.flush();
+  return ok();
 }
 
 std::string CsvWriter::escape(const std::string& cell) {

@@ -12,10 +12,18 @@ namespace ps::util {
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row. ok() reports whether
-  /// the file opened; writes on a failed writer are silently dropped.
+  /// the file opened and every write so far succeeded; writes on a failed
+  /// writer are dropped, so callers producing result files must check ok()
+  /// and fail loudly (path() names the file for the error message).
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
   bool ok() const { return static_cast<bool>(out_); }
+  const std::string& path() const { return path_; }
+
+  /// Flushes buffered rows and reports whether everything reached the file.
+  /// Call before trusting ok(): without it a failed flush at destruction
+  /// (e.g. disk full) would go undetected.
+  bool flush();
 
   void write_row(const std::vector<std::string>& cells);
   /// Convenience overload for purely numeric rows.
@@ -23,6 +31,7 @@ class CsvWriter {
 
  private:
   static std::string escape(const std::string& cell);
+  std::string path_;
   std::ofstream out_;
 };
 

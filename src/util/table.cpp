@@ -73,9 +73,15 @@ void Table::print() const {
   }
 }
 
-void Table::write_csv(const std::string& path) const {
+bool Table::write_csv(const std::string& path) const {
   CsvWriter writer(path, header_);
   for (const auto& row : rows_) writer.write_row(row);
+  if (!writer.flush()) {
+    std::fprintf(stderr, "table: FAILED to write CSV '%s'\n",
+                 writer.path().c_str());
+    return false;
+  }
+  return true;
 }
 
 std::string Table::slugify(const std::string& text) {

@@ -37,8 +37,10 @@ class Table {
   /// touching the benchmark sources.
   void print() const;
 
-  /// Writes the table as CSV (header + rows) to `path`.
-  void write_csv(const std::string& path) const;
+  /// Writes the table as CSV (header + rows) to `path`. Returns false —
+  /// after a loud diagnostic naming the path on stderr — when the file
+  /// cannot be opened or written.
+  bool write_csv(const std::string& path) const;
 
   /// "E1: approximation ratio vs n" -> "e1-approximation-ratio-vs-n".
   static std::string slugify(const std::string& text);

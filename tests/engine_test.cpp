@@ -1,0 +1,226 @@
+// Tests for the experiment engine: parameter maps and seed derivation,
+// registry lookup (including the unknown-solver paths), sweep-plan
+// expansion, and the load-bearing guarantee that a sweep's aggregated
+// results are bit-identical for any thread-pool size.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "engine/registry.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+
+namespace ps::engine {
+namespace {
+
+TEST(ParamMap, GetWithFallback) {
+  ParamMap params{{"jobs", 8.0}, {"alpha", 2.5}};
+  EXPECT_DOUBLE_EQ(params.get("alpha", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(params.get("absent", 7.0), 7.0);
+  EXPECT_EQ(params.get_int("jobs", 0), 8);
+  EXPECT_EQ(params.get_int("absent", 3), 3);
+  EXPECT_TRUE(params.has("jobs"));
+  EXPECT_FALSE(params.has("absent"));
+}
+
+TEST(ParamMap, SignatureIsSortedAndStable) {
+  ParamMap a;
+  a.set("zeta", 1.0);
+  a.set("alpha", 2.0);
+  ParamMap b;
+  b.set("alpha", 2.0);
+  b.set("zeta", 1.0);
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_EQ(a.signature(), "alpha=2,zeta=1");
+}
+
+TEST(DeriveSeed, VariesByTrialSaltAndParams) {
+  const ParamMap params{{"n", 10.0}};
+  const auto base = derive_seed(1, "", params, 0);
+  EXPECT_EQ(base, derive_seed(1, "", params, 0));
+  EXPECT_NE(base, derive_seed(1, "", params, 1));
+  EXPECT_NE(base, derive_seed(2, "", params, 0));
+  EXPECT_NE(base, derive_seed(1, "solver", params, 0));
+  ParamMap other{{"n", 11.0}};
+  EXPECT_NE(base, derive_seed(1, "", other, 0));
+}
+
+TEST(SweepPlan, ExpandsCartesianAxesMajorSolverMinor) {
+  SweepPlan plan;
+  plan.solvers = {"a", "b"};
+  plan.base_params = {{"fixed", 1.0}};
+  plan.axes = {{"x", {1.0, 2.0}}, {"y", {5.0, 6.0, 7.0}}};
+  plan.trials = 3;
+  const auto scenarios = plan.expand();
+  ASSERT_EQ(scenarios.size(), 2u * 2u * 3u);
+  EXPECT_EQ(scenarios[0].solver, "a");
+  EXPECT_EQ(scenarios[1].solver, "b");
+  EXPECT_DOUBLE_EQ(scenarios[0].params.get("x", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(scenarios[0].params.get("y", 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(scenarios[0].params.get("fixed", 0.0), 1.0);
+  // Last axis varies fastest; first axis slowest.
+  EXPECT_DOUBLE_EQ(scenarios[2].params.get("y", 0.0), 6.0);
+  EXPECT_DOUBLE_EQ(scenarios[6].params.get("x", 0.0), 2.0);
+  for (const auto& spec : scenarios) EXPECT_EQ(spec.trials, 3);
+}
+
+TEST(SolverRegistry, FindsRegisteredAndRejectsUnknown) {
+  SolverRegistry registry;
+  EXPECT_EQ(registry.find("nope"), nullptr);
+  EXPECT_FALSE(registry.contains("nope"));
+  registry.add_fn("custom.answer",
+                  [](const ParamMap&, util::Rng&, util::Rng&) {
+                    TrialResult out;
+                    out.objective = 42.0;
+                    return out;
+                  });
+  ASSERT_NE(registry.find("custom.answer"), nullptr);
+  EXPECT_TRUE(registry.contains("custom.answer"));
+  EXPECT_EQ(registry.find("custom"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(SolverRegistry, BuiltinsCoverEveryAlgorithmFamily) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  for (const char* name :
+       {"submodular.greedy", "submodular.lazy", "submodular.stochastic",
+        "core.setcover", "core.budgeted", "secretary.classic",
+        "secretary.submodular", "secretary.knapsack", "power.greedy",
+        "power.always_on", "power.per_job", "budget.value",
+        "powerdown.break_even", "powerdown.randomized", "powerdown.eager",
+        "powerdown.never"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_FALSE(registry.contains("powerdown.psychic"));
+  const auto names = registry.names();
+  EXPECT_EQ(names.size(), registry.size());
+  EXPECT_NE(registry.names_joined().find("secretary.classic"),
+            std::string::npos);
+}
+
+TEST(SweepRunnerDeathTest, UnknownSolverAbortsWithDiagnostic) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  ScenarioSpec spec;
+  spec.solver = "no.such.solver";
+  spec.trials = 1;
+  const SweepRunner runner;
+  EXPECT_DEATH(runner.run(registry, {spec}), "unknown solver");
+}
+
+/// A sweep mixing deterministic and coin-flipping solvers across two
+/// families, heavy enough that trials genuinely interleave across workers.
+std::vector<ScenarioResult> run_reference_sweep(std::size_t num_threads) {
+  SweepPlan plan;
+  plan.solvers = {"powerdown.break_even", "powerdown.randomized",
+                  "secretary.classic"};
+  plan.base_params = {{"gaps", 200.0}, {"n", 40.0}};
+  plan.axes = {{"alpha", {1.0, 2.0}}};
+  plan.trials = 12;
+  plan.seed = 99;
+  const SweepRunner runner({num_threads});
+  return runner.run(SolverRegistry::with_builtins(), plan);
+}
+
+void expect_bit_identical(const util::Accumulator& a,
+                          const util::Accumulator& b) {
+  ASSERT_EQ(a.count(), b.count());
+  // EXPECT_EQ on doubles is exact equality: aggregation must be
+  // bit-identical, not merely close.
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  if (a.count() > 0) {
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+  }
+}
+
+TEST(SweepRunner, AggregatesAreBitIdenticalForPoolSizes1And4) {
+  const auto serial = run_reference_sweep(1);
+  const auto parallel = run_reference_sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].spec.label(), parallel[i].spec.label());
+    EXPECT_EQ(serial[i].trials_run, parallel[i].trials_run);
+    EXPECT_EQ(serial[i].infeasible, parallel[i].infeasible);
+    expect_bit_identical(serial[i].objective, parallel[i].objective);
+    expect_bit_identical(serial[i].ratio, parallel[i].ratio);
+    expect_bit_identical(serial[i].cost, parallel[i].cost);
+    expect_bit_identical(serial[i].oracle_calls, parallel[i].oracle_calls);
+  }
+}
+
+TEST(SweepRunner, SolversShareInstancesPerTrial) {
+  // break_even and never see the same gap workloads (instance RNG is salted
+  // by parameters only), so on the short-gap distribution — where both
+  // policies equal the offline optimum — their objectives coincide exactly.
+  SweepPlan plan;
+  plan.solvers = {"powerdown.break_even", "powerdown.never"};
+  plan.base_params = {{"gaps", 300.0}, {"alpha", 2.0}, {"dist", 1.0}};
+  plan.trials = 6;
+  const SweepRunner runner;
+  const auto results = runner.run(SolverRegistry::with_builtins(), plan);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].objective.sum(), results[1].objective.sum());
+  EXPECT_GT(results[0].objective.sum(), 0.0);
+}
+
+TEST(SweepRunner, CountsInfeasibleTrialsSeparately) {
+  SolverRegistry registry;
+  registry.add_fn("flaky", [](const ParamMap&, util::Rng& instance_rng,
+                              util::Rng&) {
+    TrialResult out;
+    out.objective = 1.0;
+    out.reference = 2.0;
+    out.feasible = instance_rng.uniform_double() < 0.5;
+    return out;
+  });
+  ScenarioSpec spec;
+  spec.solver = "flaky";
+  spec.trials = 40;
+  const SweepRunner runner;
+  const auto results = runner.run(registry, {spec});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].trials_run, 40u);
+  EXPECT_GT(results[0].infeasible, 0u);
+  EXPECT_EQ(results[0].objective.count() + results[0].infeasible, 40u);
+  // Every feasible trial contributed a ratio of 1/2.
+  EXPECT_EQ(results[0].ratio.count(), results[0].objective.count());
+  EXPECT_DOUBLE_EQ(results[0].ratio.mean(), 0.5);
+}
+
+TEST(SweepOutput, TableHasOneRowPerScenarioAndCsvFailsLoudly) {
+  SolverRegistry registry;
+  registry.add_fn("unit", [](const ParamMap&, util::Rng&, util::Rng&) {
+    TrialResult out;
+    out.objective = 3.0;
+    out.reference = 6.0;
+    return out;
+  });
+  SweepPlan plan;
+  plan.solvers = {"unit"};
+  plan.axes = {{"x", {1.0, 2.0, 3.0}}};
+  plan.trials = 2;
+  const SweepRunner runner;
+  const auto results = runner.run(registry, plan);
+  EXPECT_EQ(results_table(results, "t").num_rows(), 3u);
+
+  EXPECT_FALSE(
+      write_results_csv(results, "/no/such/directory/results.csv"));
+
+  const std::string path = ::testing::TempDir() + "engine_results.csv";
+  ASSERT_TRUE(write_results_csv(results, path));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), file), nullptr);
+  EXPECT_EQ(std::string(line),
+            "solver,x,trials,infeasible,objective_mean,objective_stddev,"
+            "objective_min,objective_max,ratio_mean,ratio_max,cost_mean,"
+            "oracle_mean\n");
+  std::fclose(file);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ps::engine

@@ -60,7 +60,9 @@ TEST(MinEnergyDp, SlotsRespectWindowsAndIncrease) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       EXPECT_GE(result.slots[i], jobs[i].release);
       EXPECT_LT(result.slots[i], jobs[i].deadline);
-      if (i > 0) EXPECT_GT(result.slots[i], result.slots[i - 1]);
+      if (i > 0) {
+        EXPECT_GT(result.slots[i], result.slots[i - 1]);
+      }
     }
   }
 }

@@ -110,7 +110,9 @@ TEST(Hungarian, MatchesBruteForceOnRandomInstances) {
     // Matching consistency.
     for (int x = 0; x < nx; ++x) {
       const int y = result.match_x[static_cast<std::size_t>(x)];
-      if (y != -1) EXPECT_EQ(result.match_y[static_cast<std::size_t>(y)], x);
+      if (y != -1) {
+        EXPECT_EQ(result.match_y[static_cast<std::size_t>(y)], x);
+      }
     }
   }
 }

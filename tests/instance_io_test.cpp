@@ -30,6 +30,94 @@ TEST(InstanceIo, RoundTripsRandomInstances) {
   }
 }
 
+namespace {
+
+/// Structural equality of two instances, field by field.
+void expect_instances_equal(const SchedulingInstance& parsed,
+                            const SchedulingInstance& original,
+                            const std::string& context) {
+  ASSERT_EQ(parsed.num_jobs(), original.num_jobs()) << context;
+  EXPECT_EQ(parsed.num_processors(), original.num_processors()) << context;
+  EXPECT_EQ(parsed.horizon(), original.horizon()) << context;
+  for (int j = 0; j < original.num_jobs(); ++j) {
+    EXPECT_DOUBLE_EQ(parsed.job(j).value, original.job(j).value)
+        << context << " job " << j;
+    EXPECT_EQ(parsed.job(j).allowed, original.job(j).allowed)
+        << context << " job " << j;
+  }
+}
+
+/// Sprinkles '#' comments and blank lines through serialized text: a full
+/// comment line after every line, plus a trailing inline comment.
+std::string with_injected_comments(const std::string& text) {
+  std::string out = "# injected header comment\n\n";
+  std::string line;
+  for (char ch : text) {
+    line += ch;
+    if (ch == '\n') {
+      out += line.substr(0, line.size() - 1);
+      out += "   # inline comment\n# full-line comment\n\n";
+      line.clear();
+    }
+  }
+  out += line;
+  return out;
+}
+
+}  // namespace
+
+TEST(InstanceIo, PropertyRoundTripAcrossGenerators) {
+  // Every generator family round-trips through the v1 text format, both
+  // verbatim and with comments/blank lines injected between every line.
+  util::Rng rng(20260728);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<std::pair<std::string, SchedulingInstance>> produced;
+
+    RandomInstanceParams params;
+    params.num_jobs = 3 + rng.uniform_int(0, 6);
+    params.num_processors = 1 + rng.uniform_int(0, 3);
+    params.horizon = 6 + rng.uniform_int(0, 8);
+    params.windows_per_job = 1 + rng.uniform_int(0, 2);
+    params.window_length = 1 + rng.uniform_int(0, 3);
+    params.min_value = 0.25;
+    params.max_value = 9.75;
+    // random_feasible_instance plants one distinct slot per job.
+    params.num_jobs =
+        std::min(params.num_jobs, params.num_processors * params.horizon);
+    produced.emplace_back("random_instance", random_instance(params, rng));
+    produced.emplace_back("random_feasible_instance",
+                          random_feasible_instance(params, rng));
+    produced.emplace_back(
+        "energy_market_instance",
+        energy_market_instance(params.num_jobs, params.num_processors,
+                               params.horizon, 3, 0.5, 4.5, rng));
+    produced.emplace_back(
+        "set_cover_to_scheduling",
+        set_cover_to_scheduling(random_set_cover(6, 5, 3, rng)));
+    produced.emplace_back(
+        "agreeable_to_instance",
+        agreeable_to_instance(
+            random_agreeable_jobs(params.num_jobs, 20, 2, 5, 1.0, 3.0, rng),
+            20));
+
+    for (const auto& [generator, original] : produced) {
+      const std::string text = instance_to_text(original);
+      std::string error;
+      const auto parsed = parse_instance(text, &error);
+      ASSERT_TRUE(parsed.has_value()) << generator << ": " << error;
+      expect_instances_equal(*parsed, original, generator);
+
+      // The '#'-comment path: parsing must ignore injected comments and
+      // blank lines anywhere in the stream.
+      const auto commented =
+          parse_instance(with_injected_comments(text), &error);
+      ASSERT_TRUE(commented.has_value())
+          << generator << " (commented): " << error;
+      expect_instances_equal(*commented, original, generator + " commented");
+    }
+  }
+}
+
 TEST(InstanceIo, AcceptsCommentsAndBlankLines) {
   const std::string text = R"(# a workload
 powersched-instance v1
