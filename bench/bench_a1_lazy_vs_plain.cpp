@@ -1,61 +1,8 @@
 // A1 (ablation): lazy (CELF) vs plain candidate evaluation in the Lemma
 // 2.1.2 greedy. Identical outputs by construction (deterministic
-// tie-breaking); the lazy path should evaluate a small, slowly-growing
-// fraction of the plain path's oracle calls as the candidate pool grows.
-#include <cstdio>
+// tie-breaking; m:same_output checks it); the lazy path evaluates a
+// small, slowly-growing fraction of the plain path's oracle calls as the
+// candidate pool grows (the ratio column = lazy/plain evals). Preset "a1".
+#include "engine/bench_presets.hpp"
 
-#include "core/budgeted_maximization.hpp"
-#include "submodular/coverage.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-
-int main() {
-  using namespace ps;
-
-  util::Table table({"candidates m", "plain evals", "lazy evals",
-                     "evals saved", "plain ms", "lazy ms", "same output"});
-  table.set_caption(
-      "A1: lazy vs plain greedy on weighted coverage (target = 90% of "
-      "total coverage, unit-ish random costs)");
-
-  util::Rng rng(20100615);
-  for (int m : {50, 100, 200, 400, 800}) {
-    const auto f = submodular::CoverageFunction::random(m, 2 * m, 8, 2.0, rng);
-    std::vector<core::CandidateSet> candidates;
-    for (int i = 0; i < m; ++i) {
-      candidates.push_back(
-          core::CandidateSet{{i}, rng.uniform_double(0.5, 2.0), i});
-    }
-    const double x =
-        0.9 * f.value(submodular::ItemSet::full(f.ground_size()));
-
-    core::BudgetedMaximizationOptions plain_opt;
-    plain_opt.lazy = false;
-    plain_opt.epsilon = 0.01;
-    core::BudgetedMaximizationOptions lazy_opt = plain_opt;
-    lazy_opt.lazy = true;
-
-    util::Timer t1;
-    const auto plain = core::maximize_with_budget(f, candidates, x, plain_opt);
-    const double plain_ms = t1.milliseconds();
-    util::Timer t2;
-    const auto lazy = core::maximize_with_budget(f, candidates, x, lazy_opt);
-    const double lazy_ms = t2.milliseconds();
-
-    table.row()
-        .cell(m)
-        .cell(plain.gain_evaluations)
-        .cell(lazy.gain_evaluations)
-        .cell(1.0 - static_cast<double>(lazy.gain_evaluations) /
-                        static_cast<double>(plain.gain_evaluations))
-        .cell(plain_ms)
-        .cell(lazy_ms)
-        .cell(plain.picked == lazy.picked ? "yes" : "NO");
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: same output on every row; saved fraction grows"
-      "\nwith m (lazy touches an ever-smaller share of the pool).");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("a1"); }

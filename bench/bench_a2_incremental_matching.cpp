@@ -1,63 +1,7 @@
 // A2 (ablation): the incremental matching oracle (clone + augment per gain
 // query) vs the stateless SetFunction recompute inside the Theorem 2.2.1
-// scheduler. Outputs are identical; wall time should separate sharply as
-// the instance grows.
-#include <cstdio>
+// scheduler. Outputs are identical (ratio = 1); wall time separates
+// sharply as the instance grows (m:speedup). Preset "a2".
+#include "engine/bench_presets.hpp"
 
-#include "scheduling/generators.hpp"
-#include "scheduling/power_scheduler.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-
-int main() {
-  using namespace ps::scheduling;
-
-  ps::util::Table table({"jobs", "slots", "candidates", "incremental ms",
-                         "stateless ms", "speedup", "same cost"});
-  table.set_caption(
-      "A2: incremental matching oracle vs stateless recompute in the "
-      "power scheduler (p=3, restart cost 2)");
-
-  ps::util::Rng rng(20100616);
-  for (int scale : {8, 12, 16, 24, 32}) {
-    RandomInstanceParams params;
-    params.num_jobs = scale;
-    params.num_processors = 3;
-    params.horizon = 2 * scale;
-    params.window_length = 4;
-    const auto instance = random_feasible_instance(params, rng);
-    RestartCostModel model(2.0);
-
-    // Plain (full-sweep) greedy so that per-evaluation cost dominates —
-    // that is the quantity this ablation isolates; lazy mode hides it by
-    // making very few evaluations.
-    PowerSchedulerOptions fast;
-    fast.use_incremental_oracle = true;
-    fast.lazy = false;
-    PowerSchedulerOptions slow = fast;
-    slow.use_incremental_oracle = false;
-
-    ps::util::Timer t1;
-    const auto a = schedule_all_jobs(instance, model, fast);
-    const double fast_ms = t1.milliseconds();
-    ps::util::Timer t2;
-    const auto b = schedule_all_jobs(instance, model, slow);
-    const double slow_ms = t2.milliseconds();
-
-    table.row()
-        .cell(scale)
-        .cell(instance.num_slots())
-        .cell(static_cast<std::size_t>(a.num_candidates))
-        .cell(fast_ms)
-        .cell(slow_ms)
-        .cell(slow_ms / fast_ms)
-        .cell(std::abs(a.schedule.energy_cost - b.schedule.energy_cost) < 1e-9
-                  ? "yes"
-                  : "NO");
-  }
-  table.print();
-  std::puts("\nPASS criterion: same cost everywhere; speedup >= 1 and "
-            "growing with size.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("a2"); }

@@ -1,57 +1,9 @@
 // A3 (ablation): thread scaling of the non-lazy evaluation sweep in the
 // Lemma 2.1.2 greedy. The sweep is embarrassingly parallel across
-// candidates; picks are deterministic regardless of thread count.
-#include <cstdio>
+// candidates; picks are deterministic regardless of thread count (the
+// threads axis is an algo param, so every row runs the same instance).
+// The runner itself is pinned to one worker so m:sweep_ms is clean.
+// Preset "a3".
+#include "engine/bench_presets.hpp"
 
-#include "core/budgeted_maximization.hpp"
-#include "scheduling/generators.hpp"
-#include "scheduling/power_scheduler.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-
-int main() {
-  using namespace ps;
-
-  // A large scheduling instance: candidate gain evaluation (clone oracle +
-  // augment) is the unit of parallel work.
-  util::Rng rng(20100617);
-  scheduling::RandomInstanceParams params;
-  params.num_jobs = 40;
-  params.num_processors = 3;
-  params.horizon = 60;
-  params.window_length = 5;
-  const auto instance = scheduling::random_feasible_instance(params, rng);
-  scheduling::RestartCostModel model(2.0);
-  const auto graph = instance.build_slot_job_graph();
-  const auto pool = scheduling::generate_interval_pool(instance, model);
-
-  util::Table table({"threads", "wall ms", "speedup vs 1", "cost"});
-  table.set_caption("A3: parallel candidate evaluation (plain greedy sweep), "
-                    + std::to_string(pool.candidates.size()) + " candidates");
-  double base_ms = 0.0;
-  for (std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
-    core::BudgetedMaximizationOptions options;
-    options.lazy = false;
-    options.num_threads = threads;
-    options.epsilon = 1.0 / (params.num_jobs + 1.0);
-
-    scheduling::MatchingOracleUtility utility(graph);
-    util::Timer timer;
-    const auto result = core::maximize_with_budget(
-        utility, pool.candidates, params.num_jobs, options);
-    const double ms = timer.milliseconds();
-    if (threads == 1) base_ms = ms;
-    table.row()
-        .cell(static_cast<std::size_t>(threads))
-        .cell(ms)
-        .cell(base_ms / ms)
-        .cell(result.cost);
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: identical cost on every row; speedup > 1 by 4"
-      "\nthreads (perfect scaling is not expected: rounds are short and the"
-      "\nsweep re-forks per round).");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("a3"); }

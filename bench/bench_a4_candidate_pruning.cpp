@@ -1,90 +1,9 @@
 // A4 (ablation): dominated-candidate pruning of the interval pool. Under
 // flat interval costs almost everything collapses; under time-varying
 // prices a substantial fraction is dominated; under strictly
-// length-increasing restart cost nothing is. Output costs are unchanged in
-// all cases; greedy time drops with the pool.
-#include <cstdio>
+// length-increasing restart cost nothing is. Output costs are unchanged
+// (ratio = cost_after/cost_before <= 1); greedy time drops with the pool.
+// Preset "a4".
+#include "engine/bench_presets.hpp"
 
-#include "core/budgeted_maximization.hpp"
-#include "scheduling/generators.hpp"
-#include "scheduling/power_scheduler.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-
-namespace {
-
-/// Runs the Lemma 2.1.2 greedy over a (possibly pruned) pool and reports
-/// cost + wall time.
-std::pair<double, double> run_pool(
-    const ps::scheduling::SchedulingInstance& instance,
-    const ps::scheduling::IntervalPool& pool) {
-  const auto graph = instance.build_slot_job_graph();
-  ps::scheduling::MatchingOracleUtility utility(graph);
-  ps::core::BudgetedMaximizationOptions options;
-  options.epsilon = 1.0 / (instance.num_jobs() + 1.0);
-  ps::util::Timer timer;
-  const auto result = ps::core::maximize_with_budget(
-      utility, pool.candidates, instance.num_jobs(), options);
-  return {result.cost, timer.milliseconds()};
-}
-
-}  // namespace
-
-int main() {
-  using namespace ps::scheduling;
-
-  ps::util::Rng rng(20100620);
-  RandomInstanceParams params;
-  params.num_jobs = 20;
-  params.num_processors = 3;
-  params.horizon = 24;
-  params.window_length = 4;
-  const auto instance = random_feasible_instance(params, rng);
-
-  RestartCostModel restart(2.0);
-  // Real markets clamp negative prices at zero: free night power means
-  // extending an interval across the night costs nothing, creating genuine
-  // domination among candidates.
-  std::vector<double> prices(24, 0.0);
-  for (int t = 8; t < 20; ++t) prices[static_cast<std::size_t>(t)] = 2.0;
-  TimeVaryingCostModel market(0.2, prices);
-  FlatIntervalCostModel flat(1.0);
-  struct Row {
-    const char* name;
-    const CostModel* model;
-  };
-  const Row rows[] = {
-      {"restart (alpha+len)", &restart},
-      {"market, free nights", &market},
-      {"flat per interval", &flat},
-  };
-
-  ps::util::Table table({"cost model", "pool before", "pool after", "removed",
-                         "cost before", "cost after", "ms before",
-                         "ms after"});
-  table.set_caption("A4: dominated-candidate pruning across cost models "
-                    "(n=20, p=3, T=24)");
-  for (const auto& row : rows) {
-    auto pool = generate_interval_pool(instance, *row.model);
-    const auto before = run_pool(instance, pool);
-    const std::size_t size_before = pool.candidates.size();
-    const std::size_t removed = prune_dominated_candidates(&pool);
-    const auto after = run_pool(instance, pool);
-    table.row()
-        .cell(row.name)
-        .cell(size_before)
-        .cell(pool.candidates.size())
-        .cell(removed)
-        .cell(before.first)
-        .cell(after.first)
-        .cell(before.second)
-        .cell(after.second);
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: pruning never worsens the greedy cost (ties may"
-      "\nre-break toward dominators, which can only help); removed counts:"
-      "\nrestart ~0, market substantial, flat ~everything.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("a4"); }

@@ -1,105 +1,8 @@
 // E10 (Theorem 3.1.3): the submodular secretary under l knapsack
-// constraints is O(l)-competitive. We sweep l with the Lemma 3.4.1
-// reduction and report ratios against the offline density-greedy
-// comparator; the coin-flip arms of the single-knapsack algorithm are also
-// ablated.
-#include <atomic>
-#include <cstdio>
+// constraints is O(l)-competitive. The l axis sweeps the Lemma 3.4.1
+// reduction with ratios against the offline density-greedy comparator
+// (m:feasible_ok re-checks every chosen set against all l originals);
+// the second sweep is the single-knapsack coin-flip mixture. Preset "e10".
+#include "engine/bench_presets.hpp"
 
-#include "secretary/harness.hpp"
-#include "secretary/knapsack_secretary.hpp"
-#include "submodular/coverage.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps;
-
-  const int n = 50;
-  secretary::MonteCarloOptions mc;
-  mc.trials = 3000;
-  mc.num_threads = 8;
-  util::Rng rng(20100610);
-  const auto f = submodular::CoverageFunction::random(n, 45, 5, 2.0, rng);
-
-  {
-    util::Table table({"l knapsacks", "offline OPT~ (reduced)", "online mean",
-                       "ratio", "feasible always"});
-    table.set_caption(
-        "E10a: multi-knapsack submodular secretary vs l "
-        "(n=50, coverage objective, weights U[0.05,0.5], capacities 1)");
-    for (int l : {1, 2, 4, 8}) {
-      std::vector<std::vector<double>> weights(
-          static_cast<std::size_t>(l),
-          std::vector<double>(static_cast<std::size_t>(n)));
-      for (auto& row : weights) {
-        for (auto& w : row) w = rng.uniform_double(0.05, 0.5);
-      }
-      std::vector<double> capacities(static_cast<std::size_t>(l), 1.0);
-
-      // Offline comparator on the reduced single knapsack (any feasible set
-      // of the original fits it up to the lemma's factor).
-      std::vector<double> reduced(static_cast<std::size_t>(n), 0.0);
-      for (int i = 0; i < l; ++i) {
-        for (int j = 0; j < n; ++j) {
-          reduced[static_cast<std::size_t>(j)] =
-              std::max(reduced[static_cast<std::size_t>(j)],
-                       weights[static_cast<std::size_t>(i)]
-                              [static_cast<std::size_t>(j)]);
-        }
-      }
-      const auto offline =
-          secretary::offline_knapsack_greedy(f, reduced, 1.0);
-
-      std::atomic<bool> always_feasible{true};
-      const auto acc = secretary::monte_carlo_values(
-          n,
-          [&](const std::vector<int>& order, util::Rng& trial_rng) {
-            const auto result = secretary::multi_knapsack_submodular_secretary(
-                f, weights, capacities, order, trial_rng);
-            if (!secretary::fits_knapsacks(result.chosen, weights,
-                                           capacities)) {
-              always_feasible.store(false, std::memory_order_relaxed);
-            }
-            return result.value;
-          },
-          mc);
-      table.row()
-          .cell(l)
-          .cell(offline.value)
-          .cell(acc.mean())
-          .cell(acc.mean() / offline.value)
-          .cell(always_feasible.load() ? "yes" : "NO");
-    }
-    table.print();
-  }
-
-  {
-    // Ablation: the two coin arms of the single-knapsack algorithm.
-    std::vector<double> weights(static_cast<std::size_t>(n));
-    for (auto& w : weights) w = rng.uniform_double(0.05, 0.5);
-    const auto offline = secretary::offline_knapsack_greedy(f, weights, 1.0);
-
-    util::Table table({"policy", "mean value", "ratio vs offline"});
-    table.set_caption(
-        "\nE10b: single-knapsack arm ablation (the mixture hedges between "
-        "big-single-item and many-small-items adversaries)");
-    const auto mixture = secretary::monte_carlo_values(
-        n,
-        [&](const std::vector<int>& order, util::Rng& trial_rng) {
-          return secretary::knapsack_submodular_secretary(f, weights, 1.0,
-                                                          order, trial_rng)
-              .value;
-        },
-        mc);
-    table.row()
-        .cell("coin-flip mixture (paper)")
-        .cell(mixture.mean())
-        .cell(mixture.mean() / offline.value);
-    table.print();
-  }
-  std::puts(
-      "\nPASS criterion: feasibility always 'yes'; E10a ratios degrade no"
-      "\nfaster than ~1/l down the sweep.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e10"); }

@@ -1,82 +1,9 @@
 // E11 (Theorem 3.5.1 + Section 3.5.2): the subadditive secretary.
-// Series (a): the O(√n) mixture algorithm's ratio vs n on hidden-good-set
-// instances with k = √n — inverse ratio should track c·√n, not explode.
-// Series (b): the hardness engine — random value-oracle attacks with
-// polynomially many queries flat-line at value 1 while the hidden optimum
-// grows.
-#include <cmath>
-#include <cstdio>
+// Sweep (a): the O(sqrt n) mixture algorithm's ratio vs n on
+// hidden-good-set instances with k = sqrt(n) — the inverse ratio tracks
+// c*sqrt(n), not worse. Sweep (b): the hardness engine — random
+// value-oracle attacks with polynomially many queries flat-line at value
+// 1 while the hidden optimum grows (m:found_opt stays 0). Preset "e11".
+#include "engine/bench_presets.hpp"
 
-#include "secretary/harness.hpp"
-#include "secretary/subadditive.hpp"
-#include "submodular/hidden_good_set.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps;
-
-  secretary::MonteCarloOptions mc;
-  mc.trials = 4000;
-  mc.num_threads = 8;
-
-  {
-    util::Table table({"n", "k=sqrt(n)", "OPT f(S*)", "algo mean",
-                       "OPT/mean", "sqrt(n)"});
-    table.set_caption(
-        "E11a: subadditive mixture algorithm on hidden-good-set instances "
-        "(λ=2, m=k); inverse ratio should track O(sqrt(n))");
-    util::Rng rng(20100611);
-    for (int root : {4, 6, 8, 10, 12}) {
-      const int n = root * root;
-      const int k = root;
-      const auto f =
-          submodular::HiddenGoodSetFunction::random(n, k, k, 2.0, rng);
-      const auto acc = secretary::monte_carlo_values(
-          n,
-          [&](const std::vector<int>& order, util::Rng& trial_rng) {
-            return secretary::subadditive_secretary(f, k, order, trial_rng)
-                .value;
-          },
-          mc);
-      table.row()
-          .cell(n)
-          .cell(k)
-          .cell(f.optimum())
-          .cell(acc.mean())
-          .cell(f.optimum() / acc.mean())
-          .cell(std::sqrt(static_cast<double>(n)));
-    }
-    table.print();
-  }
-
-  {
-    util::Table table({"n", "queries", "best value seen", "hidden OPT",
-                       "attack found OPT?"});
-    table.set_caption(
-        "\nE11b: value-oracle attack on the hard function (λ=8, m=k=sqrt(n))"
-        " — polynomially many random queries learn nothing");
-    util::Rng rng(20100612);
-    for (int root : {10, 14, 20, 28}) {
-      const int n = root * root;
-      const int k = root, m = root;
-      const auto f =
-          submodular::HiddenGoodSetFunction::random(n, k, m, 8.0, rng);
-      util::Rng attack_rng(rng());
-      const int queries = 20 * n;
-      const double best =
-          secretary::random_query_attack(f, queries, m, attack_rng);
-      table.row()
-          .cell(n)
-          .cell(queries)
-          .cell(best)
-          .cell(f.optimum())
-          .cell(best >= f.optimum() ? "YES (bad)" : "no");
-    }
-    table.print();
-  }
-  std::puts(
-      "\nPASS criterion: E11a inverse ratio grows no faster than ~sqrt(n);"
-      "\nE11b best value stays at 1 while the hidden optimum exceeds it.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e11"); }

@@ -1,57 +1,9 @@
 // E12 (Theorem 3.6.1): the bottleneck (min-aggregate) secretary. The rule
 // observes the first n/k arrivals and hires the first k that beat the
-// observed maximum; with probability >= 1/e^2k-ish this hires exactly the k
-// best, making the min objective O(k)-competitive. Series: success
-// probability and min-objective ratio vs k.
-#include <cmath>
-#include <cstdio>
+// observed maximum; with probability >= ~e^-2k it hires exactly the k
+// best, making the min objective O(k)-competitive. objective mean =
+// P[hired the k best]; m:min_given_k aggregates only over trials that
+// hired k (a conditional named metric). Preset "e12".
+#include "engine/bench_presets.hpp"
 
-#include "secretary/bottleneck.hpp"
-#include "secretary/harness.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps;
-
-  const int n = 60;
-  std::vector<double> values(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    values[static_cast<std::size_t>(i)] = i + 1.0;  // distinct efficiencies
-  }
-  // Optimal min objective: the k best are n, n-1, ..., n-k+1 -> min n-k+1.
-
-  secretary::MonteCarloOptions mc;
-  mc.trials = 30000;
-  // Serial: the lambda feeds a shared Accumulator (not thread-safe).
-  mc.num_threads = 1;
-
-  util::Table table({"k", "P[hired k best]", "floor e^-2k",
-                     "E[min | hired k]", "OPT min", "ratio"});
-  table.set_caption(
-      "E12: bottleneck secretary (n=60, values 1..60, 30000 orders per row)");
-  for (int k : {2, 3, 4, 5, 6}) {
-    ps::util::Accumulator min_when_hired;
-    const double p = secretary::monte_carlo_probability(
-        n,
-        [&](const std::vector<int>& order, util::Rng&) {
-          const auto result = secretary::bottleneck_secretary(values, k, order);
-          if (result.hired_k) min_when_hired.add(result.min_value);
-          return result.hired_k_best;
-        },
-        mc);
-    const double opt_min = static_cast<double>(n - k + 1);
-    table.row()
-        .cell(k)
-        .cell(p)
-        .cell(std::exp(-2.0 * k))
-        .cell(min_when_hired.count() ? min_when_hired.mean() : 0.0)
-        .cell(opt_min)
-        .cell((min_when_hired.count() ? min_when_hired.mean() : 0.0) /
-              opt_min);
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: P[hired k best] >= the e^-2k floor on every row;"
-      "\nconditional min stays a constant fraction of OPT as k grows.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e12"); }

@@ -1,76 +1,9 @@
 // E13 (Appendix .2, Theorem .2.1): the exact DPs on agreeable one-interval
-// single-processor instances.
-// Series (a): greedy scheduler vs the exact min-energy DP across alpha —
-// the polynomial-solvable regime, so the comparison is against TRUE optimum
-// at sizes brute force cannot reach.
-// Series (b): the prize-collecting gap-budget DP's value/gaps frontier.
-#include <cmath>
-#include <cstdio>
+// single-processor instances. Sweep (a): greedy scheduler vs the exact
+// min-energy DP across alpha — the polynomial-solvable regime, so the
+// comparison is against TRUE optimum at sizes brute force cannot reach.
+// Sweep (b): the prize-collecting gap-budget DP's value/gaps frontier
+// (gap_budget is an algo param: one instance, whole frontier). Preset "e13".
+#include "engine/bench_presets.hpp"
 
-#include "scheduling/gap_dp.hpp"
-#include "scheduling/generators.hpp"
-#include "scheduling/power_scheduler.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps::scheduling;
-
-  {
-    ps::util::Table table({"alpha", "n jobs", "greedy/DP mean", "max",
-                           "bound 2log2(n+1)"});
-    table.set_caption(
-        "E13a: greedy vs exact DP optimum on agreeable instances "
-        "(1 processor, T=30, 12 instances per row)");
-    ps::util::Rng rng(20100613);
-    for (double alpha : {0.5, 2.0, 8.0}) {
-      for (int n : {6, 12}) {
-        ps::util::Accumulator ratio;
-        int built = 0;
-        while (built < 12) {
-          auto jobs = random_agreeable_jobs(n, 30, 2, 6, 1.0, 1.0, rng);
-          const auto dp = min_energy_schedule_all(jobs, 30, alpha);
-          if (!dp.feasible) continue;
-          const auto instance = agreeable_to_instance(jobs, 30);
-          RestartCostModel model(alpha);
-          const auto greedy = schedule_all_jobs(instance, model);
-          if (!greedy.feasible) continue;
-          ratio.add(greedy.schedule.energy_cost / dp.energy);
-          ++built;
-        }
-        table.row()
-            .cell(alpha)
-            .cell(n)
-            .cell(ratio.mean())
-            .cell(ratio.max())
-            .cell(2.0 * std::log2(static_cast<double>(n) + 1.0));
-      }
-    }
-    table.print();
-  }
-
-  {
-    ps::util::Table table({"gap budget g", "value", "of total", "gaps used"});
-    table.set_caption(
-        "\nE13b: Theorem .2.1 frontier — max value vs gap budget "
-        "(one representative instance, n=14, T=40, values U[1,5])");
-    ps::util::Rng rng(20100614);
-    auto jobs = random_agreeable_jobs(14, 40, 1, 4, 1.0, 5.0, rng);
-    double total = 0.0;
-    for (const auto& j : jobs) total += j.value;
-    for (int g : {0, 1, 2, 3, 5, 8, 13}) {
-      const auto result = max_value_with_gap_budget(jobs, 40, g);
-      table.row()
-          .cell(g)
-          .cell(result.value)
-          .cell(result.value / total)
-          .cell(result.gaps_used);
-    }
-    table.print();
-  }
-  std::puts(
-      "\nPASS criterion: E13a max under the bound everywhere (near 1 for"
-      "\nsmall alpha); E13b value non-decreasing and saturating in g.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e13"); }

@@ -1,74 +1,9 @@
 // E14 (Chapter 1's online motivation): processors arrive one by one and at
 // most k may be hired; the utility of a hired set is the number of jobs it
 // can schedule — a matching utility over slot columns, hence monotone
-// submodular, so Algorithm 1 applies and is constant-competitive. We sweep
-// k and the processor pool size and compare against the offline greedy and
-// a first-k naive policy.
-#include <cstdio>
+// submodular, so Algorithm 1 applies and is constant-competitive. The
+// sweep compares against the offline greedy (reference-cached per trial,
+// shared with the first-k naive baseline). Preset "e14".
+#include "engine/bench_presets.hpp"
 
-#include "scheduling/generators.hpp"
-#include "scheduling/processor_selection.hpp"
-#include "secretary/harness.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps;
-
-  secretary::MonteCarloOptions mc;
-  mc.trials = 1500;
-  mc.num_threads = 8;
-
-  util::Table table({"processors", "k hired", "offline greedy", "online mean",
-                     "ratio", "first-k naive", "naive ratio"});
-  table.set_caption(
-      "E14: online processor hiring (jobs = 2x processors, T=6, "
-      "1500 arrival orders per row)");
-
-  util::Rng rng(20100618);
-  for (int processors : {8, 16, 24}) {
-    scheduling::RandomInstanceParams params;
-    params.num_jobs = 2 * processors;
-    params.num_processors = processors;
-    params.horizon = 6;
-    params.windows_per_job = 2;
-    params.window_length = 2;
-    const auto instance = scheduling::random_instance(params, rng);
-    scheduling::ProcessorCoverageFunction f(instance);
-
-    for (int k : {2, 4, processors / 2}) {
-      const auto offline =
-          scheduling::hire_processors_offline_greedy(instance, k);
-      const auto online = secretary::monte_carlo_values(
-          processors,
-          [&](const std::vector<int>& order, util::Rng&) {
-            return scheduling::hire_processors_online(instance, k, order)
-                .jobs_covered;
-          },
-          mc);
-      // Naive: hire the first k processors that show up, no thresholds.
-      const auto naive = secretary::monte_carlo_values(
-          processors,
-          [&](const std::vector<int>& order, util::Rng&) {
-            submodular::ItemSet hired(processors);
-            for (int i = 0; i < k; ++i) hired.insert(order[i]);
-            return f.value(hired);
-          },
-          mc);
-      table.row()
-          .cell(processors)
-          .cell(k)
-          .cell(offline.jobs_covered)
-          .cell(online.mean())
-          .cell(online.mean() / offline.jobs_covered)
-          .cell(naive.mean())
-          .cell(naive.mean() / offline.jobs_covered);
-    }
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: online ratio a healthy constant on every row, and"
-      "\nclearly above first-k naive when k is small relative to the pool"
-      "\n(at large k any k processors cover similarly and the two converge).");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e14"); }

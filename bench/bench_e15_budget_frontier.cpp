@@ -2,57 +2,9 @@
 // traced from both axes. schedule_value_at_least minimizes energy for a
 // value floor (Theorem 2.3.3); schedule_max_value_with_energy_budget
 // maximizes value under an energy cap (the submodular-knapsack dual). On
-// the same instance the two frontiers must be consistent: primal(Z).energy
-// fed back as the dual's budget must recover value >= ~Z.
-#include <cstdio>
+// the same instance (zfrac is an algo param) the two frontiers must be
+// consistent: primal(Z).energy fed back as the dual's budget recovers
+// value >= ~Z (m:dual_recovers). Preset "e15".
+#include "engine/bench_presets.hpp"
 
-#include "scheduling/budget_scheduler.hpp"
-#include "scheduling/generators.hpp"
-#include "scheduling/prize_collecting.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps::scheduling;
-
-  ps::util::Rng rng(20100619);
-  RandomInstanceParams params;
-  params.num_jobs = 16;
-  params.num_processors = 2;
-  params.horizon = 14;
-  params.windows_per_job = 2;
-  params.window_length = 3;
-  params.min_value = 1.0;
-  params.max_value = 8.0;
-  const auto instance = random_instance(params, rng);
-  RestartCostModel model(2.0);
-
-  ps::util::Table table({"Z (value floor)", "primal value", "primal energy",
-                         "dual value @ that budget", "dual recovers"});
-  table.set_caption(
-      "E15: primal (min energy s.t. value>=Z) vs dual (max value s.t. "
-      "energy<=E) frontier consistency, n=16, p=2, T=14");
-  const double total = instance.total_value();
-  for (double frac : {0.2, 0.35, 0.5, 0.65, 0.8, 0.95}) {
-    const double z = frac * total;
-    const auto primal = schedule_value_at_least(instance, model, z);
-    if (!primal.reached_target) {
-      table.row().cell(z).cell("infeasible").cell("-").cell("-").cell("-");
-      continue;
-    }
-    const auto dual = schedule_max_value_with_energy_budget(
-        instance, model, primal.schedule.energy_cost);
-    table.row()
-        .cell(z)
-        .cell(primal.value)
-        .cell(primal.schedule.energy_cost)
-        .cell(dual.value)
-        .cell(dual.value >= 0.9 * primal.value ? "yes" : "NO");
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: the dual recovers >= 90% of the primal value at"
-      "\nthe primal's own energy, on every feasible row — the two greedy"
-      "\nfrontiers agree up to constant-factor slack.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e15"); }

@@ -1,55 +1,9 @@
 // E16 (prior-work substrate, Chapter 1 / [5, 31]): online power-down.
 // Competitive ratios of the break-even (2-competitive), randomized
-// (e/(e-1) ≈ 1.582), eager-sleep, and never-sleep policies across gap
+// (e/(e-1) ~ 1.582), eager-sleep, and never-sleep policies across gap
 // distributions, plus the adversarial gap that realizes both classic
-// constants exactly. Driven by the experiment engine: one sweep of the four
-// powerdown solvers over the dist axis; the engine's ratio accumulator
-// (policy cost / offline optimum) is exactly the competitive ratio.
-#include <cstdio>
+// constants exactly. The engine's ratio accumulator (policy cost /
+// offline optimum) is exactly the competitive ratio. Preset "e16".
+#include "engine/bench_presets.hpp"
 
-#include "engine/registry.hpp"
-#include "engine/sweep_runner.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps::engine;
-
-  SweepPlan plan;
-  plan.solvers = {"powerdown.break_even", "powerdown.randomized",
-                  "powerdown.eager", "powerdown.never"};
-  plan.base_params = {{"alpha", 2.0}, {"gaps", 20000.0}};
-  // dist: 0 = exponential (mean alpha), 1 = short gaps (0.2*alpha),
-  //       2 = long gaps (5*alpha), 3 = adversarial (gap = alpha+).
-  plan.axes = {{"dist", {0, 1, 2, 3}}};
-  plan.trials = 10;
-  plan.seed = 20100621;
-
-  const SweepRunner runner({/*num_threads=*/0});
-  const auto results = runner.run(SolverRegistry::with_builtins(), plan);
-
-  const char* workload_names[] = {"exponential (mean=alpha)",
-                                  "short gaps (0.2*alpha)",
-                                  "long gaps (5*alpha)",
-                                  "adversarial (gap=alpha+)"};
-  ps::util::Table table(
-      {"workload", "break-even", "randomized", "eager-sleep", "never-sleep"});
-  table.set_caption(
-      "E16: online power-down competitive ratios (cost / offline optimum, "
-      "alpha=2, 20000 gaps x 10 trials per cell)");
-  // Results are axes-major, solver-minor: four consecutive rows per dist.
-  for (std::size_t i = 0; i + 3 < results.size(); i += 4) {
-    const int dist = results[i].spec.params.get_int("dist", 0);
-    table.row()
-        .cell(workload_names[dist])
-        .cell(results[i].ratio.mean())
-        .cell(results[i + 1].ratio.mean())
-        .cell(results[i + 2].ratio.mean())
-        .cell(results[i + 3].ratio.mean());
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: break-even <= 2 everywhere and exactly 2 on the"
-      "\nadversarial row; randomized ~1.582 there (the e/(e-1) constant);"
-      "\neager explodes on short gaps, never-sleep on long gaps.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e16"); }

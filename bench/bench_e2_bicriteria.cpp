@@ -1,95 +1,11 @@
-// E2 (Lemma 2.1.2): the bicriteria trade-off. Sweeping ε = 2^-1 .. 2^-10 on
-// coverage instances with brute-force-known optimum cost B, the greedy's
-// cost should track O(B·log2(1/ε)) — i.e. grow LINEARLY in log2(1/ε) — while
-// utility stays >= (1-ε)x.
+// E2 (Lemma 2.1.2): the bicriteria trade-off. Sweeping eps = 2^-1 .. 2^-10
+// on coverage instances with brute-force-known optimum cost B, the greedy's
+// cost should track O(B*log2(1/eps)) while utility stays >= (1-eps)x.
+// eps is an algo param, so every row sees the same instances and the brute
+// force runs once per instance (reference cache). Preset "e2".
 //
-// Expected shape: "cost/B" column grows by a bounded additive step per row
-// (linear in the phase count), and stays below 2·log2(1/ε).
-#include <cmath>
-#include <cstdio>
-#include <limits>
+// Expected shape: ratio (cost/B) grows by a bounded additive step per row
+// and stays below m:bound_2log2inveps; m:utility_frac >= 1-eps.
+#include "engine/bench_presets.hpp"
 
-#include "core/budgeted_maximization.hpp"
-#include "submodular/coverage.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-double brute_force_min_cost(const ps::submodular::SetFunction& f,
-                            const std::vector<ps::core::CandidateSet>& cands,
-                            double x) {
-  double best = std::numeric_limits<double>::infinity();
-  for (std::uint32_t pick = 0; pick < (1u << cands.size()); ++pick) {
-    ps::submodular::ItemSet items(f.ground_size());
-    double cost = 0.0;
-    for (std::size_t i = 0; i < cands.size(); ++i) {
-      if ((pick >> i) & 1u) {
-        cost += cands[i].cost;
-        for (int it : cands[i].items) items.insert(it);
-      }
-    }
-    if (cost < best && f.value(items) >= x - 1e-9) best = cost;
-  }
-  return best;
-}
-
-}  // namespace
-
-int main() {
-  using namespace ps;
-
-  util::Table table({"eps", "log2(1/eps)", "utility/x mean", "cost/B mean",
-                     "cost/B max", "bound 2log2(1/eps)"});
-  table.set_caption(
-      "E2: bicriteria sweep on random weighted-coverage instances "
-      "(15 sets over 18 elements, 15 instances per row)");
-
-  const int kInstances = 15;
-  std::vector<submodular::CoverageFunction> functions;
-  std::vector<std::vector<core::CandidateSet>> candidate_sets;
-  std::vector<double> opt_costs, targets;
-  util::Rng rng(20100602);
-  for (int i = 0; i < kInstances; ++i) {
-    auto f = submodular::CoverageFunction::random(15, 18, 5, 3.0, rng);
-    std::vector<core::CandidateSet> cands;
-    for (int s = 0; s < 15; ++s) {
-      cands.push_back(core::CandidateSet{{s}, rng.uniform_double(0.5, 2.5), s});
-    }
-    const double x =
-        0.95 * f.value(submodular::ItemSet::full(f.ground_size()));
-    const double b = brute_force_min_cost(f, cands, x);
-    functions.push_back(std::move(f));
-    candidate_sets.push_back(std::move(cands));
-    targets.push_back(x);
-    opt_costs.push_back(b);
-  }
-
-  for (int e = 1; e <= 10; ++e) {
-    const double eps = std::pow(2.0, -e);
-    util::Accumulator util_frac, cost_ratio;
-    for (int i = 0; i < kInstances; ++i) {
-      core::BudgetedMaximizationOptions options;
-      options.epsilon = eps;
-      const auto result = core::maximize_with_budget(
-          functions[static_cast<std::size_t>(i)],
-          candidate_sets[static_cast<std::size_t>(i)],
-          targets[static_cast<std::size_t>(i)], options);
-      util_frac.add(result.utility / targets[static_cast<std::size_t>(i)]);
-      cost_ratio.add(result.cost / opt_costs[static_cast<std::size_t>(i)]);
-    }
-    table.row()
-        .cell(eps)
-        .cell(static_cast<double>(e))
-        .cell(util_frac.mean())
-        .cell(cost_ratio.mean())
-        .cell(cost_ratio.max())
-        .cell(2.0 * e);
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: utility/x >= 1-eps on every row; cost/B max stays"
-      "\nbelow the bound column and grows at most linearly down the table.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e2"); }

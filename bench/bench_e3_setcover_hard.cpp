@@ -1,81 +1,9 @@
 // E3 (Theorem .1.2 / Appendix .1): scheduling is Set-Cover hard, so no
 // algorithm beats O(log n) — and the greedy actually exhibits the log n
 // growth on the adversarial family (OPT = 2, greedy baited into k block
-// sets). Two tables:
-//   (a) random Set-Cover-derived scheduling instances vs exact cover OPT —
-//       ratios stay below H_n;
-//   (b) the adversarial family through the full scheduling pipeline —
-//       ratio grows like k/2 = Θ(log n), demonstrating tightness.
-#include <cmath>
-#include <cstdio>
+// sets). Two sweeps (preset "e3"): random Set-Cover-derived scheduling
+// instances vs exact cover OPT (ratios stay below H_n), and the
+// adversarial family through the full pipeline (ratio ~ k/2 = Theta(log n)).
+#include "engine/bench_presets.hpp"
 
-#include "scheduling/generators.hpp"
-#include "scheduling/power_scheduler.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps::scheduling;
-
-  {
-    ps::util::Table table({"elements n", "sets m", "greedy/OPT mean", "max",
-                           "H_n bound"});
-    table.set_caption(
-        "E3a: random Set-Cover scheduling instances vs exact cover optimum "
-        "(flat interval cost, 15 instances per row)");
-    ps::util::Rng rng(20100603);
-    for (int n : {6, 8, 10, 12}) {
-      ps::util::Accumulator ratio;
-      const int m = n;
-      for (int trial = 0; trial < 15; ++trial) {
-        const auto sc = random_set_cover(n, m, 3, rng);
-        const int opt = exact_min_set_cover(sc);
-        if (opt <= 0) continue;
-        const auto instance = set_cover_to_scheduling(sc);
-        FlatIntervalCostModel model(1.0);
-        PowerSchedulerOptions options;
-        options.intervals.only_full_horizon = true;
-        const auto greedy = schedule_all_jobs(instance, model, options);
-        if (!greedy.feasible) continue;
-        ratio.add(greedy.schedule.energy_cost / opt);
-      }
-      double harmonic = 0.0;
-      for (int i = 1; i <= n; ++i) harmonic += 1.0 / i;
-      table.row().cell(n).cell(m).cell(ratio.mean()).cell(ratio.max()).cell(
-          harmonic);
-    }
-    table.print();
-  }
-
-  {
-    ps::util::Table table(
-        {"k", "elements n", "OPT", "greedy cost", "ratio", "ln(n)"});
-    table.set_caption(
-        "\nE3b: adversarial family (greedy lower bound) through the full "
-        "scheduling pipeline — ratio grows like Θ(log n)");
-    for (int k : {2, 3, 4, 5, 6, 7}) {
-      const auto sc = adversarial_set_cover(k);
-      const auto instance = set_cover_to_scheduling(sc);
-      FlatIntervalCostModel model(1.0);
-      PowerSchedulerOptions options;
-      options.intervals.only_full_horizon = true;
-      const auto greedy = schedule_all_jobs(instance, model, options);
-      const double ratio = greedy.feasible
-                               ? greedy.schedule.energy_cost / 2.0
-                               : -1.0;
-      table.row()
-          .cell(k)
-          .cell(sc.num_elements)
-          .cell(2)
-          .cell(greedy.schedule.energy_cost)
-          .cell(ratio)
-          .cell(std::log(static_cast<double>(sc.num_elements)));
-    }
-    table.print();
-  }
-  std::puts(
-      "\nPASS criterion: E3a max <= H_n; E3b ratio increases with k and"
-      "\ntracks ~k/2, i.e. the Theta(log n) hardness is realized.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e3"); }

@@ -1,73 +1,12 @@
-// E4 (Theorem 2.3.1): prize-collecting bicriteria. For random weighted
-// instances with value target Z and brute-force-known optimum cost B
-// (among value->=Z schedules), sweeping ε must give value >= (1-ε)Z at cost
-// O(B·log 1/ε).
+// E4 (Theorem 2.3.1): prize-collecting bicriteria. For random instances
+// with value target Z and brute-force-known optimum cost B (among
+// value>=Z schedules), sweeping eps must give value >= (1-eps)Z at cost
+// O(B*log 1/eps). eps is an algo param: every row replays the same
+// instances and the brute-force optima come from the reference cache.
+// Preset "e4".
 //
-// Expected shape: "value/Z" >= 1-ε per row; "cost/B" grows slowly (log) as
-// ε shrinks and never exceeds the bound column.
-#include <cmath>
-#include <cstdio>
+// Expected shape: m:value_floor_ok = 1 per row; ratio (cost/B) grows
+// slowly (log) as eps shrinks and never exceeds m:bound.
+#include "engine/bench_presets.hpp"
 
-#include "scheduling/baselines.hpp"
-#include "scheduling/generators.hpp"
-#include "scheduling/prize_collecting.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps::scheduling;
-
-  // Pre-generate instances with known prize-collecting optima.
-  struct Case {
-    SchedulingInstance instance;
-    double z;
-    double opt_cost;
-  };
-  std::vector<Case> cases;
-  ps::util::Rng rng(20100604);
-  RestartCostModel model(1.5);
-  while (cases.size() < 12) {
-    RandomInstanceParams params;
-    params.num_jobs = 5;
-    params.num_processors = 2;
-    params.horizon = 6;
-    params.window_length = 2;
-    params.min_value = 1.0;
-    params.max_value = 6.0;
-    auto instance = random_feasible_instance(params, rng);
-    const double z = 0.65 * instance.total_value();
-    const auto opt = brute_force_min_cost_value(instance, model, z);
-    if (!opt) continue;
-    cases.push_back(Case{std::move(instance), z, opt->energy_cost});
-  }
-
-  ps::util::Table table({"eps", "value/Z mean", "value/Z min", "cost/B mean",
-                         "cost/B max", "bound 2log2(1/eps)+1"});
-  table.set_caption(
-      "E4: prize-collecting bicriteria sweep (12 instances, p=2, T=6, "
-      "values in [1,6], Z = 0.65 * total)");
-  for (double eps : {0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625}) {
-    ps::util::Accumulator value_frac, cost_ratio;
-    for (const auto& c : cases) {
-      PrizeCollectingOptions options;
-      options.epsilon = eps;
-      const auto result =
-          schedule_value_fraction(c.instance, model, c.z, options);
-      value_frac.add(result.value / c.z);
-      cost_ratio.add(result.schedule.energy_cost / c.opt_cost);
-    }
-    table.row()
-        .cell(eps)
-        .cell(value_frac.mean())
-        .cell(value_frac.min())
-        .cell(cost_ratio.mean())
-        .cell(cost_ratio.max())
-        .cell(2.0 * std::log2(1.0 / eps) + 1.0);
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: value/Z min >= 1-eps per row; cost/B max below the "
-      "bound\ncolumn, growing logarithmically as eps shrinks.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e4"); }

@@ -1,64 +1,10 @@
 // E5 (Theorem 2.3.3): reaching value >= Z *exactly* costs
-// O((log n + log Δ)·B), where Δ = vmax/vmin is the value spread. We sweep Δ
-// and report cost ratios vs the brute-force optimum; the theorem predicts a
-// gentle (logarithmic) degradation as Δ grows.
-#include <cmath>
-#include <cstdio>
+// O((log n + log D)*B), where D = vmax/vmin is the value spread. The
+// spread axis sweeps D; ratio columns compare against the brute-force
+// optimum (reference-cached). Preset "e5".
+//
+// Expected shape: infeasible = 0 everywhere (the floor is always met);
+// ratio max degrades only logarithmically as the spread grows.
+#include "engine/bench_presets.hpp"
 
-#include "scheduling/baselines.hpp"
-#include "scheduling/generators.hpp"
-#include "scheduling/prize_collecting.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps::scheduling;
-
-  ps::util::Table table({"spread cap", "measured mean Δ", "value>=Z always",
-                         "cost/B mean", "cost/B max",
-                         "bound 2log2(nΔ)+1"});
-  table.set_caption(
-      "E5: value-floor scheduler vs exact optimum across value spreads "
-      "(n=5 jobs, p=2, T=6, 12 instances per row, Z = 0.7 * total)");
-
-  ps::util::Rng rng(20100605);
-  RestartCostModel model(1.0);
-  const int n = 5;
-  for (double spread : {1.0, 10.0, 100.0, 1000.0}) {
-    ps::util::Accumulator cost_ratio, measured_spread;
-    bool always_reached = true;
-    int built = 0;
-    while (built < 12) {
-      RandomInstanceParams params;
-      params.num_jobs = n;
-      params.num_processors = 2;
-      params.horizon = 6;
-      params.window_length = 2;
-      params.min_value = 1.0;
-      params.max_value = spread;
-      auto instance = random_feasible_instance(params, rng);
-      const double z = 0.7 * instance.total_value();
-      const auto opt = brute_force_min_cost_value(instance, model, z);
-      if (!opt) continue;
-      const auto result = schedule_value_at_least(instance, model, z);
-      always_reached = always_reached && result.reached_target &&
-                       result.value >= z - 1e-9;
-      cost_ratio.add(result.schedule.energy_cost / opt->energy_cost);
-      measured_spread.add(instance.value_spread());
-      ++built;
-    }
-    table.row()
-        .cell(spread)
-        .cell(measured_spread.mean())
-        .cell(always_reached ? "yes" : "NO")
-        .cell(cost_ratio.mean())
-        .cell(cost_ratio.max())
-        .cell(2.0 * std::log2(n * measured_spread.mean() + 2.0) + 1.0);
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: 'value>=Z always' is yes on every row; cost/B max"
-      "\nstays below the bound and grows only logarithmically with Δ.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e5"); }

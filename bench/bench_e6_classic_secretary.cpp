@@ -1,69 +1,10 @@
-// E6 (Section 3.1, Dynkin): the classic 1/e rule, driven by the experiment
-// engine (solver "secretary.classic", objective = the 0/1 "hired the best"
-// indicator, so the aggregated mean is the success probability). Two sweeps:
-//   (a) success probability vs n with the optimal threshold — converges to
-//       1/e ≈ 0.3679, and the threshold fraction t/n converges to 1/e too;
-//   (b) success probability vs observation fraction at fixed n — peaks
-//       near 1/e.
-#include <cstdio>
+// E6 (Section 3.1, Dynkin): the classic 1/e rule (solver
+// "secretary.classic", objective = the 0/1 "hired the best" indicator,
+// so the aggregated mean is the success probability). Two sweeps (preset
+// "e6"): success probability vs n with the optimal threshold — converges
+// to 1/e = 0.3679 — and vs the observation fraction at n=100 — peaks near
+// 1/e (observe_frac is an algo param, so every row replays the same
+// arrival orders).
+#include "engine/bench_presets.hpp"
 
-#include "engine/registry.hpp"
-#include "engine/sweep_runner.hpp"
-#include "secretary/classic.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps::engine;
-
-  const SolverRegistry registry = SolverRegistry::with_builtins();
-  const SweepRunner runner({/*num_threads=*/8});
-
-  {
-    SweepPlan plan;
-    plan.solvers = {"secretary.classic"};
-    plan.axes = {{"n", {5, 10, 20, 50, 100, 200, 500}}};
-    plan.trials = 40000;
-    plan.seed = 42;
-    const auto results = runner.run(registry, plan);
-
-    ps::util::Table table(
-        {"n", "t (observe)", "t/n", "P[best hired]", "target 1/e"});
-    table.set_caption("E6a: classic secretary success probability vs n");
-    for (const auto& result : results) {
-      const int n = result.spec.params.get_int("n", 0);
-      const int t = ps::secretary::classic_observation_length(n);
-      table.row()
-          .cell(n)
-          .cell(t)
-          .cell(static_cast<double>(t) / n)
-          .cell(result.objective.mean())
-          .cell(1.0 / 2.718281828);
-    }
-    table.print();
-  }
-
-  {
-    SweepPlan plan;
-    plan.solvers = {"secretary.classic"};
-    plan.base_params = {{"n", 100.0}};
-    plan.axes = {{"observe_frac", {0.1, 0.2, 0.3, 0.368, 0.45, 0.6, 0.8}}};
-    plan.trials = 40000;
-    plan.seed = 42;
-    const auto results = runner.run(registry, plan);
-
-    ps::util::Table table({"observe fraction", "P[best hired]"});
-    table.set_caption(
-        "\nE6b: success probability vs observation fraction (n=100) — "
-        "peaks near 1/e ≈ 0.368");
-    for (const auto& result : results) {
-      table.row()
-          .cell(result.spec.params.get("observe_frac", 0.0))
-          .cell(result.objective.mean());
-    }
-    table.print();
-  }
-  std::puts(
-      "\nPASS criterion: E6a converges to 0.368 from above as n grows;"
-      "\nE6b is unimodal with its peak at the 0.368 row.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e6"); }

@@ -1,76 +1,9 @@
-// E7 (Theorem 3.1.1, monotone case): Algorithm 1's competitive ratio across
-// k and across objectives (coverage, facility location, budgeted-additive).
-// The proof guarantees expected value >= f(R)·(1-1/e)/7e ≈ f(R)/30 in the
-// worst case; measured ratios should sit far above that floor and degrade
-// gracefully with k.
-#include <cstdio>
+// E7 (Theorem 3.1.1, monotone case): Algorithm 1's competitive ratio
+// across k and across objectives (0 = coverage, 1 = facility location,
+// 2 = additive; the objective axis of solver "secretary.submodular").
+// The proof guarantees expected value >= f(R)*(1-1/e)/7e ~ f(R)/30 in the
+// worst case; measured ratios sit far above that floor and degrade
+// gracefully with k. Preset "e7".
+#include "engine/bench_presets.hpp"
 
-#include "secretary/harness.hpp"
-#include "secretary/submodular_secretary.hpp"
-#include "submodular/additive.hpp"
-#include "submodular/coverage.hpp"
-#include "submodular/facility_location.hpp"
-#include "submodular/greedy.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps;
-
-  const int n = 60;
-  secretary::MonteCarloOptions mc;
-  mc.trials = 3000;
-  mc.num_threads = 8;
-
-  util::Rng rng(20100607);
-  const auto coverage =
-      submodular::CoverageFunction::random(n, 50, 5, 2.0, rng);
-  const auto facility =
-      submodular::FacilityLocationFunction::random(n, 25, 5.0, rng);
-  std::vector<double> weights(n);
-  for (auto& w : weights) w = rng.uniform_double(0.0, 10.0);
-  const submodular::AdditiveFunction additive(weights);
-
-  struct Objective {
-    const char* name;
-    const submodular::SetFunction* f;
-  };
-  const Objective objectives[] = {
-      {"coverage", &coverage},
-      {"facility-location", &facility},
-      {"additive", &additive},
-  };
-
-  util::Table table({"objective", "k", "offline greedy OPT~", "online mean",
-                     "ratio", "p10 ratio", "floor 1/7e"});
-  table.set_caption(
-      "E7: Algorithm 1 (monotone submodular secretary), n=60, 3000 random "
-      "arrival orders per cell; OPT~ = offline lazy greedy");
-  for (const auto& objective : objectives) {
-    for (int k : {2, 4, 8, 16}) {
-      const auto offline =
-          submodular::lazy_greedy_max_cardinality(*objective.f, k);
-      const auto acc = secretary::monte_carlo_values(
-          n,
-          [&](const std::vector<int>& order, util::Rng&) {
-            return secretary::monotone_submodular_secretary(*objective.f, k,
-                                                            order)
-                .value;
-          },
-          mc);
-      table.row()
-          .cell(objective.name)
-          .cell(k)
-          .cell(offline.value)
-          .cell(acc.mean())
-          .cell(acc.mean() / offline.value)
-          .cell(acc.quantile(0.1) / offline.value)
-          .cell(1.0 / (7.0 * 2.718281828));
-    }
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: every ratio far above the 0.0526 floor; ratios"
-      "\ndip moderately as k grows (segments shrink), never collapse.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e7"); }

@@ -1,62 +1,8 @@
 // E8 (Theorem 3.1.1, non-monotone case): Algorithm 2 on graph-cut
-// objectives. The proof floor is 1/8e² ≈ 0.0169; we also ablate the
-// half-split against running Algorithm 1 directly on the full stream (which
-// the paper notes breaks down in analysis but is a natural comparator).
-#include <cstdio>
+// objectives vs exact OPT by enumeration (reference-cached, shared with
+// the ablation). The proof floor is 1/8e^2 ~ 0.0169; the half-split is
+// ablated against running Algorithm 1 directly on the full stream
+// (solver "secretary.nonmonotone_full"). Preset "e8".
+#include "engine/bench_presets.hpp"
 
-#include "secretary/harness.hpp"
-#include "secretary/submodular_secretary.hpp"
-#include "submodular/cut.hpp"
-#include "submodular/greedy.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace ps;
-
-  const int n = 26;
-  secretary::MonteCarloOptions mc;
-  mc.trials = 3000;
-  mc.num_threads = 8;
-
-  util::Table table({"graph density", "k", "exact OPT", "Alg2 ratio",
-                     "Alg1-full ratio", "floor 1/8e^2"});
-  table.set_caption(
-      "E8: Algorithm 2 (non-monotone submodular secretary) on random "
-      "graph cuts, n=26 vertices, exact OPT by enumeration");
-
-  util::Rng rng(20100608);
-  for (double density : {0.2, 0.5}) {
-    const auto f = submodular::GraphCutFunction::random(n, density, 5.0, rng);
-    for (int k : {3, 6, 9}) {
-      const auto opt = submodular::exhaustive_max_cardinality(f, k);
-      const auto alg2 = secretary::monte_carlo_values(
-          n,
-          [&](const std::vector<int>& order, util::Rng& trial_rng) {
-            return secretary::submodular_secretary(f, k, order, trial_rng)
-                .value;
-          },
-          mc);
-      const auto alg1 = secretary::monte_carlo_values(
-          n,
-          [&](const std::vector<int>& order, util::Rng&) {
-            return secretary::monotone_submodular_secretary(f, k, order)
-                .value;
-          },
-          mc);
-      table.row()
-          .cell(density)
-          .cell(k)
-          .cell(opt.value)
-          .cell(alg2.mean() / opt.value)
-          .cell(alg1.mean() / opt.value)
-          .cell(1.0 / (8.0 * 2.718281828 * 2.718281828));
-    }
-  }
-  table.print();
-  std::puts(
-      "\nPASS criterion: Alg2 ratio far above the 0.0169 floor on every row"
-      "\n(the half-split sacrifices up to ~2x vs Alg1-full on these benign"
-      "\ninstances — the split is what makes the worst-case proof work).");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e8"); }

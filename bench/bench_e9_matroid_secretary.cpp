@@ -1,164 +1,9 @@
 // E9 (Theorem 3.1.2): Algorithm 3 — the submodular matroid secretary.
-// Series (a): competitive ratio vs rank r for four matroid classes (the
-// bound degrades like 1/log² r). Series (b): ratio vs the number of
-// simultaneous matroid constraints l (bound degrades like 1/l).
-#include <cstdio>
-#include <memory>
+// Sweep (a): competitive ratio across matroid classes (uniform k=4/k=12,
+// partition, graphic, transversal — the matroid axis; the bound degrades
+// like 1/log^2 r). Sweep (b): ratio vs the number of simultaneous matroid
+// constraints l (an algo param: every l sees the same function, matroids,
+// and order; the bound degrades like 1/l). Preset "e9".
+#include "engine/bench_presets.hpp"
 
-#include "matroid/matroid.hpp"
-#include "secretary/harness.hpp"
-#include "secretary/matroid_secretary.hpp"
-#include "submodular/coverage.hpp"
-#include "submodular/greedy.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-/// Offline comparator: greedy respecting the constraint (a 1/2-approx for
-/// one matroid; good enough as a stable OPT~ across rows).
-double constrained_offline_greedy(const ps::submodular::SetFunction& f,
-                                  const ps::matroid::MatroidIntersection& c) {
-  ps::submodular::ItemSet chosen(f.ground_size());
-  double value = f.value(chosen);
-  for (;;) {
-    int best = -1;
-    double best_value = value;
-    for (int i = 0; i < f.ground_size(); ++i) {
-      if (chosen.contains(i) || !c.can_add(chosen, i)) continue;
-      const double v = f.value(chosen.with(i));
-      if (v > best_value) {
-        best = i;
-        best_value = v;
-      }
-    }
-    if (best == -1) break;
-    chosen.insert(best);
-    value = best_value;
-  }
-  return value;
-}
-
-}  // namespace
-
-int main() {
-  using namespace ps;
-
-  const int n = 48;
-  secretary::MonteCarloOptions mc;
-  mc.trials = 2000;
-  mc.num_threads = 8;
-  util::Rng rng(20100609);
-  const auto f = submodular::CoverageFunction::random(n, 40, 5, 2.0, rng);
-
-  {
-    util::Table table({"matroid", "rank r", "offline OPT~", "online mean",
-                       "ratio"});
-    table.set_caption(
-        "E9a: Algorithm 3 across matroid classes (n=48, coverage objective, "
-        "2000 orders per row)");
-
-    struct Row {
-      const char* name;
-      std::unique_ptr<matroid::Matroid> m;
-    };
-    std::vector<Row> rows;
-    rows.push_back({"uniform k=4",
-                    std::make_unique<matroid::UniformMatroid>(n, 4)});
-    rows.push_back({"uniform k=12",
-                    std::make_unique<matroid::UniformMatroid>(n, 12)});
-    {
-      std::vector<int> class_of(n);
-      for (int i = 0; i < n; ++i) class_of[i] = i / 12;
-      rows.push_back({"partition 4x(cap 2)",
-                      std::make_unique<matroid::PartitionMatroid>(
-                          class_of, std::vector<int>{2, 2, 2, 2})});
-    }
-    {
-      // Graphic matroid on 13 vertices: ground = 48 random edges, rank <= 12.
-      std::vector<matroid::GraphicMatroid::Edge> edges;
-      for (int e = 0; e < n; ++e) {
-        int u = rng.uniform_int(0, 12), v = rng.uniform_int(0, 12);
-        if (u == v) v = (v + 1) % 13;
-        edges.push_back({u, v});
-      }
-      rows.push_back({"graphic (13 vertices)",
-                      std::make_unique<matroid::GraphicMatroid>(13, edges)});
-    }
-    {
-      std::vector<std::vector<int>> res(static_cast<std::size_t>(n));
-      for (auto& r : res) r = rng.sample_without_replacement(8, 2);
-      rows.push_back({"transversal (8 resources)",
-                      std::make_unique<matroid::TransversalMatroid>(8, res)});
-    }
-
-    for (const auto& row : rows) {
-      matroid::MatroidIntersection constraint({row.m.get()});
-      const double offline = constrained_offline_greedy(f, constraint);
-      const auto acc = secretary::monte_carlo_values(
-          n,
-          [&](const std::vector<int>& order, util::Rng& trial_rng) {
-            return secretary::matroid_submodular_secretary(f, constraint,
-                                                           order, trial_rng)
-                .value;
-          },
-          mc);
-      table.row()
-          .cell(row.name)
-          .cell(row.m->rank())
-          .cell(offline)
-          .cell(acc.mean())
-          .cell(acc.mean() / offline);
-    }
-    table.print();
-  }
-
-  {
-    util::Table table({"l matroids", "offline OPT~", "online mean", "ratio"});
-    table.set_caption(
-        "\nE9b: ratio vs number of simultaneous matroid constraints l "
-        "(uniform k=8 ∩ partition ∩ transversal ∩ graphic, added in order)");
-
-    matroid::UniformMatroid uniform(n, 8);
-    std::vector<int> class_of(n);
-    for (int i = 0; i < n; ++i) class_of[i] = i / 12;
-    matroid::PartitionMatroid partition(class_of, {3, 3, 3, 3});
-    std::vector<std::vector<int>> res(static_cast<std::size_t>(n));
-    for (auto& r : res) r = rng.sample_without_replacement(10, 2);
-    matroid::TransversalMatroid transversal(10, res);
-    std::vector<matroid::GraphicMatroid::Edge> edges;
-    for (int e = 0; e < n; ++e) {
-      int u = rng.uniform_int(0, 11), v = rng.uniform_int(0, 11);
-      if (u == v) v = (v + 1) % 12;
-      edges.push_back({u, v});
-    }
-    matroid::GraphicMatroid graphic(12, edges);
-
-    std::vector<const matroid::Matroid*> pool{&uniform, &partition,
-                                              &transversal, &graphic};
-    for (std::size_t l = 1; l <= pool.size(); ++l) {
-      matroid::MatroidIntersection constraint(
-          std::vector<const matroid::Matroid*>(pool.begin(),
-                                               pool.begin() + l));
-      const double offline = constrained_offline_greedy(f, constraint);
-      const auto acc = secretary::monte_carlo_values(
-          n,
-          [&](const std::vector<int>& order, util::Rng& trial_rng) {
-            return secretary::matroid_submodular_secretary(f, constraint,
-                                                           order, trial_rng)
-                .value;
-          },
-          mc);
-      table.row()
-          .cell(static_cast<int>(l))
-          .cell(offline)
-          .cell(acc.mean())
-          .cell(acc.mean() / offline);
-    }
-    table.print();
-  }
-  std::puts(
-      "\nPASS criterion: all ratios positive constants well above the"
-      "\nO(1/ l log^2 r) floor; E9b ratios do not fall faster than ~1/l.");
-  return 0;
-}
+int main() { return ps::engine::run_preset_main("e9"); }

@@ -1,104 +1,8 @@
-// P1-P3 (microbenchmarks, google-benchmark): throughput of the primitives
-// every experiment leans on — Hopcroft-Karp, the incremental matching
-// oracles, coverage-oracle evaluation, and the full greedy scheduler.
-#include <benchmark/benchmark.h>
+// P1-P3 (microbenchmarks): throughput of the primitives every experiment
+// leans on — Hopcroft-Karp, the incremental matching oracles,
+// coverage-oracle evaluation, and the full greedy scheduler — as engine
+// micro-sweeps (the runner's wall clock provides the timing; objectives
+// double as determinism checks). Preset "p_micro".
+#include "engine/bench_presets.hpp"
 
-#include "core/budgeted_maximization.hpp"
-#include "matching/hopcroft_karp.hpp"
-#include "matching/matching_oracle.hpp"
-#include "scheduling/generators.hpp"
-#include "scheduling/power_scheduler.hpp"
-#include "submodular/coverage.hpp"
-#include "submodular/greedy.hpp"
-#include "util/rng.hpp"
-
-namespace {
-
-void BM_HopcroftKarp(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  ps::util::Rng rng(1);
-  const auto g = ps::matching::BipartiteGraph::random_regular_x(n, n, 8, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ps::matching::hopcroft_karp(g).size);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_IncrementalOracleFill(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  ps::util::Rng rng(2);
-  const auto g = ps::matching::BipartiteGraph::random_regular_x(n, n, 8, rng);
-  const auto order = rng.permutation(n);
-  for (auto _ : state) {
-    ps::matching::IncrementalMatchingOracle oracle(g);
-    for (int x : order) oracle.add_x(x);
-    benchmark::DoNotOptimize(oracle.size());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_IncrementalOracleFill)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_WeightedOracleFill(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  ps::util::Rng rng(3);
-  const auto g = ps::matching::BipartiteGraph::random_regular_x(n, n, 8, rng);
-  std::vector<double> values(static_cast<std::size_t>(n));
-  for (auto& v : values) v = rng.uniform_double(1.0, 9.0);
-  const auto order = rng.permutation(n);
-  for (auto _ : state) {
-    ps::matching::WeightedMatchingOracle oracle(g, values);
-    for (int x : order) oracle.add_x(x);
-    benchmark::DoNotOptimize(oracle.value());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_WeightedOracleFill)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_CoverageOracle(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  ps::util::Rng rng(4);
-  const auto f =
-      ps::submodular::CoverageFunction::random(n, 2 * n, 8, 2.0, rng);
-  ps::submodular::ItemSet s(n);
-  for (int i = 0; i < n; i += 3) s.insert(i);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.value(s));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CoverageOracle)->Arg(64)->Arg(512);
-
-void BM_LazyGreedyCoverage(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  ps::util::Rng rng(5);
-  const auto f =
-      ps::submodular::CoverageFunction::random(n, 2 * n, 8, 2.0, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        ps::submodular::lazy_greedy_max_cardinality(f, n / 8).value);
-  }
-}
-BENCHMARK(BM_LazyGreedyCoverage)->Arg(128)->Arg(512);
-
-void BM_PowerScheduler(benchmark::State& state) {
-  const int jobs = static_cast<int>(state.range(0));
-  ps::util::Rng rng(6);
-  ps::scheduling::RandomInstanceParams params;
-  params.num_jobs = jobs;
-  params.num_processors = 2;
-  params.horizon = 2 * jobs;
-  params.window_length = 4;
-  const auto instance = ps::scheduling::random_feasible_instance(params, rng);
-  ps::scheduling::RestartCostModel model(2.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        ps::scheduling::schedule_all_jobs(instance, model).schedule
-            .energy_cost);
-  }
-}
-BENCHMARK(BM_PowerScheduler)->Arg(8)->Arg(16)->Arg(32);
-
-}  // namespace
-
-BENCHMARK_MAIN();
+int main() { return ps::engine::run_preset_main("p_micro"); }

@@ -1,0 +1,76 @@
+// The bench preset catalogue: every experiment in bench/ as a declarative
+// (name, sweep plans, pass criterion) bundle runnable from the sweep CLI
+// (`powersched_sweep --preset e13`) or from the bench binaries themselves,
+// which are thin wrappers over run_preset_main. This is what replaced the
+// per-bench bespoke driver loops: one registered solver adapter per
+// algorithm, one SweepPlan per table, and the engine does the seeding,
+// threading, caching, aggregation, and emission uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.hpp"
+
+namespace ps::engine {
+
+/// One table of a preset: a sweep plan plus its caption.
+struct PresetSweep {
+  std::string caption;
+  SweepPlan plan;
+};
+
+struct BenchPreset {
+  /// CLI key: "e1".."e16", "a1".."a4", "p_micro".
+  std::string name;
+  /// One line: what the experiment measures.
+  std::string title;
+  /// The human pass criterion printed after the tables (from the paper's
+  /// predictions; the engine does not evaluate it).
+  std::string pass_criterion;
+  std::vector<PresetSweep> sweeps;
+  /// Default worker threads (0 = hardware concurrency). Timing ablations
+  /// pin this to 1 so in-trial wall readings are not perturbed.
+  std::size_t default_threads = 0;
+  /// Include wall-time columns in tables/CSV (timing is the measurement).
+  bool timing = false;
+};
+
+/// The full catalogue, in e1..e16, a1..a4, p_micro order.
+const std::vector<BenchPreset>& bench_presets();
+
+/// The preset named `name`, or nullptr.
+const BenchPreset* find_bench_preset(const std::string& name);
+
+/// All preset names joined with ", " — for error messages and --list-presets.
+std::string preset_names_joined();
+
+struct PresetRunOptions {
+  /// Trials per scenario; 0 keeps each sweep's own default.
+  int trials = 0;
+  /// Base seed, applied only when `seed_given` is set (so seed 0 is usable).
+  std::uint64_t seed = 0;
+  bool seed_given = false;
+  /// Worker threads; -1 keeps the preset default (0 = hardware).
+  int num_threads = -1;
+  /// When non-empty, all sweeps' aggregated rows are written to this one
+  /// CSV (union of parameter and metric columns).
+  std::string csv_path;
+  /// Force wall-time columns on even for non-timing presets.
+  bool timing = false;
+  /// Serve repeated scenarios from the process-wide scenario cache.
+  bool use_cache = true;
+};
+
+/// Runs every sweep of `preset`, printing one table per sweep and the pass
+/// criterion. Returns false when the CSV could not be written.
+bool run_bench_preset(const BenchPreset& preset,
+                      const PresetRunOptions& options = {});
+
+/// Entry point for the bench binaries: runs the named preset with its
+/// defaults; returns a process exit code (2 = unknown preset, 1 = CSV
+/// failure, 0 = success).
+int run_preset_main(const std::string& name);
+
+}  // namespace ps::engine

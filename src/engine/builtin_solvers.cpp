@@ -52,12 +52,12 @@
 // algorithm RNG.
 #include <cmath>
 #include <cstdio>
-#include <mutex>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/budgeted_maximization.hpp"
 #include "engine/registry.hpp"
+#include "engine/reference_cache.hpp"
 #include "scheduling/baselines.hpp"
 #include "scheduling/instance_io.hpp"
 #include "scheduling/budget_scheduler.hpp"
@@ -68,7 +68,9 @@
 #include "secretary/classic.hpp"
 #include "secretary/knapsack_secretary.hpp"
 #include "secretary/submodular_secretary.hpp"
+#include "submodular/additive.hpp"
 #include "submodular/coverage.hpp"
+#include "submodular/facility_location.hpp"
 #include "submodular/greedy.hpp"
 
 namespace ps::engine {
@@ -191,19 +193,42 @@ void register_secretary(SolverRegistry& registry) {
     return out;
   });
 
+  // objective selects the function family (0 = weighted coverage,
+  // 1 = facility location, 2 = additive) so one solver covers the E7
+  // cross-objective comparison; reference = the offline lazy greedy (same
+  // picks as plain greedy, far fewer oracle calls).
   registry.add_fn("secretary.submodular", [](const ParamMap& params,
                                              util::Rng& instance_rng,
                                              util::Rng&) {
     const int n = params.get_int("items", 40);
     const int k = params.get_int("k", 5);
-    ParamMap coverage_params = params;
-    coverage_params.set("items", n);
-    const auto f = random_coverage(coverage_params, instance_rng);
+    std::unique_ptr<submodular::SetFunction> f;
+    switch (params.get_int("objective", 0)) {
+      case 1:
+        f = std::make_unique<submodular::FacilityLocationFunction>(
+            submodular::FacilityLocationFunction::random(
+                n, params.get_int("elements", 25),
+                params.get("max_weight", 5.0), instance_rng));
+        break;
+      case 2: {
+        std::vector<double> weights(static_cast<std::size_t>(n));
+        for (double& w : weights) w = instance_rng.uniform_double(0.0, 10.0);
+        f = std::make_unique<submodular::AdditiveFunction>(weights);
+        break;
+      }
+      default: {
+        ParamMap coverage_params = params;
+        coverage_params.set("items", n);
+        f = std::make_unique<submodular::CoverageFunction>(
+            random_coverage(coverage_params, instance_rng));
+        break;
+      }
+    }
     const auto order = instance_rng.permutation(n);
-    const auto result = secretary::monotone_submodular_secretary(f, k, order);
+    const auto result = secretary::monotone_submodular_secretary(*f, k, order);
     TrialResult out;
     out.objective = result.value;
-    out.reference = submodular::greedy_max_cardinality(f, k).value;
+    out.reference = submodular::lazy_greedy_max_cardinality(*f, k).value;
     out.oracle_calls = static_cast<double>(result.oracle_calls);
     return out;
   });
@@ -252,32 +277,26 @@ double resolve_alpha(const ParamMap& params, util::Rng& instance_rng) {
   return alpha > 0.0 ? alpha : instance_rng.uniform_double(0.5, 3.0);
 }
 
-/// Memoized brute-force optimum for vs_opt references. Every solver in a
-/// sweep draws the identical instance for a given (parameters, trial), so
-/// without the cache an N-solver comparison would recompute the exponential
-/// optimum N times. Keyed by serialized instance + alpha; growth is bounded
-/// in practice because brute force is only usable on tiny instances.
-/// Returns -1 when the instance has no full schedule.
+/// Brute-force optimum for vs_opt references, memoized in the engine's
+/// reference cache. Every solver in a sweep draws the identical instance
+/// for a given (parameters, trial), so without the cache an N-solver
+/// comparison would recompute the exponential optimum N times. Keyed by
+/// serialized instance + alpha; growth is bounded in practice because brute
+/// force is only usable on tiny instances. Returns -1 when the instance has
+/// no full schedule.
 double brute_force_reference(const scheduling::SchedulingInstance& instance,
                              double alpha) {
-  static std::mutex mutex;
-  static std::unordered_map<std::string, double> cache;
-
   char alpha_text[40];
   std::snprintf(alpha_text, sizeof(alpha_text), "|%.17g", alpha);
-  std::string key = scheduling::instance_to_text(instance);
+  std::string key = "power.opt|";
+  key += scheduling::instance_to_text(instance);
   key += alpha_text;
-  {
-    const std::lock_guard<std::mutex> lock(mutex);
-    const auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
-  }
-  const scheduling::RestartCostModel model(alpha);
-  const auto opt = scheduling::brute_force_min_cost_all_jobs(instance, model);
-  const double cost = opt ? opt->energy_cost : -1.0;
-  const std::lock_guard<std::mutex> lock(mutex);
-  cache.emplace(std::move(key), cost);
-  return cost;
+  return cached_reference(key, [&] {
+    const scheduling::RestartCostModel model(alpha);
+    const auto opt =
+        scheduling::brute_force_min_cost_all_jobs(instance, model);
+    return opt ? opt->energy_cost : -1.0;
+  });
 }
 
 /// Shared trial shape of the three power schedulers: generate a feasible
@@ -297,6 +316,9 @@ TrialResult power_trial(const ParamMap& params, util::Rng& instance_rng,
     const double opt_cost = brute_force_reference(instance, alpha);
     if (opt_cost >= 0.0) {
       out.reference = opt_cost;
+      // Theorem 2.2.1's guarantee, alongside the measured ratio.
+      out.set_metric("bound_2log2n",
+                     2.0 * std::log2(params.get("jobs", 8.0) + 1.0));
     } else {
       out.feasible = false;
     }
@@ -450,6 +472,10 @@ void register_builtin_solvers(SolverRegistry& registry) {
   register_secretary(registry);
   register_scheduling(registry);
   register_powerdown(registry);
+  // The bench-derived families (ablations, bicriteria/prize sweeps, exact
+  // DPs, hiring, the remaining secretary variants, micro primitives) live
+  // in builtin_bench_solvers.cpp.
+  register_bench_solvers(registry);
 }
 
 }  // namespace ps::engine

@@ -1,0 +1,53 @@
+#include "engine/reference_cache.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace ps::engine {
+namespace {
+
+struct Cache {
+  std::mutex mutex;
+  std::unordered_map<std::string, double> values;
+  ReferenceCacheStats stats;
+};
+
+Cache& cache() {
+  static Cache instance;
+  return instance;
+}
+
+}  // namespace
+
+double cached_reference(const std::string& key,
+                        const std::function<double()>& compute) {
+  Cache& c = cache();
+  {
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    const auto it = c.values.find(key);
+    if (it != c.values.end()) {
+      ++c.stats.hits;
+      return it->second;
+    }
+    ++c.stats.misses;
+  }
+  const double value = compute();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  c.values.emplace(key, value);
+  return value;
+}
+
+ReferenceCacheStats reference_cache_stats() {
+  Cache& c = cache();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  return c.stats;
+}
+
+void clear_reference_cache() {
+  Cache& c = cache();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  c.values.clear();
+  c.stats = {};
+}
+
+}  // namespace ps::engine

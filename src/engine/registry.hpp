@@ -48,4 +48,10 @@ class SolverRegistry {
 /// callers can layer their own solvers on top or override a built-in).
 void register_builtin_solvers(SolverRegistry& registry);
 
+/// Registers the bench-derived adapter families (ablation.*, core.bicriteria,
+/// setcover.*, prize.*, dp.*, frontier.*, hiring.*, the extended secretary
+/// variants, micro.*). Called by register_builtin_solvers; exposed for
+/// callers that want only these on top of a custom base registry.
+void register_bench_solvers(SolverRegistry& registry);
+
 }  // namespace ps::engine

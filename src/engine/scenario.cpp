@@ -56,8 +56,22 @@ std::string ParamMap::signature() const {
   return out;
 }
 
+ParamMap ParamMap::without(const std::vector<std::string>& names) const {
+  ParamMap out = *this;
+  for (const auto& name : names) out.values_.erase(name);
+  return out;
+}
+
 std::string ScenarioSpec::label() const {
   return solver + "{" + params.signature() + "}";
+}
+
+std::uint64_t ScenarioSpec::instance_seed(int trial) const {
+  return derive_seed(seed, "", instance_params(), trial);
+}
+
+std::uint64_t ScenarioSpec::algo_seed(int trial) const {
+  return derive_seed(seed, solver, params, trial);
 }
 
 std::uint64_t derive_seed(std::uint64_t base_seed, const std::string& salt,
@@ -96,6 +110,7 @@ std::vector<ScenarioSpec> SweepPlan::expand() const {
       spec.params = point;
       spec.trials = trials;
       spec.seed = seed;
+      spec.algo_params = algo_params;
       scenarios.push_back(std::move(spec));
     }
   }

@@ -41,6 +41,11 @@ class ParamMap {
   /// labels and mixed into derived seeds.
   std::string signature() const;
 
+  /// Copy of this map with every name in `names` removed (absent names are
+  /// ignored). Used to strip algorithm-only parameters from the
+  /// instance-stream seed signature.
+  ParamMap without(const std::vector<std::string>& names) const;
+
  private:
   std::map<std::string, double> values_;
 };
@@ -52,9 +57,28 @@ struct ScenarioSpec {
   ParamMap params;
   int trials = 20;
   std::uint64_t seed = 20100601;
+  /// Parameter names that tune the *algorithm* rather than the instance
+  /// generator (an epsilon, a gap budget, a thread count). They are excluded
+  /// from the instance-stream seed signature — so sweeping one of them keeps
+  /// the drawn instances identical across scenarios, which is what makes
+  /// "same instance, different knob" comparisons (bicriteria sweeps,
+  /// frontier traces, thread-scaling ablations) meaningful. They still feed
+  /// the algorithm stream's seed.
+  std::vector<std::string> algo_params;
 
   /// "solver{a=1,b=2}" — the human-readable scenario key.
   std::string label() const;
+
+  /// The parameters that define the instance stream: `params` minus
+  /// `algo_params`.
+  ParamMap instance_params() const { return params.without(algo_params); }
+
+  /// Seed of trial `trial`'s instance stream (solver-independent, shared by
+  /// every solver swept over the same instance parameters).
+  std::uint64_t instance_seed(int trial) const;
+  /// Seed of trial `trial`'s algorithm stream (salted with the solver name
+  /// and the full parameter bag).
+  std::uint64_t algo_seed(int trial) const;
 };
 
 /// Canonical %.17g rendering of a value — the round-trippable format used
@@ -83,6 +107,8 @@ struct SweepPlan {
   std::vector<ParamAxis> axes;
   int trials = 20;
   std::uint64_t seed = 20100601;
+  /// Copied into every expanded ScenarioSpec; see ScenarioSpec::algo_params.
+  std::vector<std::string> algo_params;
 
   /// Expands to axes-major, solver-minor order: for each grid point (first
   /// axis slowest), one scenario per solver. The instance stream depends

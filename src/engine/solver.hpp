@@ -5,6 +5,9 @@
 #pragma once
 
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/scenario.hpp"
 #include "util/rng.hpp"
@@ -18,12 +21,42 @@ namespace ps::engine {
 /// `cost` is the secondary resource reading (energy/budget spent) where the
 /// objective is a value, and `oracle_calls` is the paper's complexity
 /// currency.
+///
+/// Beyond the four core readings, a trial can report any number of *named*
+/// metrics (evals saved, frontier points, gap counts, 0/1 indicators, ...).
+/// Each named metric gets its own streaming accumulator in the aggregated
+/// ScenarioResult, and the emission layer writes the union of metric columns
+/// across scenarios deterministically. A metric absent from some trials is
+/// fine — its accumulator simply has a smaller count (useful for
+/// conditional readings like "min value given all k were hired").
 struct TrialResult {
   double objective = 0.0;
   double reference = 0.0;
   double cost = 0.0;
   double oracle_calls = 0.0;
   bool feasible = true;
+  /// Named metrics in emission order; names are unique within one trial.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Appends (or overwrites, if `name` was already set) a named metric.
+  void set_metric(const std::string& name, double value) {
+    for (auto& [existing, slot] : metrics) {
+      if (existing == name) {
+        slot = value;
+        return;
+      }
+    }
+    metrics.emplace_back(name, value);
+  }
+
+  /// Pointer to the metric's value, or nullptr when the trial did not
+  /// report it.
+  const double* metric(const std::string& name) const {
+    for (const auto& [existing, value] : metrics) {
+      if (existing == name) return &value;
+    }
+    return nullptr;
+  }
 };
 
 /// One registered algorithm adapter. Implementations must be safe to call

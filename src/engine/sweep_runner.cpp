@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <set>
+#include <utility>
 
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
@@ -16,7 +17,91 @@ struct TrialSlot {
   double wall_ms = 0.0;
 };
 
+/// Formats an accumulator statistic, or "" when fewer than `min_count`
+/// samples exist — the statistic is undefined there, and an empty CSV cell
+/// is the contract (never NaN, never a misleading 0).
+std::string stat_cell(const util::Accumulator& acc, double value,
+                      std::size_t min_count) {
+  return acc.count() >= min_count ? format_param(value) : std::string();
+}
+
+ScenarioResult aggregate(const ScenarioSpec& spec,
+                         const std::vector<TrialSlot>& slots) {
+  ScenarioResult result;
+  result.spec = spec;
+  for (const TrialSlot& slot : slots) {
+    ++result.trials_run;
+    result.wall_ms.add(slot.wall_ms);
+    if (!slot.result.feasible) {
+      ++result.infeasible;
+      continue;
+    }
+    result.objective.add(slot.result.objective);
+    result.cost.add(slot.result.cost);
+    result.oracle_calls.add(slot.result.oracle_calls);
+    if (slot.result.reference > 0.0) {
+      result.ratio.add(slot.result.objective / slot.result.reference);
+    }
+    for (const auto& [name, value] : slot.result.metrics) {
+      result.metrics.try_emplace(name, /*keep_samples=*/false)
+          .first->second.add(value);
+    }
+  }
+  return result;
+}
+
 }  // namespace
+
+std::string scenario_cache_key(const ScenarioSpec& spec) {
+  std::string key = spec.label();
+  key += "|algo=";
+  for (const auto& name : spec.algo_params) {
+    key += name;
+    key += ';';
+  }
+  key += "|seed=" + std::to_string(spec.seed);
+  key += "|trials=" + std::to_string(spec.trials);
+  return key;
+}
+
+ScenarioCache& ScenarioCache::global() {
+  static ScenarioCache cache;
+  return cache;
+}
+
+std::shared_ptr<const ScenarioResult> ScenarioCache::find(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void ScenarioCache::insert(const std::string& key,
+                           std::shared_ptr<const ScenarioResult> result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace(key, std::move(result));
+}
+
+ScenarioCache::Stats ScenarioCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ScenarioCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ScenarioCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = {};
+}
 
 std::vector<ScenarioResult> SweepRunner::run(
     const SolverRegistry& registry,
@@ -35,12 +120,38 @@ std::vector<ScenarioResult> SweepRunner::run(
     solvers.push_back(solver);
   }
 
+  // Cache probe: scenarios already computed — here or in a prior run — are
+  // served without re-running a single trial; duplicates within this run
+  // execute once and share the aggregate.
+  ScenarioCache* cache =
+      options_.use_cache
+          ? (options_.cache != nullptr ? options_.cache
+                                       : &ScenarioCache::global())
+          : nullptr;
+  std::vector<std::string> keys(scenarios.size());
+  std::vector<std::shared_ptr<const ScenarioResult>> served(scenarios.size());
+  // duplicate_of[i] >= 0 points at the earlier scenario with the same key.
+  std::vector<std::ptrdiff_t> duplicate_of(scenarios.size(), -1);
+  if (cache != nullptr) {
+    std::unordered_map<std::string, std::size_t> first_with_key;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      keys[s] = scenario_cache_key(scenarios[s]);
+      const auto [it, inserted] = first_with_key.emplace(keys[s], s);
+      if (!inserted) {
+        duplicate_of[s] = static_cast<std::ptrdiff_t>(it->second);
+        continue;
+      }
+      served[s] = cache->find(keys[s]);
+    }
+  }
+
   // Flatten to (scenario, trial) work items with index-addressed result
   // slots: workers write disjoint slots, and the aggregation below reads
   // them in a fixed order, so statistics do not depend on thread count.
   std::vector<std::pair<std::size_t, int>> items;
   std::vector<std::vector<TrialSlot>> slots(scenarios.size());
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    if (served[s] != nullptr || duplicate_of[s] >= 0) continue;
     const int trials = scenarios[s].trials;
     slots[s].resize(static_cast<std::size_t>(trials > 0 ? trials : 0));
     for (int t = 0; t < trials; ++t) items.emplace_back(s, t);
@@ -50,8 +161,8 @@ std::vector<ScenarioResult> SweepRunner::run(
   pool.parallel_for(0, items.size(), [&](std::size_t idx) {
     const auto [s, t] = items[idx];
     const ScenarioSpec& spec = scenarios[s];
-    util::Rng instance_rng(derive_seed(spec.seed, "", spec.params, t));
-    util::Rng algo_rng(derive_seed(spec.seed, spec.solver, spec.params, t));
+    util::Rng instance_rng(spec.instance_seed(t));
+    util::Rng algo_rng(spec.algo_seed(t));
     util::Timer timer;
     TrialSlot& slot = slots[s][static_cast<std::size_t>(t)];
     slot.result = solvers[s]->run_trial(spec.params, instance_rng, algo_rng);
@@ -60,45 +171,71 @@ std::vector<ScenarioResult> SweepRunner::run(
 
   std::vector<ScenarioResult> results(scenarios.size());
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
-    ScenarioResult& result = results[s];
-    result.spec = scenarios[s];
-    for (const TrialSlot& slot : slots[s]) {
-      ++result.trials_run;
-      result.wall_ms.add(slot.wall_ms);
-      if (!slot.result.feasible) {
-        ++result.infeasible;
-        continue;
-      }
-      result.objective.add(slot.result.objective);
-      result.cost.add(slot.result.cost);
-      result.oracle_calls.add(slot.result.oracle_calls);
-      if (slot.result.reference > 0.0) {
-        result.ratio.add(slot.result.objective / slot.result.reference);
-      }
+    if (served[s] != nullptr) {
+      results[s] = *served[s];
+      continue;
+    }
+    if (duplicate_of[s] >= 0) {
+      // The first occurrence has a smaller index, so it is already final.
+      results[s] = results[static_cast<std::size_t>(duplicate_of[s])];
+      continue;
+    }
+    results[s] = aggregate(scenarios[s], slots[s]);
+    if (cache != nullptr) {
+      cache->insert(keys[s], std::make_shared<ScenarioResult>(results[s]));
     }
   }
   return results;
 }
 
+std::vector<std::string> metric_name_union(
+    const std::vector<ScenarioResult>& results) {
+  std::set<std::string> names;
+  for (const auto& result : results) {
+    for (const auto& [name, acc] : result.metrics) names.insert(name);
+  }
+  return {names.begin(), names.end()};
+}
+
 util::Table results_table(const std::vector<ScenarioResult>& results,
-                          const std::string& caption) {
-  util::Table table({"solver", "params", "trials", "infeasible",
-                     "objective mean", "ci95", "ratio mean", "ratio max",
-                     "oracle mean"});
+                          const std::string& caption, bool include_timing) {
+  const auto metric_names = metric_name_union(results);
+  std::vector<std::string> header{"solver", "params", "trials", "infeasible",
+                                  "objective mean", "ci95", "ratio mean",
+                                  "ratio max", "oracle mean"};
+  for (const auto& name : metric_names) header.push_back("m:" + name);
+  if (include_timing) header.push_back("wall ms");
+
+  util::Table table(header);
   table.set_caption(caption);
   for (const auto& result : results) {
-    table.row()
-        .cell(result.spec.solver)
+    auto& row = table.row();
+    row.cell(result.spec.solver)
         .cell(result.spec.params.signature())
         .cell(result.trials_run)
-        .cell(result.infeasible)
-        .cell(result.objective.count() > 0 ? result.objective.mean() : 0.0)
-        .cell(result.objective.count() > 1 ? result.objective.ci95_halfwidth()
-                                           : 0.0)
-        .cell(result.ratio.count() > 0 ? result.ratio.mean() : 0.0)
-        .cell(result.ratio.count() > 0 ? result.ratio.max() : 0.0)
-        .cell(result.oracle_calls.count() > 0 ? result.oracle_calls.mean()
-                                              : 0.0);
+        .cell(result.infeasible);
+    const auto stat = [&row](const util::Accumulator& acc, double value,
+                             std::size_t min_count) {
+      if (acc.count() >= min_count) {
+        row.cell(value);
+      } else {
+        row.cell("");
+      }
+    };
+    stat(result.objective, result.objective.mean(), 1);
+    stat(result.objective, result.objective.ci95_halfwidth(), 2);
+    stat(result.ratio, result.ratio.mean(), 1);
+    stat(result.ratio, result.ratio.max(), 1);
+    stat(result.oracle_calls, result.oracle_calls.mean(), 1);
+    for (const auto& name : metric_names) {
+      const auto it = result.metrics.find(name);
+      if (it != result.metrics.end() && it->second.count() > 0) {
+        row.cell(it->second.mean());
+      } else {
+        row.cell("");
+      }
+    }
+    if (include_timing) row.cell(result.wall_ms.mean());
   }
   return table;
 }
@@ -106,22 +243,25 @@ util::Table results_table(const std::vector<ScenarioResult>& results,
 bool write_results_csv(const std::vector<ScenarioResult>& results,
                        const std::string& path, bool include_timing) {
   // Union of parameter names across scenarios, in sorted order, so sweeps
-  // over heterogeneous solver families still line up column-wise.
+  // over heterogeneous solver families still line up column-wise. Metric
+  // columns work the same way: sorted union, blank where absent.
   std::set<std::string> param_names;
   for (const auto& result : results) {
     for (const auto& [name, value] : result.spec.params.values()) {
       param_names.insert(name);
     }
   }
+  const auto metric_names = metric_name_union(results);
 
   std::vector<std::string> header{"solver"};
   header.insert(header.end(), param_names.begin(), param_names.end());
   for (const char* column :
        {"trials", "infeasible", "objective_mean", "objective_stddev",
-        "objective_min", "objective_max", "ratio_mean", "ratio_max",
-        "cost_mean", "oracle_mean"}) {
+        "objective_ci95", "objective_min", "objective_max", "ratio_mean",
+        "ratio_max", "cost_mean", "oracle_mean"}) {
     header.push_back(column);
   }
+  for (const auto& name : metric_names) header.push_back("m_" + name);
   if (include_timing) header.push_back("wall_ms_mean");
 
   util::CsvWriter writer(path, header);
@@ -138,25 +278,27 @@ bool write_results_csv(const std::vector<ScenarioResult>& results,
                         ? format_param(result.spec.params.get(name, 0.0))
                         : std::string());
     }
-    const bool has_objective = result.objective.count() > 0;
-    const bool has_ratio = result.ratio.count() > 0;
+    const auto& obj = result.objective;
     row.push_back(format_param(static_cast<double>(result.trials_run)));
     row.push_back(format_param(static_cast<double>(result.infeasible)));
-    row.push_back(format_param(has_objective ? result.objective.mean() : 0.0));
+    row.push_back(stat_cell(obj, obj.mean(), 1));
+    row.push_back(stat_cell(obj, obj.stddev(), 2));
+    row.push_back(stat_cell(obj, obj.ci95_halfwidth(), 2));
+    row.push_back(stat_cell(obj, obj.min(), 1));
+    row.push_back(stat_cell(obj, obj.max(), 1));
+    row.push_back(stat_cell(result.ratio, result.ratio.mean(), 1));
+    row.push_back(stat_cell(result.ratio, result.ratio.max(), 1));
+    row.push_back(stat_cell(result.cost, result.cost.mean(), 1));
     row.push_back(
-        format_param(result.objective.count() > 1 ? result.objective.stddev()
-                                                 : 0.0));
-    row.push_back(format_param(has_objective ? result.objective.min() : 0.0));
-    row.push_back(format_param(has_objective ? result.objective.max() : 0.0));
-    row.push_back(format_param(has_ratio ? result.ratio.mean() : 0.0));
-    row.push_back(format_param(has_ratio ? result.ratio.max() : 0.0));
-    row.push_back(
-        format_param(result.cost.count() > 0 ? result.cost.mean() : 0.0));
-    row.push_back(format_param(
-        result.oracle_calls.count() > 0 ? result.oracle_calls.mean() : 0.0));
+        stat_cell(result.oracle_calls, result.oracle_calls.mean(), 1));
+    for (const auto& name : metric_names) {
+      const auto it = result.metrics.find(name);
+      row.push_back(it != result.metrics.end()
+                        ? stat_cell(it->second, it->second.mean(), 1)
+                        : std::string());
+    }
     if (include_timing) {
-      row.push_back(format_param(
-          result.wall_ms.count() > 0 ? result.wall_ms.mean() : 0.0));
+      row.push_back(stat_cell(result.wall_ms, result.wall_ms.mean(), 1));
     }
     writer.write_row(row);
   }

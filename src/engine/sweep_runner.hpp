@@ -1,12 +1,17 @@
 // Parallel scenario-sweep executor: fans (scenario, trial) work items
-// across a util::ThreadPool, records per-trial objective / reference /
-// oracle-call / wall-time readings into index-addressed slots, and then
-// aggregates serially in trial order — so every statistic except wall time
-// is bit-identical for any thread count.
+// across a util::ThreadPool, records per-trial results into index-addressed
+// slots, and then aggregates serially in trial order — so every statistic
+// except wall time is bit-identical for any thread count. An optional
+// scenario cache keyed by (solver, parameter signature, seed, trial count)
+// lets repeated sweeps and multi-sweep presets skip recomputation entirely.
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/registry.hpp"
@@ -31,6 +36,10 @@ struct ScenarioResult {
   util::Accumulator ratio{/*keep_samples=*/false};
   util::Accumulator cost{/*keep_samples=*/false};
   util::Accumulator oracle_calls{/*keep_samples=*/false};
+  /// One streaming accumulator per named metric the solver reported,
+  /// ordered by name. A metric reported by only some trials has a smaller
+  /// count — that is how conditional readings aggregate.
+  std::map<std::string, util::Accumulator> metrics;
   /// Wall time per trial; the one non-deterministic reading, excluded from
   /// CSV output unless asked for.
   util::Accumulator wall_ms{/*keep_samples=*/false};
@@ -38,9 +47,57 @@ struct ScenarioResult {
   std::size_t trials_run = 0;
 };
 
+/// Stable cache identity of a scenario: solver, full parameter signature,
+/// the algo-param names (they change seed derivation), base seed, and trial
+/// count.
+std::string scenario_cache_key(const ScenarioSpec& spec);
+
+/// Thread-safe map from scenario_cache_key to a completed ScenarioResult.
+/// Lets a second invocation of the same scenario — another sweep in the same
+/// preset, a repeated preset run, a multi-solver comparison re-using a
+/// baseline — skip all trials. Entries are immutable once inserted.
+///
+/// The key identifies the scenario by solver NAME, not implementation: a
+/// caller that overrides a registered solver (see register_builtin_solvers)
+/// and runs against the same cache would be served the old implementation's
+/// results. Use a private ScenarioCache (or clear()) when swapping solver
+/// implementations under unchanged names.
+class ScenarioCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+
+  /// The process-wide cache used when SweepOptions::cache is null.
+  static ScenarioCache& global();
+
+  /// The cached result, or nullptr (counting a miss).
+  std::shared_ptr<const ScenarioResult> find(const std::string& key);
+  void insert(const std::string& key,
+              std::shared_ptr<const ScenarioResult> result);
+
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ScenarioResult>>
+      entries_;
+  Stats stats_;
+};
+
 struct SweepOptions {
   /// Worker threads; 0 = hardware concurrency, 1 = serial.
   std::size_t num_threads = 1;
+  /// When true, scenarios are served from / recorded into the scenario
+  /// cache, and duplicate scenarios within one run() execute only once.
+  /// Off by default so that determinism tests re-running a sweep exercise
+  /// the real computation.
+  bool use_cache = false;
+  /// Cache to use when use_cache is set; null = ScenarioCache::global().
+  ScenarioCache* cache = nullptr;
 };
 
 /// Runs scenarios against a registry. Unknown solver names abort with a
@@ -63,16 +120,27 @@ class SweepRunner {
   SweepOptions options_;
 };
 
-/// One row per scenario: solver, parameter signature, trial counts, and the
-/// objective / ratio / oracle summaries.
+/// Sorted union of the metric names appearing across `results` — the
+/// deterministic column order shared by results_table and write_results_csv.
+std::vector<std::string> metric_name_union(
+    const std::vector<ScenarioResult>& results);
+
+/// One row per scenario: solver, parameter signature, trial counts, the
+/// objective / ratio / oracle summaries, then one mean column per named
+/// metric in the union (blank where a scenario never reported the metric).
+/// `include_timing` appends the (non-deterministic) mean wall-time column.
 util::Table results_table(const std::vector<ScenarioResult>& results,
-                          const std::string& caption);
+                          const std::string& caption,
+                          bool include_timing = false);
 
 /// Writes one aggregated row per scenario with the union of parameter names
-/// as columns. Deterministic for fixed scenarios (wall-time columns only
-/// with `include_timing`). Returns false — after printing a diagnostic with
-/// the path to stderr — when the file cannot be opened; callers must treat
-/// that as fatal rather than shipping an empty results file.
+/// as columns, the core statistics, and one `m_<name>_mean` column per
+/// named metric in the union. Deterministic for fixed scenarios (wall-time
+/// columns only with `include_timing`); statistics undefined for the trial
+/// count — the ci95 column, say, needs two samples — emit empty cells, never
+/// NaN. Returns false — after printing a diagnostic with the path to
+/// stderr — when the file cannot be opened; callers must treat that as
+/// fatal rather than shipping an empty results file.
 bool write_results_csv(const std::vector<ScenarioResult>& results,
                        const std::string& path, bool include_timing = false);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -202,6 +203,20 @@ TEST(Accumulator, EmptyIsSafe) {
   EXPECT_EQ(acc.count(), 0u);
   EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
   EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+// Regression: statistics undefined for n < 2 must come back finite (the CSV
+// layer additionally renders them as empty cells) — never NaN.
+TEST(Accumulator, Ci95AndStddevFiniteForFewerThanTwoSamples) {
+  Accumulator empty;
+  EXPECT_TRUE(std::isfinite(empty.ci95_halfwidth()));
+  EXPECT_TRUE(std::isfinite(empty.stddev()));
+  Accumulator one;
+  one.add(3.5);
+  EXPECT_TRUE(std::isfinite(one.ci95_halfwidth()));
+  EXPECT_DOUBLE_EQ(one.ci95_halfwidth(), 0.0);
+  EXPECT_TRUE(std::isfinite(one.stddev()));
+  EXPECT_EQ(one.summary().find("nan"), std::string::npos);
 }
 
 TEST(Accumulator, QuantileInterpolates) {

@@ -1,20 +1,33 @@
-// powersched_sweep — run any registered solver over any parameter grid in
-// one invocation, fanned across a thread pool, with one aggregated CSV out.
+// powersched_sweep — run any registered solver over any parameter grid, or
+// any bench preset from the catalogue, in one invocation, fanned across a
+// thread pool, with one aggregated CSV out.
 //
 //   $ ./powersched_sweep --solvers powerdown.break_even,powerdown.randomized
 //       --grid dist=0,1,2,3 --param alpha=2 --trials 10 --threads 8
 //       --csv powerdown.csv          (one command line; wrapped here)
+//   $ ./powersched_sweep --preset e13 --trials 2 --csv e13.csv
 //
 // Options:
 //   --list                 print the registered solver names and exit
-//   --solvers a,b,c        solver keys to sweep (required unless --list)
+//   --list-presets         print the bench preset catalogue and exit
+//   --preset NAME          run a bench preset (e1..e16, a1..a4, p_micro);
+//                          --trials/--seed/--threads/--csv/--timing override
+//                          the preset's defaults
+//   --solvers a,b,c        solver keys to sweep (required unless
+//                          --list/--list-presets/--preset)
 //   --grid name=v1,v2,...  add a swept parameter axis (repeatable)
 //   --param name=value     fix a parameter for every scenario (repeatable)
+//   --algo-param name      mark a parameter as algorithm-only: it is
+//                          excluded from the instance-stream seed, so
+//                          sweeping it keeps instances fixed (repeatable)
 //   --trials N             trials per scenario (default 20)
 //   --seed S               base seed (default 20100601)
-//   --threads K            worker threads, 0 = hardware (default 0)
+//   --threads K            worker threads; 0 = hardware concurrency
+//                          (default 0), 1 = serial
 //   --csv path             write the aggregated results CSV to `path`
 //   --timing               include the (non-deterministic) wall-time column
+//   --no-cache             disable the per-scenario result cache for
+//                          preset runs
 //
 // Output statistics are bit-identical for any --threads value; trials are
 // seeded per (parameters, trial index), never per worker.
@@ -24,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/bench_presets.hpp"
 #include "engine/registry.hpp"
 #include "engine/scenario.hpp"
 #include "engine/sweep_runner.hpp"
@@ -33,9 +47,13 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --solvers a,b,c [--grid name=v1,v2]... "
-               "[--param name=v]... [--trials N] [--seed S] [--threads K] "
-               "[--csv path] [--timing] | --list\n",
-               argv0);
+               "[--param name=v]... [--algo-param name]... [--trials N] "
+               "[--seed S] [--threads K (0 = hardware)] [--csv path] "
+               "[--timing]\n"
+               "       %s --preset NAME [--trials N] [--seed S] "
+               "[--threads K] [--csv path] [--timing] [--no-cache]\n"
+               "       %s --list | --list-presets\n",
+               argv0, argv0, argv0);
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -73,13 +91,17 @@ ps::engine::ParamAxis parse_axis(const std::string& text) {
 int main(int argc, char** argv) {
   using namespace ps::engine;
 
-  const SolverRegistry registry = SolverRegistry::with_builtins();
-
   SweepPlan plan;
   SweepOptions options;
   options.num_threads = 0;
   std::string csv_path;
+  std::string preset_name;
   bool include_timing = false;
+  bool threads_given = false;
+  bool use_cache = true;
+  bool trials_given = false;
+  bool seed_given = false;
+  bool plan_flags_given = false;  // --solvers/--grid/--param/--algo-param
 
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -93,12 +115,21 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--list") == 0) {
+      const SolverRegistry registry = SolverRegistry::with_builtins();
       for (const auto& name : registry.names()) std::puts(name.c_str());
       return 0;
+    } else if (std::strcmp(arg, "--list-presets") == 0) {
+      for (const auto& preset : bench_presets()) {
+        std::printf("%-8s %s\n", preset.name.c_str(), preset.title.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(arg, "--preset") == 0) {
+      preset_name = next_value(i);
     } else if (std::strcmp(arg, "--solvers") == 0) {
       for (const auto& name : split_commas(next_value(i))) {
         if (!name.empty()) plan.solvers.push_back(name);
       }
+      plan_flags_given = true;
     } else if (std::strcmp(arg, "--grid") == 0) {
       const auto axis = parse_axis(next_value(i));
       if (axis.name.empty()) {
@@ -107,6 +138,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       plan.axes.push_back(axis);
+      plan_flags_given = true;
     } else if (std::strcmp(arg, "--param") == 0) {
       const auto axis = parse_axis(next_value(i));
       if (axis.name.empty() || axis.values.size() != 1) {
@@ -115,22 +147,32 @@ int main(int argc, char** argv) {
         return 2;
       }
       plan.base_params.set(axis.name, axis.values[0]);
+      plan_flags_given = true;
+    } else if (std::strcmp(arg, "--algo-param") == 0) {
+      plan.algo_params.push_back(next_value(i));
+      plan_flags_given = true;
     } else if (std::strcmp(arg, "--trials") == 0) {
       plan.trials = std::atoi(next_value(i));
+      trials_given = true;
     } else if (std::strcmp(arg, "--seed") == 0) {
       plan.seed = std::strtoull(next_value(i), nullptr, 10);
+      seed_given = true;
     } else if (std::strcmp(arg, "--threads") == 0) {
       const int threads = std::atoi(next_value(i));
       if (threads < 0) {
-        std::fprintf(stderr, "%s: --threads must be >= 0 (0 = hardware)\n",
+        std::fprintf(stderr,
+                     "%s: --threads must be >= 0 (0 = hardware concurrency)\n",
                      argv[0]);
         return 2;
       }
       options.num_threads = static_cast<std::size_t>(threads);
+      threads_given = true;
     } else if (std::strcmp(arg, "--csv") == 0) {
       csv_path = next_value(i);
     } else if (std::strcmp(arg, "--timing") == 0) {
       include_timing = true;
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      use_cache = false;
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
       usage(argv[0]);
@@ -138,10 +180,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!preset_name.empty()) {
+    const BenchPreset* preset = find_bench_preset(preset_name);
+    if (preset == nullptr) {
+      std::fprintf(stderr, "%s: unknown preset '%s'\navailable presets: %s\n",
+                   argv[0], preset_name.c_str(),
+                   preset_names_joined().c_str());
+      return 2;
+    }
+    if (plan_flags_given) {
+      std::fprintf(stderr,
+                   "%s: --solvers/--grid/--param/--algo-param cannot be "
+                   "combined with --preset (presets define their own plans; "
+                   "only --trials/--seed/--threads/--csv/--timing/--no-cache "
+                   "override)\n",
+                   argv[0]);
+      return 2;
+    }
+    if (trials_given && plan.trials <= 0) {
+      std::fprintf(stderr, "%s: --trials must be positive\n", argv[0]);
+      return 2;
+    }
+    PresetRunOptions run_options;
+    run_options.trials = trials_given ? plan.trials : 0;
+    run_options.seed = plan.seed;
+    run_options.seed_given = seed_given;
+    run_options.num_threads =
+        threads_given ? static_cast<int>(options.num_threads) : -1;
+    run_options.csv_path = csv_path;
+    run_options.timing = include_timing;
+    run_options.use_cache = use_cache;
+    std::printf("preset %s: %s\n\n", preset->name.c_str(),
+                preset->title.c_str());
+    return run_bench_preset(*preset, run_options) ? 0 : 1;
+  }
+
+  const SolverRegistry registry = SolverRegistry::with_builtins();
   if (plan.solvers.empty()) {
     usage(argv[0]);
-    std::fprintf(stderr, "\nregistered solvers: %s\n",
-                 registry.names_joined().c_str());
+    std::fprintf(stderr, "\nregistered solvers: %s\navailable presets: %s\n",
+                 registry.names_joined().c_str(),
+                 preset_names_joined().c_str());
     return 2;
   }
   if (plan.trials <= 0) {
@@ -165,8 +244,9 @@ int main(int argc, char** argv) {
 
   const SweepRunner runner(options);
   const auto results = runner.run(registry, scenarios);
-  results_table(results, "sweep results (seed " + std::to_string(plan.seed) +
-                             ")")
+  results_table(results,
+                "sweep results (seed " + std::to_string(plan.seed) + ")",
+                include_timing)
       .print();
 
   if (!csv_path.empty()) {
