@@ -1,12 +1,41 @@
 #!/usr/bin/env sh
 # Tier-1 verify on a warnings-clean build: configure with -Wall -Wextra
 # -Werror, build everything, run the full test suite. CI runs exactly this.
+#
+#   ./scripts/check.sh             # plain Release build (unchanged default)
+#   ./scripts/check.sh --sanitize  # same suite under ASan+UBSan — the
+#                                  # sanitizer CI leg and local devs run the
+#                                  # identical script
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-check}"
+SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE=1 ;;
+    *)
+      echo "usage: $0 [--sanitize]" >&2
+      exit 2
+      ;;
+  esac
+done
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DPOWERSCHED_WERROR=ON
+if [ "$SANITIZE" -eq 1 ]; then
+  # Separate default build dir so sanitized and plain artifacts never mix.
+  BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+  EXTRA_CMAKE_ARGS="-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all -g"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+else
+  BUILD_DIR="${BUILD_DIR:-build-check}"
+  EXTRA_CMAKE_ARGS=""
+fi
+
+if [ -n "$EXTRA_CMAKE_ARGS" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DPOWERSCHED_WERROR=ON \
+    "$EXTRA_CMAKE_ARGS"
+else
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DPOWERSCHED_WERROR=ON
+fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "engine/cache_store.hpp"
 #include "engine/registry.hpp"
 #include "engine/sweep_runner.hpp"
 
@@ -534,39 +535,95 @@ std::string preset_names_joined() {
 
 bool run_bench_preset(const BenchPreset& preset,
                       const PresetRunOptions& options) {
+  if (options.shard_count == 0 || options.shard_index >= options.shard_count) {
+    std::fprintf(stderr, "preset %s: bad shard %zu/%zu\n", preset.name.c_str(),
+                 options.shard_index, options.shard_count);
+    return false;
+  }
+  const bool merge_mode = !options.merge_files.empty();
+  if (merge_mode && options.shard_count != 1) {
+    std::fprintf(stderr,
+                 "preset %s: merge mode assembles the full plan and cannot "
+                 "be sharded\n",
+                 preset.name.c_str());
+    return false;
+  }
+
   const SolverRegistry registry = SolverRegistry::with_builtins();
   SweepOptions sweep_options;
   sweep_options.num_threads = options.num_threads >= 0
                                   ? static_cast<std::size_t>(options.num_threads)
                                   : preset.default_threads;
   sweep_options.use_cache = options.use_cache;
+
+  // A persistent cache file or a merge set works against a file-scoped
+  // cache, not the process-wide one: what gets saved is exactly what was
+  // loaded plus what this run computed.
+  ScenarioCache file_cache;
+  if (!setup_file_cache(options.cache_file, options.merge_files, file_cache,
+                        sweep_options)) {
+    return false;
+  }
   const SweepRunner runner(sweep_options);
   const bool timing = preset.timing || options.timing;
 
-  std::vector<ScenarioResult> all;
-  bool first = true;
+  // Expand every sweep up front and shard over the concatenated grid with
+  // global indices, so a shard can cut across sweep boundaries and the
+  // union over shards is exactly the whole preset.
+  std::vector<std::vector<ScenarioSpec>> per_sweep;
+  per_sweep.reserve(preset.sweeps.size());
+  std::size_t global_index = 0;
   for (const auto& preset_sweep : preset.sweeps) {
     SweepPlan plan = preset_sweep.plan;
     if (options.trials > 0) plan.trials = options.trials;
     if (options.seed_given) plan.seed = options.seed;
-    const auto results = runner.run(registry, plan);
-    results_table(results,
-                  (first ? std::string() : std::string("\n")) +
-                      preset_sweep.caption,
-                  timing)
-        .print();
+    std::vector<ScenarioSpec> scenarios = plan.expand();
+    if (options.shard_count > 1) {
+      std::vector<ScenarioSpec> mine;
+      for (auto& spec : scenarios) {
+        if (global_index++ % options.shard_count == options.shard_index) {
+          mine.push_back(std::move(spec));
+        }
+      }
+      scenarios = std::move(mine);
+    }
+    per_sweep.push_back(std::move(scenarios));
+  }
+
+  std::vector<ScenarioResult> all;
+  bool tables_ok = true;
+  bool first = true;
+  for (std::size_t i = 0; i < preset.sweeps.size(); ++i) {
+    std::vector<ScenarioResult> results;
+    if (merge_mode) {
+      if (!merge_scenario_results(per_sweep[i], file_cache, results)) {
+        return false;
+      }
+    } else {
+      results = runner.run(registry, per_sweep[i]);
+    }
+    tables_ok = results_table(results,
+                              (first ? std::string() : std::string("\n")) +
+                                  preset.sweeps[i].caption,
+                              timing)
+                    .print() &&
+                tables_ok;
     all.insert(all.end(), results.begin(), results.end());
     first = false;
   }
   if (!preset.pass_criterion.empty()) {
     std::printf("\nPASS criterion: %s\n", preset.pass_criterion.c_str());
   }
+  if (!options.cache_file.empty() &&
+      !ScenarioCacheStore(options.cache_file).save(file_cache)) {
+    return false;
+  }
   if (!options.csv_path.empty()) {
     if (!write_results_csv(all, options.csv_path, timing)) return false;
     std::printf("\nwrote %zu aggregated row(s) to %s\n", all.size(),
                 options.csv_path.c_str());
   }
-  return true;
+  return tables_ok;
 }
 
 int run_preset_main(const std::string& name) {

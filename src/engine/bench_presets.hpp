@@ -7,6 +7,7 @@
 // threading, caching, aggregation, and emission uniformly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -61,10 +62,32 @@ struct PresetRunOptions {
   bool timing = false;
   /// Serve repeated scenarios from the process-wide scenario cache.
   bool use_cache = true;
+  /// Shard selection over the preset's scenario grid — the concatenation of
+  /// every sweep's expansion, indexed globally, round-robin partitioned (see
+  /// shard_scenarios). shard_count == 1 runs everything; otherwise only the
+  /// scenarios owned by shard_index run, and tables/CSV contain only those
+  /// rows. The shard/merge unit is the scenario cache key, so per-shard
+  /// cache files merge back into the exact unsharded output.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// When non-empty, a persistent scenario cache: loaded (if present)
+  /// before the run — previously computed scenarios are not re-run — and
+  /// saved (write-to-temp + rename) after. Implies caching into a
+  /// file-scoped cache rather than the process-wide one.
+  std::string cache_file;
+  /// When non-empty, merge mode (`powersched_sweep --merge`): no trials are
+  /// run at all; the listed per-shard cache files are loaded and the full
+  /// plan is assembled from them via merge_scenario_results, producing the
+  /// byte-identical tables/CSV a single unsharded process would have
+  /// emitted. Fails when the files do not cover the plan. Combine with
+  /// cache_file to also persist the merged union.
+  std::vector<std::string> merge_files;
 };
 
 /// Runs every sweep of `preset`, printing one table per sweep and the pass
-/// criterion. Returns false when the CSV could not be written.
+/// criterion. Returns false when a results file (CSV or cache) could not be
+/// written, when merge inputs are missing or do not cover the plan, or when
+/// the shard selection is invalid.
 bool run_bench_preset(const BenchPreset& preset,
                       const PresetRunOptions& options = {});
 

@@ -1,0 +1,326 @@
+#include "engine/cache_store.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+namespace ps::engine {
+
+const char kScenarioCacheFormatHeader[] = "powersched-scenario-cache v1";
+
+namespace {
+
+/// Names embedded in the line format (solver, parameter, metric names) must
+/// be single whitespace-free tokens. Every name in the library is; this
+/// guards the format against a future one that is not.
+bool plain_token(const std::string& name) {
+  if (name.empty()) return false;
+  for (char ch : name) {
+    if (std::isspace(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool load_error(const std::string& path, std::size_t line_no,
+                const std::string& detail) {
+  std::fprintf(stderr, "cache load: %s:%zu: %s\n", path.c_str(), line_no,
+               detail.c_str());
+  return false;
+}
+
+/// Parses one whitespace-separated token as a double, requiring the whole
+/// token to be consumed. strtod round-trips the %.17g rendering exactly, so
+/// a loaded accumulator state is bit-identical to the saved one. Underflow
+/// (glibc flags subnormals with ERANGE even though the value is exact) is
+/// accepted; only overflow to ±HUGE_VAL is rejected.
+bool parse_double(std::istringstream& in, double& out) {
+  std::string token;
+  if (!(in >> token)) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') return false;
+  return !(errno == ERANGE && (out == HUGE_VAL || out == -HUGE_VAL));
+}
+
+bool parse_size(std::istringstream& in, std::size_t& out) {
+  std::string token;
+  if (!(in >> token)) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = static_cast<std::size_t>(std::strtoull(token.c_str(), &end, 10));
+  return end != token.c_str() && *end == '\0' && errno == 0;
+}
+
+bool parse_accumulator_state(std::istringstream& in,
+                             util::Accumulator::State& state) {
+  return parse_size(in, state.count) && parse_double(in, state.mean) &&
+         parse_double(in, state.m2) && parse_double(in, state.min) &&
+         parse_double(in, state.max) && parse_double(in, state.sum);
+}
+
+void write_accumulator_state(std::ostream& out,
+                             const util::Accumulator& acc) {
+  const util::Accumulator::State state = acc.state();
+  out << state.count << ' ' << format_param(state.mean) << ' '
+      << format_param(state.m2) << ' ' << format_param(state.min) << ' '
+      << format_param(state.max) << ' ' << format_param(state.sum);
+}
+
+/// The five core accumulators, in fixed file order.
+constexpr const char* kCoreAccumulators[] = {"objective", "ratio", "cost",
+                                             "oracle_calls", "wall_ms"};
+
+util::Accumulator* core_accumulator(ScenarioResult& result,
+                                    const std::string& name) {
+  if (name == "objective") return &result.objective;
+  if (name == "ratio") return &result.ratio;
+  if (name == "cost") return &result.cost;
+  if (name == "oracle_calls") return &result.oracle_calls;
+  if (name == "wall_ms") return &result.wall_ms;
+  return nullptr;
+}
+
+}  // namespace
+
+bool ScenarioCacheStore::load(ScenarioCache& cache) const {
+  if (!file_exists(path_)) return true;  // nothing persisted yet
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cache load: cannot open '%s'\n", path_.c_str());
+    return false;
+  }
+
+  std::string line;
+  std::size_t line_no = 1;
+  if (!std::getline(in, line) || line != kScenarioCacheFormatHeader) {
+    if (line.rfind("powersched-scenario-cache", 0) == 0) {
+      return load_error(path_, line_no,
+                        "version mismatch: file is '" + line +
+                            "', this build reads '" +
+                            kScenarioCacheFormatHeader +
+                            "' — regenerate the cache file");
+    }
+    return load_error(path_, line_no, "not a powersched scenario cache file");
+  }
+
+  bool in_entry = false;
+  ScenarioSpec spec;
+  ScenarioResult result;
+  std::size_t core_seen = 0;
+  bool aggregate_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+
+    if (!in_entry) {
+      if (keyword != "scenario") {
+        return load_error(path_, line_no,
+                          "expected 'scenario', got '" + keyword + "'");
+      }
+      spec = ScenarioSpec{};
+      result = ScenarioResult{};
+      core_seen = 0;
+      aggregate_seen = false;
+      if (!(fields >> spec.solver)) {
+        return load_error(path_, line_no, "scenario line missing solver name");
+      }
+      in_entry = true;
+      continue;
+    }
+
+    if (keyword == "trials") {
+      if (!(fields >> spec.trials)) {
+        return load_error(path_, line_no, "bad trials line");
+      }
+    } else if (keyword == "seed") {
+      std::size_t seed = 0;
+      if (!parse_size(fields, seed)) {
+        return load_error(path_, line_no, "bad seed line");
+      }
+      spec.seed = seed;
+    } else if (keyword == "param") {
+      std::string name;
+      double value = 0.0;
+      if (!(fields >> name) || !parse_double(fields, value)) {
+        return load_error(path_, line_no, "bad param line");
+      }
+      spec.params.set(name, value);
+    } else if (keyword == "algo_param") {
+      std::string name;
+      if (!(fields >> name)) {
+        return load_error(path_, line_no, "bad algo_param line");
+      }
+      spec.algo_params.push_back(name);
+    } else if (keyword == "aggregate") {
+      if (!parse_size(fields, result.trials_run) ||
+          !parse_size(fields, result.infeasible)) {
+        return load_error(path_, line_no, "bad aggregate line");
+      }
+      aggregate_seen = true;
+    } else if (keyword == "acc") {
+      std::string name;
+      util::Accumulator::State state;
+      if (!(fields >> name) || !parse_accumulator_state(fields, state)) {
+        return load_error(path_, line_no, "bad acc line");
+      }
+      util::Accumulator* acc = core_accumulator(result, name);
+      if (acc == nullptr) {
+        return load_error(path_, line_no, "unknown accumulator '" + name + "'");
+      }
+      *acc = util::Accumulator::from_state(state);
+      ++core_seen;
+    } else if (keyword == "metric") {
+      std::string name;
+      util::Accumulator::State state;
+      if (!(fields >> name) || !parse_accumulator_state(fields, state)) {
+        return load_error(path_, line_no, "bad metric line");
+      }
+      result.metrics.insert_or_assign(name,
+                                      util::Accumulator::from_state(state));
+    } else if (keyword == "end") {
+      if (!aggregate_seen ||
+          core_seen != std::size(kCoreAccumulators)) {
+        return load_error(path_, line_no, "incomplete scenario entry");
+      }
+      result.spec = spec;
+      // The key is recomputed from the loaded spec, so file content and
+      // cache key can never disagree.
+      cache.insert(scenario_cache_key(spec),
+                   std::make_shared<ScenarioResult>(std::move(result)));
+      in_entry = false;
+    } else {
+      return load_error(path_, line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (in_entry) {
+    return load_error(path_, line_no, "truncated file: entry missing 'end'");
+  }
+  return true;
+}
+
+bool ScenarioCacheStore::save(const ScenarioCache& cache) const {
+  const std::string tmp_path =
+      path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cache save: cannot open '%s' for writing\n",
+                 tmp_path.c_str());
+    return false;
+  }
+
+  out << kScenarioCacheFormatHeader << '\n';
+  for (const auto& [key, result] : cache.snapshot()) {
+    const ScenarioSpec& spec = result->spec;
+    bool names_ok = plain_token(spec.solver);
+    for (const auto& [name, value] : spec.params.values()) {
+      names_ok = names_ok && plain_token(name);
+    }
+    for (const auto& name : spec.algo_params) {
+      names_ok = names_ok && plain_token(name);
+    }
+    for (const auto& [name, acc] : result->metrics) {
+      names_ok = names_ok && plain_token(name);
+    }
+    if (!names_ok) {
+      std::fprintf(stderr,
+                   "cache save: scenario '%s' has a name the line format "
+                   "cannot hold (empty or contains whitespace)\n",
+                   key.c_str());
+      out.close();
+      std::remove(tmp_path.c_str());
+      return false;
+    }
+
+    out << "scenario " << spec.solver << '\n';
+    out << "trials " << spec.trials << '\n';
+    out << "seed " << spec.seed << '\n';
+    for (const auto& [name, value] : spec.params.values()) {
+      out << "param " << name << ' ' << format_param(value) << '\n';
+    }
+    for (const auto& name : spec.algo_params) {
+      out << "algo_param " << name << '\n';
+    }
+    out << "aggregate " << result->trials_run << ' ' << result->infeasible
+        << '\n';
+    const util::Accumulator* const core[] = {
+        &result->objective, &result->ratio, &result->cost,
+        &result->oracle_calls, &result->wall_ms};
+    for (std::size_t i = 0; i < std::size(kCoreAccumulators); ++i) {
+      out << "acc " << kCoreAccumulators[i] << ' ';
+      write_accumulator_state(out, *core[i]);
+      out << '\n';
+    }
+    for (const auto& [name, acc] : result->metrics) {
+      out << "metric " << name << ' ';
+      write_accumulator_state(out, acc);
+      out << '\n';
+    }
+    out << "end\n";
+  }
+
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "cache save: write to '%s' failed\n",
+                 tmp_path.c_str());
+    out.close();
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  out.close();
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    std::fprintf(stderr, "cache save: rename '%s' -> '%s' failed: %s\n",
+                 tmp_path.c_str(), path_.c_str(), std::strerror(errno));
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ScenarioCacheStore::merge_into(const std::vector<std::string>& paths,
+                                    ScenarioCache& cache) {
+  for (const auto& path : paths) {
+    if (!file_exists(path)) {
+      std::fprintf(stderr, "cache merge: cache file '%s' does not exist\n",
+                   path.c_str());
+      return false;
+    }
+    if (!ScenarioCacheStore(path).load(cache)) return false;
+  }
+  return true;
+}
+
+bool setup_file_cache(const std::string& cache_file,
+                      const std::vector<std::string>& merge_files,
+                      ScenarioCache& cache, SweepOptions& sweep_options) {
+  if (cache_file.empty() && merge_files.empty()) return true;
+  sweep_options.use_cache = true;
+  sweep_options.cache = &cache;
+  if (!merge_files.empty() &&
+      !ScenarioCacheStore::merge_into(merge_files, cache)) {
+    return false;
+  }
+  if (!cache_file.empty() && !ScenarioCacheStore(cache_file).load(cache)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ps::engine

@@ -1,0 +1,70 @@
+// On-disk persistence for the scenario cache: serializes completed
+// ScenarioResults — spec and full streaming-accumulator state — to a
+// versioned line-oriented text file, so a sweep's work survives the process
+// and shards computed in separate processes (or on separate machines) can
+// be merged back into one plan.
+//
+// The format round-trips every double through %.17g, which is exact for
+// IEEE-754 binary64: a result loaded from disk reproduces the original
+// aggregates bit-for-bit, and a merged multi-shard run therefore emits the
+// same CSV bytes a single-process run would have. Files start with a
+// version header and loading is loud and fails closed on any version or
+// schema mismatch — a half-understood cache must never silently feed a
+// results table. Saves write to a temp file in the same directory and
+// rename into place, so concurrent writers cannot interleave and readers
+// never observe a torn file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/sweep_runner.hpp"
+
+namespace ps::engine {
+
+/// The exact first line of every cache file this build reads or writes.
+/// Bump the version when the entry schema changes; old files are rejected
+/// with a message naming both versions.
+extern const char kScenarioCacheFormatHeader[];
+
+/// Load/save/merge of ScenarioCache contents for one file path.
+class ScenarioCacheStore {
+ public:
+  explicit ScenarioCacheStore(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  /// Reads the file into `cache` (keys already present are kept, not
+  /// replaced; the hit/miss counters are untouched). A missing file is
+  /// success with zero entries — the natural first run. A present but
+  /// unreadable, wrong-version, or malformed file prints a diagnostic with
+  /// the path and returns false.
+  bool load(ScenarioCache& cache) const;
+
+  /// Serializes every cache entry, sorted by key, via write-to-temp +
+  /// rename. Returns false (with a diagnostic) when the file cannot be
+  /// written; the target is never left half-written.
+  bool save(const ScenarioCache& cache) const;
+
+  /// Loads every file in `paths` into `cache` — the shard-merge primitive.
+  /// All files must load cleanly; stops at and reports the first failure.
+  /// Unlike load(), a missing file here is an error: a merge set naming an
+  /// absent shard would silently under-merge.
+  static bool merge_into(const std::vector<std::string>& paths,
+                         ScenarioCache& cache);
+
+ private:
+  std::string path_;
+};
+
+/// Shared --cache-file/--merge plumbing of the preset runner and the ad hoc
+/// sweep CLI: when either argument is non-empty, points `sweep_options` at
+/// `cache` (enabling caching into the file-scoped cache rather than the
+/// process-wide one), merges `merge_files` into it, then loads `cache_file`
+/// if one is named. No-op when both are empty. Returns false — the loaders
+/// have already printed the diagnostic — when any file fails to load.
+bool setup_file_cache(const std::string& cache_file,
+                      const std::vector<std::string>& merge_files,
+                      ScenarioCache& cache, SweepOptions& sweep_options);
+
+}  // namespace ps::engine

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ps::engine {
 namespace {
@@ -115,6 +116,26 @@ std::vector<ScenarioSpec> SweepPlan::expand() const {
     }
   }
   return scenarios;
+}
+
+std::vector<ScenarioSpec> SweepPlan::shard(std::size_t index,
+                                           std::size_t count) const {
+  return shard_scenarios(expand(), index, count);
+}
+
+std::vector<ScenarioSpec> shard_scenarios(
+    const std::vector<ScenarioSpec>& scenarios, std::size_t index,
+    std::size_t count) {
+  if (count == 0 || index >= count) {
+    std::fprintf(stderr, "shard_scenarios: bad shard %zu/%zu\n", index, count);
+    std::abort();
+  }
+  std::vector<ScenarioSpec> out;
+  out.reserve(scenarios.size() / count + 1);
+  for (std::size_t i = index; i < scenarios.size(); i += count) {
+    out.push_back(scenarios[i]);
+  }
+  return out;
 }
 
 }  // namespace ps::engine

@@ -115,6 +115,22 @@ struct SweepPlan {
   /// only on the parameters, so the per-grid-point scenarios are directly
   /// comparable.
   std::vector<ScenarioSpec> expand() const;
+
+  /// Shard `index` of `count` of the expanded grid — see shard_scenarios.
+  /// shard(0, 1) is the full expansion.
+  std::vector<ScenarioSpec> shard(std::size_t index, std::size_t count) const;
 };
+
+/// Deterministic partition of `scenarios` for multi-process fan-out: shard
+/// `index` of `count` owns the scenarios at positions congruent to `index`
+/// mod `count` (relative order preserved). Round-robin rather than
+/// contiguous blocks so every shard gets a balanced mix of grid points —
+/// the expensive end of an axis does not land on one shard. The shards are
+/// disjoint and their union is exactly the input, so per-shard runs cached
+/// by scenario_cache_key merge back into the full plan bit-identically.
+/// Aborts when count == 0 or index >= count.
+std::vector<ScenarioSpec> shard_scenarios(
+    const std::vector<ScenarioSpec>& scenarios, std::size_t index,
+    std::size_t count);
 
 }  // namespace ps::engine

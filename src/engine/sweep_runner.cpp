@@ -87,6 +87,23 @@ void ScenarioCache::insert(const std::string& key,
   entries_.emplace(key, std::move(result));
 }
 
+std::shared_ptr<const ScenarioResult> ScenarioCache::peek(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const ScenarioResult>>>
+ScenarioCache::snapshot() const {
+  std::map<std::string, std::shared_ptr<const ScenarioResult>> sorted;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sorted.insert(entries_.begin(), entries_.end());
+  }
+  return {sorted.begin(), sorted.end()};
+}
+
 ScenarioCache::Stats ScenarioCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -186,6 +203,34 @@ std::vector<ScenarioResult> SweepRunner::run(
     }
   }
   return results;
+}
+
+bool merge_scenario_results(const std::vector<ScenarioSpec>& scenarios,
+                            const ScenarioCache& cache,
+                            std::vector<ScenarioResult>& out) {
+  out.clear();
+  out.reserve(scenarios.size());
+  std::size_t missing = 0;
+  for (const auto& spec : scenarios) {
+    const auto entry = cache.peek(scenario_cache_key(spec));
+    if (entry == nullptr) {
+      if (missing < 8) {
+        std::fprintf(stderr, "merge: no cached result for scenario %s\n",
+                     spec.label().c_str());
+      }
+      ++missing;
+      continue;
+    }
+    out.push_back(*entry);
+  }
+  if (missing > 0) {
+    std::fprintf(stderr,
+                 "merge: %zu of %zu scenario(s) missing from the cache — "
+                 "is a shard's cache file absent from the merge set?\n",
+                 missing, scenarios.size());
+    return false;
+  }
+  return true;
 }
 
 std::vector<std::string> metric_name_union(

@@ -77,6 +77,15 @@ class ScenarioCache {
   void insert(const std::string& key,
               std::shared_ptr<const ScenarioResult> result);
 
+  /// The cached result without touching the hit/miss counters — for
+  /// serialization and merge paths that probe rather than consume.
+  std::shared_ptr<const ScenarioResult> peek(const std::string& key) const;
+
+  /// All entries sorted by key — the deterministic iteration order used by
+  /// ScenarioCacheStore::save.
+  std::vector<std::pair<std::string, std::shared_ptr<const ScenarioResult>>>
+  snapshot() const;
+
   Stats stats() const;
   std::size_t size() const;
   void clear();
@@ -119,6 +128,19 @@ class SweepRunner {
  private:
   SweepOptions options_;
 };
+
+/// Assembles the results of `scenarios` — the full plan, in plan order —
+/// entirely from `cache`, without running a single trial. This is the
+/// shard-merge path: per-shard processes each compute a disjoint subset of
+/// the plan and persist their caches (ScenarioCacheStore); loading those
+/// files into one cache and calling this yields the same ScenarioResult
+/// sequence, and therefore byte-identical results_table/write_results_csv
+/// output, as a single-process unsharded run. Returns false — after naming
+/// the missing scenarios on stderr — when the cache does not cover the
+/// plan (a shard leg missing from the union).
+bool merge_scenario_results(const std::vector<ScenarioSpec>& scenarios,
+                            const ScenarioCache& cache,
+                            std::vector<ScenarioResult>& out);
 
 /// Sorted union of the metric names appearing across `results` — the
 /// deterministic column order shared by results_table and write_results_csv.

@@ -25,6 +25,21 @@ void Accumulator::add(double x) {
   }
 }
 
+Accumulator::State Accumulator::state() const {
+  return State{count_, mean_, m2_, min_, max_, sum_};
+}
+
+Accumulator Accumulator::from_state(const State& state) {
+  Accumulator acc(/*keep_samples=*/false);
+  acc.count_ = state.count;
+  acc.mean_ = state.mean;
+  acc.m2_ = state.m2;
+  acc.min_ = state.min;
+  acc.max_ = state.max;
+  acc.sum_ = state.sum;
+  return acc;
+}
+
 double Accumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double Accumulator::variance() const {

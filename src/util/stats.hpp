@@ -12,10 +12,30 @@ namespace ps::util {
 /// sample; quantiles require keep_samples(true) (the default).
 class Accumulator {
  public:
+  /// The streaming state: everything an accumulator needs to resume (or to
+  /// be serialized and rebuilt bit-identically elsewhere) except the raw
+  /// samples. Every statistic other than quantiles is a pure function of
+  /// these six fields.
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+  };
+
   explicit Accumulator(bool keep_samples = true)
       : keep_samples_(keep_samples) {}
 
   void add(double x);
+
+  /// Snapshot of the streaming state (samples excluded).
+  State state() const;
+  /// Accumulator rebuilt from a saved state. The rebuilt accumulator is
+  /// streaming-only — quantiles are unavailable — but mean/variance/stddev/
+  /// min/max/sum/ci95 are bit-identical to the snapshotted original.
+  static Accumulator from_state(const State& state);
 
   std::size_t count() const { return count_; }
   double mean() const;

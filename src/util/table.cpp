@@ -64,13 +64,14 @@ std::string Table::to_string() const {
 
 void Table::print(std::ostream& os) const { os << to_string(); }
 
-void Table::print() const {
+bool Table::print() const {
   print(std::cout);
   if (const char* dir = std::getenv("PS_CSV_DIR")) {
     const std::string slug =
         slugify(caption_.empty() ? "table" : caption_);
-    write_csv(std::string(dir) + "/" + slug + ".csv");
+    return write_csv(std::string(dir) + "/" + slug + ".csv");
   }
+  return true;
 }
 
 bool Table::write_csv(const std::string& path) const {

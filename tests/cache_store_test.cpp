@@ -1,0 +1,450 @@
+// Tests for sweep sharding and the persistent scenario cache: the shard
+// partition property over every preset's dry expansion, byte-identical
+// merge of independently-run shards (the multi-process CI contract),
+// cache-store round-trip fidelity, version/schema rejection, stale-entry
+// non-reuse, and the unwritable-CSV exit paths.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/bench_presets.hpp"
+#include "engine/cache_store.hpp"
+#include "engine/registry.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+
+namespace ps::engine {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+/// A cheap, fully deterministic plan used by the run-level tests: 6
+/// scenarios, a handful of trials, sub-millisecond solvers.
+SweepPlan cheap_plan() {
+  SweepPlan plan;
+  plan.solvers = {"powerdown.break_even", "powerdown.never"};
+  plan.base_params = {{"alpha", 2.0}, {"gaps", 50.0}};
+  plan.axes = {{"dist", {0, 1, 3}}};
+  plan.trials = 4;
+  plan.seed = 777;
+  return plan;
+}
+
+void expect_results_bit_identical(const ScenarioResult& a,
+                                  const ScenarioResult& b) {
+  EXPECT_EQ(scenario_cache_key(a.spec), scenario_cache_key(b.spec));
+  EXPECT_EQ(a.trials_run, b.trials_run);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  const auto expect_acc = [](const util::Accumulator& x,
+                             const util::Accumulator& y) {
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_EQ(x.mean(), y.mean());
+    EXPECT_EQ(x.variance(), y.variance());
+    EXPECT_EQ(x.min(), y.min());
+    EXPECT_EQ(x.max(), y.max());
+    EXPECT_EQ(x.sum(), y.sum());
+  };
+  expect_acc(a.objective, b.objective);
+  expect_acc(a.ratio, b.ratio);
+  expect_acc(a.cost, b.cost);
+  expect_acc(a.oracle_calls, b.oracle_calls);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (const auto& [name, acc] : a.metrics) {
+    const auto it = b.metrics.find(name);
+    ASSERT_NE(it, b.metrics.end()) << name;
+    expect_acc(acc, it->second);
+  }
+}
+
+// --- shard partition property ---------------------------------------------
+
+TEST(Shard, PartitionIsExactForEveryPresetDryExpansion) {
+  for (const auto& preset : bench_presets()) {
+    for (const auto& preset_sweep : preset.sweeps) {
+      const auto full = preset_sweep.plan.expand();
+      for (std::size_t count : {1u, 2u, 3u, 7u}) {
+        std::vector<std::vector<ScenarioSpec>> shards;
+        std::size_t total = 0;
+        for (std::size_t index = 0; index < count; ++index) {
+          shards.push_back(preset_sweep.plan.shard(index, count));
+          total += shards.back().size();
+        }
+        ASSERT_EQ(total, full.size()) << preset.name << " N=" << count;
+        // Round-robin: full[i] lands at position i/count of shard i%count,
+        // so interleaving the shards reconstructs the full plan exactly.
+        for (std::size_t i = 0; i < full.size(); ++i) {
+          const ScenarioSpec& got = shards[i % count][i / count];
+          EXPECT_EQ(scenario_cache_key(got), scenario_cache_key(full[i]))
+              << preset.name << " N=" << count << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Shard, EveryScenarioAppearsExactlyOnceAcrossShards) {
+  const auto full = cheap_plan().expand();
+  for (std::size_t count : {2u, 3u, 7u}) {
+    std::set<std::string> seen;
+    for (std::size_t index = 0; index < count; ++index) {
+      for (const auto& spec : shard_scenarios(full, index, count)) {
+        EXPECT_TRUE(seen.insert(scenario_cache_key(spec)).second)
+            << "duplicate across shards: " << spec.label();
+      }
+    }
+    EXPECT_EQ(seen.size(), full.size());
+  }
+}
+
+// --- cache store round-trip and rejection ---------------------------------
+
+TEST(CacheStore, RoundTripIsBitIdentical) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  ScenarioCache cache;
+  SweepOptions options;
+  options.use_cache = true;
+  options.cache = &cache;
+  const SweepRunner runner(options);
+  const auto results = runner.run(registry, cheap_plan());
+  ASSERT_EQ(cache.size(), results.size());
+
+  const std::string path = temp_path("roundtrip.cache");
+  ASSERT_TRUE(ScenarioCacheStore(path).save(cache));
+
+  ScenarioCache loaded;
+  ASSERT_TRUE(ScenarioCacheStore(path).load(loaded));
+  ASSERT_EQ(loaded.size(), cache.size());
+  for (const auto& [key, result] : cache.snapshot()) {
+    const auto entry = loaded.peek(key);
+    ASSERT_NE(entry, nullptr) << key;
+    expect_results_bit_identical(*entry, *result);
+    // Wall time persists through the store too (it is part of the result
+    // even though deterministic CSVs exclude it).
+    EXPECT_EQ(entry->wall_ms.count(), result->wall_ms.count());
+    EXPECT_EQ(entry->wall_ms.sum(), result->wall_ms.sum());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, RoundTripsSubnormalValues) {
+  // glibc strtod flags subnormals with ERANGE even though the parsed value
+  // is exact; the loader must accept them — the store itself emits them.
+  ScenarioResult result;
+  result.spec.solver = "powerdown.never";
+  result.spec.trials = 1;
+  result.trials_run = 1;
+  const double subnormal = 5e-321;
+  result.objective.add(subnormal);
+  result.metrics.emplace("tiny", util::Accumulator(/*keep_samples=*/false))
+      .first->second.add(subnormal);
+
+  ScenarioCache cache;
+  cache.insert(scenario_cache_key(result.spec),
+               std::make_shared<ScenarioResult>(result));
+  const std::string path = temp_path("subnormal.cache");
+  ASSERT_TRUE(ScenarioCacheStore(path).save(cache));
+
+  ScenarioCache loaded;
+  ASSERT_TRUE(ScenarioCacheStore(path).load(loaded));
+  const auto entry = loaded.peek(scenario_cache_key(result.spec));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->objective.mean(), subnormal);
+  EXPECT_EQ(entry->metrics.at("tiny").sum(), subnormal);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, MissingFileLoadsAsEmptySuccess) {
+  ScenarioCache cache;
+  EXPECT_TRUE(
+      ScenarioCacheStore(temp_path("does_not_exist.cache")).load(cache));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheStore, RejectsVersionMismatch) {
+  const std::string path = temp_path("wrong_version.cache");
+  {
+    std::ofstream out(path);
+    out << "powersched-scenario-cache v999\n";
+  }
+  ScenarioCache cache;
+  EXPECT_FALSE(ScenarioCacheStore(path).load(cache));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, RejectsForeignAndMalformedFiles) {
+  const std::string garbage = temp_path("garbage.cache");
+  {
+    std::ofstream out(garbage);
+    out << "solver,params,trials\npower.greedy,jobs=3,20\n";
+  }
+  ScenarioCache cache;
+  EXPECT_FALSE(ScenarioCacheStore(garbage).load(cache));
+  std::remove(garbage.c_str());
+
+  const std::string truncated = temp_path("truncated.cache");
+  {
+    std::ofstream out(truncated);
+    out << kScenarioCacheFormatHeader << "\n";
+    out << "scenario power.greedy\ntrials 5\nseed 1\n";  // no 'end'
+  }
+  EXPECT_FALSE(ScenarioCacheStore(truncated).load(cache));
+  std::remove(truncated.c_str());
+
+  const std::string unknown_keyword = temp_path("unknown_keyword.cache");
+  {
+    std::ofstream out(unknown_keyword);
+    out << kScenarioCacheFormatHeader << "\n";
+    out << "scenario power.greedy\nfuture_field 7\nend\n";
+  }
+  EXPECT_FALSE(ScenarioCacheStore(unknown_keyword).load(cache));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(unknown_keyword.c_str());
+}
+
+TEST(CacheStore, StaleEntryWithDifferentTrialsIsNotReused) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  const std::string path = temp_path("stale_trials.cache");
+
+  SweepPlan plan = cheap_plan();
+  plan.trials = 3;
+  {
+    ScenarioCache cache;
+    SweepOptions options;
+    options.use_cache = true;
+    options.cache = &cache;
+    SweepRunner(options).run(registry, plan);
+    ASSERT_TRUE(ScenarioCacheStore(path).save(cache));
+  }
+
+  // Same scenarios but a different trial count: every lookup must miss —
+  // a 3-trial aggregate must never stand in for a 5-trial one.
+  plan.trials = 5;
+  ScenarioCache cache;
+  ASSERT_TRUE(ScenarioCacheStore(path).load(cache));
+  EXPECT_GT(cache.size(), 0u);
+  SweepOptions options;
+  options.use_cache = true;
+  options.cache = &cache;
+  const auto results = SweepRunner(options).run(registry, plan);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, plan.expand().size());
+  for (const auto& result : results) EXPECT_EQ(result.trials_run, 5u);
+  std::remove(path.c_str());
+}
+
+// --- multi-shard run + merge == unsharded run -----------------------------
+
+TEST(ShardMerge, MergedAggregatesBitIdenticalToUnshardedForManyShardCounts) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  const SweepPlan plan = cheap_plan();
+  const auto full = plan.expand();
+  const auto reference = SweepRunner().run(registry, full);
+  const std::string csv_ref = temp_path("merge_ref.csv");
+  ASSERT_TRUE(write_results_csv(reference, csv_ref));
+
+  for (std::size_t count : {1u, 2u, 3u, 7u}) {
+    // Each shard runs in its own cache — standing in for a separate
+    // process — and persists to its own file.
+    std::vector<std::string> files;
+    for (std::size_t index = 0; index < count; ++index) {
+      ScenarioCache shard_cache;
+      SweepOptions options;
+      options.use_cache = true;
+      options.cache = &shard_cache;
+      SweepRunner(options).run(registry, plan.shard(index, count));
+      const std::string file =
+          temp_path("merge_shard" + std::to_string(count) + "_" +
+                    std::to_string(index) + ".cache");
+      ASSERT_TRUE(ScenarioCacheStore(file).save(shard_cache));
+      files.push_back(file);
+    }
+
+    ScenarioCache merged_cache;
+    ASSERT_TRUE(ScenarioCacheStore::merge_into(files, merged_cache));
+    std::vector<ScenarioResult> merged;
+    ASSERT_TRUE(merge_scenario_results(full, merged_cache, merged));
+    ASSERT_EQ(merged.size(), reference.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      expect_results_bit_identical(merged[i], reference[i]);
+    }
+
+    const std::string csv_merged =
+        temp_path("merge_out" + std::to_string(count) + ".csv");
+    ASSERT_TRUE(write_results_csv(merged, csv_merged));
+    EXPECT_EQ(read_file(csv_merged), read_file(csv_ref)) << "N=" << count;
+    std::remove(csv_merged.c_str());
+    for (const auto& file : files) std::remove(file.c_str());
+  }
+  std::remove(csv_ref.c_str());
+}
+
+TEST(ShardMerge, PresetShardRunsMergeToByteIdenticalCsv) {
+  // The CI matrix contract end-to-end through run_bench_preset: 3 sharded
+  // "processes" with --cache-file, then a merge, against the unsharded run.
+  const BenchPreset* preset = find_bench_preset("e15");
+  ASSERT_NE(preset, nullptr);
+
+  PresetRunOptions reference;
+  reference.trials = 1;
+  reference.use_cache = false;
+  reference.csv_path = temp_path("preset_ref.csv");
+  ASSERT_TRUE(run_bench_preset(*preset, reference));
+
+  std::vector<std::string> files;
+  for (std::size_t index = 0; index < 3; ++index) {
+    PresetRunOptions shard;
+    shard.trials = 1;
+    shard.shard_index = index;
+    shard.shard_count = 3;
+    shard.cache_file =
+        temp_path("preset_shard" + std::to_string(index) + ".cache");
+    ASSERT_TRUE(run_bench_preset(*preset, shard));
+    files.push_back(shard.cache_file);
+  }
+
+  PresetRunOptions merge;
+  merge.trials = 1;
+  merge.merge_files = files;
+  merge.csv_path = temp_path("preset_merged.csv");
+  ASSERT_TRUE(run_bench_preset(*preset, merge));
+
+  EXPECT_EQ(read_file(merge.csv_path), read_file(reference.csv_path));
+  std::remove(reference.csv_path.c_str());
+  std::remove(merge.csv_path.c_str());
+  for (const auto& file : files) std::remove(file.c_str());
+}
+
+TEST(ShardMerge, MergeFailsWhenAShardIsMissing) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  const SweepPlan plan = cheap_plan();
+
+  ScenarioCache cache;
+  SweepOptions options;
+  options.use_cache = true;
+  options.cache = &cache;
+  SweepRunner(options).run(registry, plan.shard(0, 2));  // shard 1 never ran
+
+  std::vector<ScenarioResult> merged;
+  EXPECT_FALSE(merge_scenario_results(plan.expand(), cache, merged));
+
+  // merge_into refuses nonexistent files outright.
+  ScenarioCache other;
+  EXPECT_FALSE(ScenarioCacheStore::merge_into(
+      {temp_path("no_such_shard.cache")}, other));
+}
+
+TEST(ShardMerge, RunBenchPresetRejectsBadShardAndShardedMerge) {
+  const BenchPreset* preset = find_bench_preset("e15");
+  ASSERT_NE(preset, nullptr);
+  PresetRunOptions bad_shard;
+  bad_shard.shard_index = 3;
+  bad_shard.shard_count = 3;
+  EXPECT_FALSE(run_bench_preset(*preset, bad_shard));
+
+  PresetRunOptions sharded_merge;
+  sharded_merge.shard_count = 2;
+  sharded_merge.merge_files = {"whatever.cache"};
+  EXPECT_FALSE(run_bench_preset(*preset, sharded_merge));
+}
+
+// --- unwritable output paths exit loudly ----------------------------------
+
+/// A path that cannot be created for any user (root included): a regular
+/// file as a path component yields ENOTDIR. The read-only-directory variant
+/// below additionally covers the plain EACCES case when not running as
+/// root (root bypasses permission bits, so asserting there would be vacuous).
+class UnwritableDir {
+ public:
+  UnwritableDir() {
+    blocker_file_ = temp_path("ps_blocker_file");
+    std::ofstream(blocker_file_) << "not a directory\n";
+    readonly_dir_ = temp_path("ps_readonly_dir");
+    ::mkdir(readonly_dir_.c_str(), 0500);
+  }
+  ~UnwritableDir() {
+    std::remove(blocker_file_.c_str());
+    ::chmod(readonly_dir_.c_str(), 0700);
+    ::rmdir(readonly_dir_.c_str());
+  }
+  std::string enotdir_path() const { return blocker_file_ + "/out.csv"; }
+  std::string readonly_path() const { return readonly_dir_ + "/out.csv"; }
+
+ private:
+  std::string blocker_file_;
+  std::string readonly_dir_;
+};
+
+TEST(UnwritableCsv, WriteResultsCsvReturnsFalse) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  const auto results = SweepRunner().run(registry, cheap_plan());
+  const UnwritableDir unwritable;
+  EXPECT_FALSE(write_results_csv(results, unwritable.enotdir_path()));
+  if (::geteuid() != 0) {
+    EXPECT_FALSE(write_results_csv(results, unwritable.readonly_path()));
+  }
+}
+
+TEST(UnwritableCsv, RunBenchPresetFailsOnUnwritableCsvAndCache) {
+  const BenchPreset* preset = find_bench_preset("e15");
+  ASSERT_NE(preset, nullptr);
+  const UnwritableDir unwritable;
+
+  PresetRunOptions bad_csv;
+  bad_csv.trials = 1;
+  bad_csv.csv_path = unwritable.enotdir_path();
+  EXPECT_FALSE(run_bench_preset(*preset, bad_csv));
+
+  PresetRunOptions bad_cache;
+  bad_cache.trials = 1;
+  bad_cache.cache_file = unwritable.enotdir_path();
+  EXPECT_FALSE(run_bench_preset(*preset, bad_cache));
+
+  if (::geteuid() != 0) {
+    PresetRunOptions readonly_csv;
+    readonly_csv.trials = 1;
+    readonly_csv.csv_path = unwritable.readonly_path();
+    EXPECT_FALSE(run_bench_preset(*preset, readonly_csv));
+  }
+}
+
+TEST(UnwritableCsv, CacheStoreSaveReturnsFalse) {
+  const UnwritableDir unwritable;
+  ScenarioCache cache;
+  EXPECT_FALSE(ScenarioCacheStore(unwritable.enotdir_path()).save(cache));
+  if (::geteuid() != 0) {
+    EXPECT_FALSE(ScenarioCacheStore(unwritable.readonly_path()).save(cache));
+  }
+}
+
+TEST(UnwritableCsv, TablePrintPropagatesSideCsvFailure) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  const auto results = SweepRunner().run(registry, cheap_plan());
+  const auto table = results_table(results, "side csv failure");
+
+  const UnwritableDir unwritable;
+  ::setenv("PS_CSV_DIR", unwritable.enotdir_path().c_str(), 1);
+  EXPECT_FALSE(table.print());
+  ::unsetenv("PS_CSV_DIR");
+  EXPECT_TRUE(table.print());
+}
+
+}  // namespace
+}  // namespace ps::engine

@@ -322,6 +322,35 @@ TEST(Csv, WritesQuotedCells) {
   std::remove(path.c_str());
 }
 
+TEST(Accumulator, StateRoundTripIsBitIdentical) {
+  Accumulator acc(/*keep_samples=*/false);
+  for (double x : {0.1, -2.75, 3.333333333333333, 1e-17, 41.0}) acc.add(x);
+  const Accumulator restored = Accumulator::from_state(acc.state());
+  EXPECT_EQ(restored.count(), acc.count());
+  // Bitwise equality, not approximate: the state is the exact streaming
+  // representation, so every derived statistic must match to the last bit.
+  EXPECT_EQ(restored.mean(), acc.mean());
+  EXPECT_EQ(restored.variance(), acc.variance());
+  EXPECT_EQ(restored.stddev(), acc.stddev());
+  EXPECT_EQ(restored.min(), acc.min());
+  EXPECT_EQ(restored.max(), acc.max());
+  EXPECT_EQ(restored.sum(), acc.sum());
+  EXPECT_EQ(restored.ci95_halfwidth(), acc.ci95_halfwidth());
+}
+
+TEST(Accumulator, FromStateResumesStreaming) {
+  Accumulator original(/*keep_samples=*/false);
+  original.add(1.0);
+  original.add(5.0);
+  Accumulator resumed = Accumulator::from_state(original.state());
+  original.add(-3.0);
+  resumed.add(-3.0);
+  EXPECT_EQ(resumed.mean(), original.mean());
+  EXPECT_EQ(resumed.variance(), original.variance());
+  EXPECT_EQ(resumed.min(), original.min());
+  EXPECT_EQ(resumed.max(), original.max());
+}
+
 TEST(Timer, MeasuresNonNegative) {
   Timer t;
   EXPECT_GE(t.seconds(), 0.0);

@@ -7,6 +7,14 @@
 //       --csv powerdown.csv          (one command line; wrapped here)
 //   $ ./powersched_sweep --preset e13 --trials 2 --csv e13.csv
 //
+// Sharded, multi-process operation (the CI matrix runs exactly this):
+//
+//   $ ./powersched_sweep --preset e15 --shard 0/3 --cache-file s0.cache
+//   $ ./powersched_sweep --preset e15 --shard 1/3 --cache-file s1.cache
+//   $ ./powersched_sweep --preset e15 --shard 2/3 --cache-file s2.cache
+//   $ ./powersched_sweep --preset e15 --merge s0.cache,s1.cache,s2.cache
+//       --csv e15.csv      # byte-identical to the unsharded run's CSV
+//
 // Options:
 //   --list                 print the registered solver names and exit
 //   --list-presets         print the bench preset catalogue and exit
@@ -28,6 +36,16 @@
 //   --timing               include the (non-deterministic) wall-time column
 //   --no-cache             disable the per-scenario result cache for
 //                          preset runs
+//   --shard I/N            run only shard I of N (0-based) of the expanded
+//                          scenario grid — round-robin partition, union of
+//                          shards = the full plan
+//   --cache-file path      persistent scenario cache: load before the run
+//                          (skipping already-computed scenarios), save
+//                          after (write-to-temp + rename)
+//   --merge f1,f2,...      powersched_merge mode: run nothing; assemble the
+//                          full plan from the listed per-shard cache files
+//                          and emit the byte-identical tables/CSV a single
+//                          unsharded process would have produced
 //
 // Output statistics are bit-identical for any --threads value; trials are
 // seeded per (parameters, trial index), never per worker.
@@ -38,6 +56,7 @@
 #include <vector>
 
 #include "engine/bench_presets.hpp"
+#include "engine/cache_store.hpp"
 #include "engine/registry.hpp"
 #include "engine/scenario.hpp"
 #include "engine/sweep_runner.hpp"
@@ -52,8 +71,10 @@ void usage(const char* argv0) {
                "[--timing]\n"
                "       %s --preset NAME [--trials N] [--seed S] "
                "[--threads K] [--csv path] [--timing] [--no-cache]\n"
+               "       %s ... [--shard I/N] [--cache-file path]\n"
+               "       %s ... --merge cache1,cache2,... [--csv path]\n"
                "       %s --list | --list-presets\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -69,6 +90,26 @@ std::vector<std::string> split_commas(const std::string& text) {
     start = comma + 1;
   }
   return out;
+}
+
+/// Parses "I/N" (0-based shard index, shard count) with I < N, N >= 1.
+bool parse_shard(const std::string& text, std::size_t& index,
+                 std::size_t& count) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    return false;
+  }
+  const std::string index_text = text.substr(0, slash);
+  const std::string count_text = text.substr(slash + 1);
+  char* end = nullptr;
+  const unsigned long long i = std::strtoull(index_text.c_str(), &end, 10);
+  if (end != index_text.c_str() + index_text.size()) return false;
+  const unsigned long long n = std::strtoull(count_text.c_str(), &end, 10);
+  if (end != count_text.c_str() + count_text.size()) return false;
+  if (n == 0 || i >= n) return false;
+  index = static_cast<std::size_t>(i);
+  count = static_cast<std::size_t>(n);
+  return true;
 }
 
 /// Parses "name=v1,v2,..." into an axis; empty name on failure.
@@ -96,6 +137,10 @@ int main(int argc, char** argv) {
   options.num_threads = 0;
   std::string csv_path;
   std::string preset_name;
+  std::string cache_file;
+  std::vector<std::string> merge_files;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   bool include_timing = false;
   bool threads_given = false;
   bool use_cache = true;
@@ -173,11 +218,38 @@ int main(int argc, char** argv) {
       include_timing = true;
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       use_cache = false;
+    } else if (std::strcmp(arg, "--shard") == 0) {
+      const char* value = next_value(i);
+      if (!parse_shard(value, shard_index, shard_count)) {
+        std::fprintf(stderr,
+                     "%s: bad --shard '%s' (want I/N with 0 <= I < N)\n",
+                     argv[0], value);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--cache-file") == 0) {
+      cache_file = next_value(i);
+    } else if (std::strcmp(arg, "--merge") == 0) {
+      for (const auto& file : split_commas(next_value(i))) {
+        if (!file.empty()) merge_files.push_back(file);
+      }
+      if (merge_files.empty()) {
+        std::fprintf(stderr, "%s: --merge needs at least one cache file\n",
+                     argv[0]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
       usage(argv[0]);
       return 2;
     }
+  }
+
+  if (!merge_files.empty() && shard_count != 1) {
+    std::fprintf(stderr,
+                 "%s: --merge assembles the full plan and cannot be combined "
+                 "with --shard\n",
+                 argv[0]);
+    return 2;
   }
 
   if (!preset_name.empty()) {
@@ -210,8 +282,18 @@ int main(int argc, char** argv) {
     run_options.csv_path = csv_path;
     run_options.timing = include_timing;
     run_options.use_cache = use_cache;
-    std::printf("preset %s: %s\n\n", preset->name.c_str(),
-                preset->title.c_str());
+    run_options.shard_index = shard_index;
+    run_options.shard_count = shard_count;
+    run_options.cache_file = cache_file;
+    run_options.merge_files = merge_files;
+    std::printf("preset %s: %s", preset->name.c_str(), preset->title.c_str());
+    if (shard_count > 1) {
+      std::printf("  [shard %zu/%zu]", shard_index, shard_count);
+    }
+    if (!merge_files.empty()) {
+      std::printf("  [merging %zu cache file(s)]", merge_files.size());
+    }
+    std::printf("\n\n");
     return run_bench_preset(*preset, run_options) ? 0 : 1;
   }
 
@@ -235,20 +317,45 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto scenarios = plan.expand();
-  const std::string threads_text =
-      options.num_threads == 0 ? "hardware"
-                               : std::to_string(options.num_threads);
-  std::printf("sweep: %zu scenario(s) x %d trial(s), %s threads\n",
-              scenarios.size(), plan.trials, threads_text.c_str());
+  const auto scenarios = shard_count > 1
+                             ? plan.shard(shard_index, shard_count)
+                             : plan.expand();
 
-  const SweepRunner runner(options);
-  const auto results = runner.run(registry, scenarios);
-  results_table(results,
-                "sweep results (seed " + std::to_string(plan.seed) + ")",
-                include_timing)
-      .print();
+  // A cache file or a merge set works against a file-scoped cache; the ad
+  // hoc path otherwise runs uncached.
+  ScenarioCache file_cache;
+  const bool merge_mode = !merge_files.empty();
+  if (!setup_file_cache(cache_file, merge_files, file_cache, options)) {
+    return 1;
+  }
 
+  std::vector<ScenarioResult> results;
+  if (merge_mode) {
+    std::printf("merge: assembling %zu scenario(s) from %zu cache file(s)\n",
+                scenarios.size(), merge_files.size());
+    if (!merge_scenario_results(scenarios, file_cache, results)) return 1;
+  } else {
+    const std::string threads_text =
+        options.num_threads == 0 ? "hardware"
+                                 : std::to_string(options.num_threads);
+    std::printf("sweep: %zu scenario(s) x %d trial(s), %s threads",
+                scenarios.size(), plan.trials, threads_text.c_str());
+    if (shard_count > 1) {
+      std::printf("  [shard %zu/%zu]", shard_index, shard_count);
+    }
+    std::printf("\n");
+    const SweepRunner runner(options);
+    results = runner.run(registry, scenarios);
+  }
+  const bool tables_ok =
+      results_table(results,
+                    "sweep results (seed " + std::to_string(plan.seed) + ")",
+                    include_timing)
+          .print();
+
+  if (!cache_file.empty() && !ScenarioCacheStore(cache_file).save(file_cache)) {
+    return 1;
+  }
   if (!csv_path.empty()) {
     if (!write_results_csv(results, csv_path, include_timing)) {
       std::fprintf(stderr, "%s: FAILED to write results CSV '%s'\n", argv[0],
@@ -257,6 +364,11 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %zu aggregated row(s) to %s\n", results.size(),
                 csv_path.c_str());
+  }
+  if (!tables_ok) {
+    std::fprintf(stderr, "%s: FAILED to write one or more PS_CSV_DIR table "
+                 "CSVs\n", argv[0]);
+    return 1;
   }
   return 0;
 }
