@@ -9,8 +9,8 @@
 namespace ps::engine {
 namespace {
 
-PresetSweep sweep(std::string caption, SweepPlan plan) {
-  return PresetSweep{std::move(caption), std::move(plan)};
+PresetSweep sweep(std::string caption, SweepPlan plan, PlotHint plot) {
+  return PresetSweep{std::move(caption), std::move(plan), std::move(plot)};
 }
 
 std::vector<BenchPreset> build_catalogue() {
@@ -33,7 +33,13 @@ std::vector<BenchPreset> build_catalogue() {
          "always-on and per-job ratios visibly worse.",
          {sweep("E1: schedule-all cost ratio vs exact optimum (p=2, T=8, "
                 "restart-cost model)",
-                plan)}});
+                plan,
+                PlotHint{.x = "jobs",
+                         .y = {"ratio_mean", "m_bound_2log2n"},
+                         .series = {"solver"},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "cost / OPT"})}});
   }
 
   // --- E2 (Lemma 2.1.2): the bicriteria trade-off -------------------------
@@ -58,7 +64,13 @@ std::vector<BenchPreset> build_catalogue() {
          "m:bound_2log2inveps and grows at most linearly down the sweep.",
          {sweep("E2: bicriteria sweep on random weighted-coverage instances "
                 "(eps is an algo param: every row sees the same instances)",
-                plan)}});
+                plan,
+                PlotHint{.x = "eps",
+                         .y = {"ratio_max", "m_bound_2log2inveps"},
+                         .series = {},
+                         .log_x = true,
+                         .log_y = false,
+                         .y_label = "cost / OPT"})}});
   }
 
   // --- E3 (Theorem .1.2): Set-Cover hardness through the pipeline ---------
@@ -82,10 +94,22 @@ std::vector<BenchPreset> build_catalogue() {
          "like k/2, i.e. Θ(log n) is realized.",
          {sweep("E3a: random Set-Cover scheduling instances vs exact cover "
                 "optimum (flat interval cost)",
-                random_plan),
+                random_plan,
+                PlotHint{.x = "elements",
+                         .y = {"ratio_max", "m_hn_bound"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "cover cost / OPT"}),
           sweep("E3b: adversarial family (greedy lower bound) through the "
                 "full scheduling pipeline",
-                adversarial_plan)}});
+                adversarial_plan,
+                PlotHint{.x = "k",
+                         .y = {"ratio_mean", "m_ln_n"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "greedy / OPT"})}});
   }
 
   // --- E4 (Theorem 2.3.1): prize-collecting bicriteria --------------------
@@ -106,7 +130,13 @@ std::vector<BenchPreset> build_catalogue() {
          "growing logarithmically as eps shrinks.",
          {sweep("E4: prize-collecting bicriteria sweep (p=2, T=6, values in "
                 "[1,6], Z = 0.65 * total; same instances on every row)",
-                plan)}});
+                plan,
+                PlotHint{.x = "eps",
+                         .y = {"ratio_max", "m_bound"},
+                         .series = {},
+                         .log_x = true,
+                         .log_y = false,
+                         .y_label = "cost / OPT"})}});
   }
 
   // --- E5 (Theorem 2.3.3): the exact value floor across spreads -----------
@@ -124,7 +154,13 @@ std::vector<BenchPreset> build_catalogue() {
          "max grows only logarithmically with the spread.",
          {sweep("E5: value-floor scheduler vs exact optimum across value "
                 "spreads (Z = 0.7 * total)",
-                plan)}});
+                plan,
+                PlotHint{.x = "spread",
+                         .y = {"ratio_mean", "ratio_max"},
+                         .series = {},
+                         .log_x = true,
+                         .log_y = false,
+                         .y_label = "cost / OPT"})}});
   }
 
   // --- E6 (Section 3.1, Dynkin): the classic 1/e rule ---------------------
@@ -149,10 +185,22 @@ std::vector<BenchPreset> build_catalogue() {
          "the observe_frac sweep is unimodal peaking at the 0.368 row.",
          {sweep("E6a: classic secretary success probability vs n (optimal "
                 "threshold)",
-                by_n),
+                by_n,
+                PlotHint{.x = "n",
+                         .y = {"objective_mean"},
+                         .series = {},
+                         .log_x = true,
+                         .log_y = false,
+                         .y_label = "success probability"}),
           sweep("E6b: success probability vs observation fraction (n=100) — "
                 "peaks near 1/e",
-                by_frac)}});
+                by_frac,
+                PlotHint{.x = "observe_frac",
+                         .y = {"objective_mean"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "success probability"})}});
   }
 
   // --- E7 (Theorem 3.1.1, monotone): Algorithm 1 across objectives --------
@@ -172,7 +220,13 @@ std::vector<BenchPreset> build_catalogue() {
          "moderately as k grows, never collapse.",
          {sweep("E7: Algorithm 1 (monotone submodular secretary), n=60, "
                 "reference = offline lazy greedy",
-                plan)}});
+                plan,
+                PlotHint{.x = "k",
+                         .y = {"ratio_mean"},
+                         .series = {"objective"},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "ratio vs offline greedy"})}});
   }
 
   // --- E8 (Theorem 3.1.1, non-monotone): Algorithm 2 on graph cuts --------
@@ -191,7 +245,13 @@ std::vector<BenchPreset> build_catalogue() {
          "full-stream ablation on benign instances).",
          {sweep("E8: Algorithm 2 on random graph cuts, exact OPT by "
                 "enumeration (shared via the reference cache)",
-                plan)}});
+                plan,
+                PlotHint{.x = "k",
+                         .y = {"ratio_mean"},
+                         .series = {"solver", "density"},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "ratio vs exact OPT"})}});
   }
 
   // --- E9 (Theorem 3.1.2): the matroid secretary --------------------------
@@ -218,10 +278,22 @@ std::vector<BenchPreset> build_catalogue() {
          "transversal); the l sweep falls no faster than ~1/l.",
          {sweep("E9a: Algorithm 3 across matroid classes (n=48, coverage "
                 "objective)",
-                classes),
+                classes,
+                PlotHint{.x = "matroid",
+                         .y = {"ratio_mean"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "competitive ratio"}),
           sweep("E9b: ratio vs number of simultaneous matroid constraints l "
                 "(same instances on every row)",
-                intersection)}});
+                intersection,
+                PlotHint{.x = "l",
+                         .y = {"ratio_mean"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "competitive ratio"})}});
   }
 
   // --- E10 (Theorem 3.1.3): knapsack constraints --------------------------
@@ -246,10 +318,22 @@ std::vector<BenchPreset> build_catalogue() {
          "adversaries.",
          {sweep("E10a: multi-knapsack submodular secretary vs l (weights "
                 "U[0.05,0.5], capacities 1)",
-                multi),
+                multi,
+                PlotHint{.x = "l",
+                         .y = {"ratio_mean", "m_feasible_ok"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "ratio vs offline greedy"}),
           sweep("E10b: single-knapsack coin-flip mixture (the paper's "
                 "hedge)",
-                single)}});
+                single,
+                PlotHint{.x = "capacity",
+                         .y = {"ratio_mean"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "competitive ratio"})}});
   }
 
   // --- E11 (Theorem 3.5.1): the subadditive secretary ---------------------
@@ -275,10 +359,22 @@ std::vector<BenchPreset> build_catalogue() {
          "many queries flat-line at value 1.",
          {sweep("E11a: subadditive mixture algorithm on hidden-good-set "
                 "instances (n = root^2, k = root)",
-                mixture),
+                mixture,
+                PlotHint{.x = "root",
+                         .y = {"ratio_mean"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "value / OPT"}),
           sweep("E11b: value-oracle attack on the hard function — random "
                 "queries learn nothing",
-                attack)}});
+                attack,
+                PlotHint{.x = "root",
+                         .y = {"m_found_opt"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "P[attack found OPT]"})}});
   }
 
   // --- E12 (Theorem 3.6.1): the bottleneck secretary ----------------------
@@ -294,7 +390,13 @@ std::vector<BenchPreset> build_catalogue() {
          "bottleneck (min-aggregate) secretary: P[hired the k best] vs k",
          "objective mean (the success probability) >= m:floor_exp2k on "
          "every row; m:min_over_opt stays a healthy constant fraction.",
-         {sweep("E12: bottleneck secretary (n=60, values 1..60)", plan)}});
+         {sweep("E12: bottleneck secretary (n=60, values 1..60)", plan,
+                PlotHint{.x = "k",
+                         .y = {"objective_mean", "m_floor_exp2k"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "P[hired the k best]"})}});
   }
 
   // --- E13 (Appendix .2): the exact DPs on agreeable instances ------------
@@ -322,10 +424,22 @@ std::vector<BenchPreset> build_catalogue() {
          "saturating in gap_budget.",
          {sweep("E13a: greedy vs exact DP optimum on agreeable instances "
                 "(1 processor, T=30)",
-                vs_dp),
+                vs_dp,
+                PlotHint{.x = "jobs",
+                         .y = {"ratio_max"},
+                         .series = {"alpha"},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "greedy / DP optimum"}),
           sweep("E13b: Theorem .2.1 frontier — max value vs gap budget "
                 "(same instance on every row)",
-                frontier)}});
+                frontier,
+                PlotHint{.x = "gap_budget",
+                         .y = {"objective_mean", "m_gaps_used"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "max value / gaps used"})}});
   }
 
   // --- E14 (Chapter 1): online processor hiring ---------------------------
@@ -342,7 +456,13 @@ std::vector<BenchPreset> build_catalogue() {
          "above hiring.naive when k is small relative to the pool.",
          {sweep("E14: online processor hiring (jobs = 2x processors, T=6, "
                 "reference = offline greedy, shared per trial)",
-                plan)}});
+                plan,
+                PlotHint{.x = "k",
+                         .y = {"ratio_mean"},
+                         .series = {"solver", "processors"},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "value / offline greedy"})}});
   }
 
   // --- E15 (Section 2.3 dual view): frontier consistency ------------------
@@ -362,7 +482,13 @@ std::vector<BenchPreset> build_catalogue() {
          "90% of the primal value at the primal's own energy.",
          {sweep("E15: primal/dual frontier consistency (n=16, p=2, T=14; "
                 "same instance on every row)",
-                plan)}});
+                plan,
+                PlotHint{.x = "zfrac",
+                         .y = {"m_primal_value", "m_dual_recovers"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "primal value / dual recovery"})}});
   }
 
   // --- E16 (prior-work substrate): online power-down ----------------------
@@ -384,7 +510,13 @@ std::vector<BenchPreset> build_catalogue() {
          "on short gaps, never-sleep on long gaps.",
          {sweep("E16: online power-down competitive ratios (cost / offline "
                 "optimum, alpha=2)",
-                plan)}});
+                plan,
+                PlotHint{.x = "dist",
+                         .y = {"ratio_mean"},
+                         .series = {"solver"},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "competitive ratio"})}});
   }
 
   // --- A1-A4: the ablations ------------------------------------------------
@@ -402,7 +534,13 @@ std::vector<BenchPreset> build_catalogue() {
          "pool (the ratio column is the fraction of evals lazy makes).",
          {sweep("A1: lazy vs plain greedy on weighted coverage (target = "
                 "90% of total coverage)",
-                plan)},
+                plan,
+                PlotHint{.x = "items",
+                         .y = {"m_plain_evals", "m_lazy_evals"},
+                         .series = {},
+                         .log_x = true,
+                         .log_y = false,
+                         .y_label = "oracle evaluations"})},
          0,
          true});
   }
@@ -420,7 +558,13 @@ std::vector<BenchPreset> build_catalogue() {
          "growing with size.",
          {sweep("A2: incremental matching oracle vs stateless recompute "
                 "(p=3, restart cost 2, plain greedy)",
-                plan)},
+                plan,
+                PlotHint{.x = "jobs",
+                         .y = {"m_speedup"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "stateless / incremental time"})},
          1,
          true});
   }
@@ -440,7 +584,13 @@ std::vector<BenchPreset> build_catalogue() {
          "threads.",
          {sweep("A3: parallel candidate evaluation (plain greedy sweep; "
                 "same instance on every row)",
-                plan)},
+                plan,
+                PlotHint{.x = "threads",
+                         .y = {"m_sweep_ms"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "candidate sweep wall ms"})},
          1,
          true});
   }
@@ -459,7 +609,13 @@ std::vector<BenchPreset> build_catalogue() {
          "~everything.",
          {sweep("A4: dominated-candidate pruning (n=20, p=3, T=24; "
                 "cost_model 0 restart, 1 market, 2 flat)",
-                plan)},
+                plan,
+                PlotHint{.x = "cost_model",
+                         .y = {"m_pool_before", "m_pool_after"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "candidate pool size"})},
          0,
          true});
   }
@@ -498,11 +654,35 @@ std::vector<BenchPreset> build_catalogue() {
          "objectives are bit-stable across runs (determinism check).",
          {sweep("P1: matching primitives (Hopcroft-Karp, incremental fill, "
                 "weighted fill)",
-                matching),
+                matching,
+                PlotHint{.x = "n",
+                         .y = {"wall_ms_mean"},
+                         .series = {"solver"},
+                         .log_x = true,
+                         .log_y = true,
+                         .y_label = "wall ms per trial"}),
           sweep("P2: coverage-oracle evaluation (200 evals per trial)",
-                oracle),
-          sweep("P2b: lazy greedy end-to-end", greedy),
-          sweep("P3: full greedy scheduler", sched)},
+                oracle,
+                PlotHint{.x = "n",
+                         .y = {"wall_ms_mean"},
+                         .series = {},
+                         .log_x = true,
+                         .log_y = false,
+                         .y_label = "wall ms per trial"}),
+          sweep("P2b: lazy greedy end-to-end", greedy,
+                PlotHint{.x = "n",
+                         .y = {"wall_ms_mean"},
+                         .series = {},
+                         .log_x = true,
+                         .log_y = false,
+                         .y_label = "wall ms per trial"}),
+          sweep("P3: full greedy scheduler", sched,
+                PlotHint{.x = "jobs",
+                         .y = {"wall_ms_mean"},
+                         .series = {},
+                         .log_x = false,
+                         .log_y = false,
+                         .y_label = "wall ms per trial"})},
          1,
          true});
   }
@@ -529,6 +709,134 @@ std::string preset_names_joined() {
   for (const auto& preset : bench_presets()) {
     if (!out.empty()) out += ", ";
     out += preset.name;
+  }
+  return out;
+}
+
+namespace {
+
+/// %g rendering for the catalogue document — 0.0078125 and 20000 both stay
+/// readable; the exact %.17g form is reserved for the CSV cells.
+std::string doc_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+bool is_algo_param(const SweepPlan& plan, const std::string& name) {
+  for (const auto& algo : plan.algo_params) {
+    if (algo == name) return true;
+  }
+  return false;
+}
+
+/// "jobs ∈ {3, 4, 5}; fixed alpha=2, eps=0.5 (algo)" — the grid column of
+/// the catalogue table.
+std::string plan_grid_text(const SweepPlan& plan) {
+  std::string out;
+  for (const auto& axis : plan.axes) {
+    if (!out.empty()) out += "; ";
+    out += axis.name + " ∈ {";
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      if (i) out += ", ";
+      out += doc_number(axis.values[i]);
+    }
+    out += "}";
+    if (is_algo_param(plan, axis.name)) out += " (algo)";
+  }
+  if (!plan.base_params.values().empty()) {
+    if (!out.empty()) out += "; ";
+    out += "fixed ";
+    bool first = true;
+    for (const auto& [name, value] : plan.base_params.values()) {
+      if (!first) out += ", ";
+      first = false;
+      out += name + "=" + doc_number(value);
+      if (is_algo_param(plan, name)) out += " (algo)";
+    }
+  }
+  return out.empty() ? std::string("—") : out;
+}
+
+/// "`ratio_mean`, `m_bound_2log2n` vs `jobs` by solver (log x)".
+std::string plot_hint_text(const PlotHint& hint) {
+  std::string out;
+  for (std::size_t i = 0; i < hint.y.size(); ++i) {
+    if (i) out += ", ";
+    out += "`" + hint.y[i] + "`";
+  }
+  out += " vs `" + hint.x + "`";
+  if (!hint.series.empty()) {
+    out += " by ";
+    for (std::size_t i = 0; i < hint.series.size(); ++i) {
+      if (i) out += ", ";
+      out += "`" + hint.series[i] + "`";
+    }
+  }
+  if (hint.log_x && hint.log_y) {
+    out += " (log x, log y)";
+  } else if (hint.log_x) {
+    out += " (log x)";
+  } else if (hint.log_y) {
+    out += " (log y)";
+  }
+  return out;
+}
+
+/// Markdown-table cell: pipes would split the cell, so escape them.
+std::string md_cell(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '|') out += "\\|";
+    else out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string preset_catalogue_markdown() {
+  std::string out;
+  out +=
+      "# Bench preset catalogue\n"
+      "\n"
+      "<!-- GENERATED FILE — do not edit by hand. The source of truth is\n"
+      "     src/engine/bench_presets.cpp; regenerate with\n"
+      "       ./build/powersched_sweep --list-presets --markdown > "
+      "docs/presets.md\n"
+      "     CI fails when this file drifts from the code. -->\n"
+      "\n"
+      "Every experiment is a preset: `powersched_sweep --preset <name>` "
+      "runs it,\n`--csv` writes its aggregated union-of-columns CSV (see "
+      "[csv-schema.md](csv-schema.md)),\nand `powersched_report --preset "
+      "<name> --csv <file>` renders the figures the\npreset declares below "
+      "(the *figure* column is the per-sweep `PlotHint`).\nParameters marked "
+      "*(algo)* tune the algorithm rather than the instance\ngenerator: "
+      "sweeping one replays identical instances across the axis.\n";
+  for (const auto& preset : bench_presets()) {
+    out += "\n## `" + preset.name + "` — " + preset.title + "\n\n";
+    out += "**Pass criterion:** " + preset.pass_criterion + "\n\n";
+    out += "**Defaults:** threads = ";
+    out += preset.default_threads == 0
+               ? std::string("hardware concurrency")
+               : std::to_string(preset.default_threads);
+    out += preset.timing ? "; wall-time columns on.\n" :
+                           "; wall-time columns off.\n";
+    out += "\n| sweep | solvers | grid | trials | seed | figure |\n";
+    out += "|---|---|---|---|---|---|\n";
+    for (const auto& preset_sweep : preset.sweeps) {
+      const SweepPlan& plan = preset_sweep.plan;
+      std::string solvers;
+      for (std::size_t i = 0; i < plan.solvers.size(); ++i) {
+        if (i) solvers += ", ";
+        solvers += "`" + plan.solvers[i] + "`";
+      }
+      out += "| " + md_cell(preset_sweep.caption) + " | " + solvers + " | " +
+             md_cell(plan_grid_text(plan)) + " | " +
+             std::to_string(plan.trials) + " | " + std::to_string(plan.seed) +
+             " | " + md_cell(plot_hint_text(preset_sweep.plot)) + " |\n";
+    }
   }
   return out;
 }
@@ -620,8 +928,10 @@ bool run_bench_preset(const BenchPreset& preset,
   }
   if (!options.csv_path.empty()) {
     if (!write_results_csv(all, options.csv_path, timing)) return false;
-    std::printf("\nwrote %zu aggregated row(s) to %s\n", all.size(),
-                options.csv_path.c_str());
+    // Progress/diagnostic chatter goes to stderr: stdout carries only the
+    // tables and the pass criterion, so redirected output stays clean.
+    std::fprintf(stderr, "wrote %zu aggregated row(s) to %s\n", all.size(),
+                 options.csv_path.c_str());
   }
   return tables_ok;
 }

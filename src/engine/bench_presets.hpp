@@ -16,10 +16,34 @@
 
 namespace ps::engine {
 
-/// One table of a preset: a sweep plan plus its caption.
+/// How one sweep's aggregated CSV rows render as a figure. Every name is a
+/// column of the sweep CSV schema (docs/csv-schema.md): parameter columns by
+/// bare name, core statistics as written (`ratio_mean`, `objective_mean`,
+/// ...), named metrics as `m_<name>`. The report pipeline
+/// (src/report/report_builder.cpp) resolves the hint against the CSV and
+/// fails loudly when a named column is absent.
+struct PlotHint {
+  /// X-axis column — the swept parameter.
+  std::string x;
+  /// Y-value columns; each becomes one series (per series split). A column
+  /// with a `<stem>_ci95` sibling in the CSV gets ci95 error bars.
+  std::vector<std::string> y;
+  /// Columns whose distinct row values split the rows into separate series
+  /// (typically {"solver"}, sometimes a second sweep axis); empty = one
+  /// series per y column. The series count — distinct value combinations
+  /// times y columns — must stay within report::kMaxPlotSeries (8).
+  std::vector<std::string> series;
+  bool log_x = false;
+  bool log_y = false;
+  /// Y-axis caption; empty derives one from the y columns.
+  std::string y_label;
+};
+
+/// One table of a preset: a sweep plan, its caption, and how it plots.
 struct PresetSweep {
   std::string caption;
   SweepPlan plan;
+  PlotHint plot;
 };
 
 struct BenchPreset {
@@ -46,6 +70,13 @@ const BenchPreset* find_bench_preset(const std::string& name);
 
 /// All preset names joined with ", " — for error messages and --list-presets.
 std::string preset_names_joined();
+
+/// The full catalogue rendered as a Markdown reference — name, title, pass
+/// criterion, and per-sweep solvers/axes/trials/seed/plot hints. This is
+/// what `powersched_sweep --list-presets --markdown` prints and what
+/// docs/presets.md is generated from (CI fails on drift), so the document
+/// can never fall behind the code.
+std::string preset_catalogue_markdown();
 
 struct PresetRunOptions {
   /// Trials per scenario; 0 keeps each sweep's own default.

@@ -1,0 +1,344 @@
+#include "report/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ps::report {
+namespace {
+
+// Categorical palette (fixed assignment order) and chart chrome, validated
+// for the light surface; identity is carried by color + legend, text always
+// wears ink colors, never the series color.
+const char* const kSeriesColors[kMaxPlotSeries] = {
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+    "#e87ba4", "#008300", "#4a3aa7", "#e34948"};
+constexpr const char* kSurface = "#fcfcfb";
+constexpr const char* kGrid = "#e1e0d9";
+constexpr const char* kAxis = "#c3c2b7";
+constexpr const char* kInkPrimary = "#0b0b0b";
+constexpr const char* kInkSecondary = "#52514e";
+constexpr const char* kInkMuted = "#898781";
+
+constexpr double kWidth = 720.0;
+constexpr double kPlotHeight = 300.0;
+constexpr double kMarginLeft = 64.0;
+constexpr double kMarginRight = 18.0;
+constexpr double kMarginTop = 40.0;
+constexpr double kXAxisBand = 44.0;  // tick labels + x-axis title
+constexpr double kLegendRowHeight = 20.0;
+
+/// Fixed-precision pixel coordinate — the byte-determinism anchor.
+std::string px(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+/// Tick-label rendering; %g keeps 0.0078125 and 20000 both readable.
+std::string tick_text(double value) {
+  if (value == 0.0) return "0";  // normalize -0
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch; break;
+    }
+  }
+  return out;
+}
+
+struct Scale {
+  bool log = false;
+  double lo = 0.0, hi = 1.0;    // domain (already log10'd when log)
+  double px0 = 0.0, px1 = 1.0;  // output pixel range
+  double map(double value) const {
+    const double v = log ? std::log10(value) : value;
+    return px0 + (v - lo) / (hi - lo) * (px1 - px0);
+  }
+};
+
+/// 1/2/5-progression step yielding roughly `target` ticks over `range`.
+double nice_step(double range, int target) {
+  const double raw = range / target;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw)));
+  const double normalized = raw / magnitude;
+  const double step = normalized < 1.5   ? 1.0
+                      : normalized < 3.5 ? 2.0
+                      : normalized < 7.5 ? 5.0
+                                         : 10.0;
+  return step * magnitude;
+}
+
+/// Expands [min,max] to nice bounds and returns the tick values.
+std::vector<double> linear_axis(double min, double max, double& lo,
+                                double& hi) {
+  if (min == max) {
+    const double pad = std::max(1.0, std::fabs(min) * 0.5);
+    min -= pad;
+    max += pad;
+  }
+  const double step = nice_step(max - min, 5);
+  const double k0 = std::floor(min / step);
+  const double k1 = std::ceil(max / step);
+  lo = k0 * step;
+  hi = k1 * step;
+  std::vector<double> ticks;
+  for (double k = k0; k <= k1 + 0.5; k += 1.0) ticks.push_back(k * step);
+  return ticks;
+}
+
+/// Decade bounds and decade ticks for a log10 axis over positive data.
+std::vector<double> log_axis(double min, double max, double& lo, double& hi) {
+  double k0 = std::floor(std::log10(min));
+  double k1 = std::ceil(std::log10(max));
+  if (k0 == k1) k1 += 1.0;
+  lo = k0;
+  hi = k1;
+  std::vector<double> ticks;
+  for (double k = k0; k <= k1 + 0.5; k += 1.0)
+    ticks.push_back(std::pow(10.0, k));
+  return ticks;
+}
+
+struct Point {
+  double x, y, err;
+};
+
+/// The drawable subset of a series: finite, and positive on log axes.
+std::vector<Point> drawable_points(const PlotSeries& series, bool log_x,
+                                   bool log_y) {
+  std::vector<Point> out;
+  for (std::size_t i = 0; i < series.xs.size() && i < series.ys.size(); ++i) {
+    const double x = series.xs[i];
+    const double y = series.ys[i];
+    const double e = i < series.err.size() ? series.err[i] : 0.0;
+    if (!std::isfinite(x) || !std::isfinite(y)) continue;
+    if (log_x && x <= 0.0) continue;
+    if (log_y && y <= 0.0) continue;
+    out.push_back({x, y, std::isfinite(e) && e > 0.0 ? e : 0.0});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Point& a, const Point& b) { return a.x < b.x; });
+  return out;
+}
+
+/// Estimated pixel width of a 12px legend label — only used for row
+/// wrapping, so a rough monospace-ish estimate is fine (and deterministic).
+double legend_entry_width(const std::string& label) {
+  return 34.0 + 7.0 * static_cast<double>(label.size()) + 14.0;
+}
+
+}  // namespace
+
+std::string render_svg_plot(const PlotSpec& spec) {
+  if (spec.series.empty() || spec.series.size() > kMaxPlotSeries) {
+    std::fprintf(stderr,
+                 "svg: plot '%s' has %zu series (supported: 1..%zu; the "
+                 "palette is never cycled — split the figure instead)\n",
+                 spec.title.c_str(), spec.series.size(), kMaxPlotSeries);
+    return std::string();
+  }
+
+  // Collect drawable points per series; empty series drop out entirely.
+  std::vector<std::vector<Point>> points;
+  std::vector<std::size_t> kept;  // original index -> palette slot
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    auto pts = drawable_points(spec.series[s], spec.log_x, spec.log_y);
+    if (pts.empty()) continue;
+    points.push_back(std::move(pts));
+    kept.push_back(s);
+  }
+
+  // Data ranges (error bars included on linear y; on log y the bar is
+  // clamped at draw time instead, so a bar crossing zero cannot wreck the
+  // axis).
+  double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0;
+  bool first = true;
+  for (const auto& series : points) {
+    for (const Point& p : series) {
+      const double y_lo = spec.log_y ? p.y : p.y - p.err;
+      const double y_hi = spec.log_y ? p.y : p.y + p.err;
+      if (first) {
+        min_x = max_x = p.x;
+        min_y = y_lo;
+        max_y = y_hi;
+        first = false;
+      } else {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, y_lo);
+        max_y = std::max(max_y, y_hi);
+      }
+    }
+  }
+
+  // Layout: title band, plot box, x-axis band, then the legend rows (only
+  // with >= 2 drawn series — a single series is named by the title).
+  const double x0 = kMarginLeft, x1 = kWidth - kMarginRight;
+  const double y0 = kMarginTop, y1 = kMarginTop + kPlotHeight;
+  std::size_t legend_rows = 0;
+  if (points.size() >= 2) {
+    legend_rows = 1;
+    double cursor = x0;
+    for (std::size_t s : kept) {
+      const double w = legend_entry_width(spec.series[s].label);
+      if (cursor + w > x1 && cursor > x0) {
+        ++legend_rows;
+        cursor = x0;
+      }
+      cursor += w;
+    }
+  }
+  const double legend_top = y1 + kXAxisBand;
+  const double height =
+      legend_top + static_cast<double>(legend_rows) * kLegendRowHeight + 6.0;
+
+  std::string svg;
+  svg += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" + px(kWidth) +
+         "\" height=\"" + px(height) + "\" viewBox=\"0 0 " + px(kWidth) +
+         " " + px(height) +
+         "\" font-family=\"system-ui, sans-serif\" role=\"img\">\n";
+  svg += "<rect width=\"" + px(kWidth) + "\" height=\"" + px(height) +
+         "\" fill=\"" + kSurface + "\"/>\n";
+  svg += "<text x=\"8\" y=\"22\" font-size=\"13\" font-weight=\"600\" "
+         "fill=\"" + std::string(kInkPrimary) + "\">" +
+         xml_escape(spec.title) + "</text>\n";
+
+  if (points.empty()) {
+    svg += "<text x=\"" + px((x0 + x1) / 2.0) + "\" y=\"" +
+           px((y0 + y1) / 2.0) +
+           "\" font-size=\"12\" text-anchor=\"middle\" fill=\"" +
+           std::string(kInkMuted) + "\">no plottable data</text>\n</svg>\n";
+    return svg;
+  }
+
+  // Axes and ticks.
+  Scale sx, sy;
+  sx.log = spec.log_x;
+  sy.log = spec.log_y;
+  const std::vector<double> x_ticks =
+      spec.log_x ? log_axis(min_x, max_x, sx.lo, sx.hi)
+                 : linear_axis(min_x, max_x, sx.lo, sx.hi);
+  const std::vector<double> y_ticks =
+      spec.log_y ? log_axis(min_y, max_y, sy.lo, sy.hi)
+                 : linear_axis(min_y, max_y, sy.lo, sy.hi);
+  sx.px0 = x0;
+  sx.px1 = x1;
+  sy.px0 = y1;  // y grows downward in SVG
+  sy.px1 = y0;
+
+  // Gridlines + tick labels (recessive chrome: hairline grid, muted ink).
+  for (double tick : y_ticks) {
+    const double y = sy.map(tick);
+    svg += "<line x1=\"" + px(x0) + "\" y1=\"" + px(y) + "\" x2=\"" + px(x1) +
+           "\" y2=\"" + px(y) + "\" stroke=\"" + kGrid + "\"/>\n";
+    svg += "<text x=\"" + px(x0 - 7.0) + "\" y=\"" + px(y + 3.5) +
+           "\" font-size=\"11\" text-anchor=\"end\" fill=\"" +
+           std::string(kInkMuted) + "\">" + tick_text(tick) + "</text>\n";
+  }
+  for (double tick : x_ticks) {
+    const double x = sx.map(tick);
+    svg += "<line x1=\"" + px(x) + "\" y1=\"" + px(y0) + "\" x2=\"" + px(x) +
+           "\" y2=\"" + px(y1) + "\" stroke=\"" + kGrid + "\"/>\n";
+    svg += "<text x=\"" + px(x) + "\" y=\"" + px(y1 + 16.0) +
+           "\" font-size=\"11\" text-anchor=\"middle\" fill=\"" +
+           std::string(kInkMuted) + "\">" + tick_text(tick) + "</text>\n";
+  }
+  svg += "<line x1=\"" + px(x0) + "\" y1=\"" + px(y1) + "\" x2=\"" + px(x1) +
+         "\" y2=\"" + px(y1) + "\" stroke=\"" + kAxis + "\"/>\n";
+  svg += "<line x1=\"" + px(x0) + "\" y1=\"" + px(y0) + "\" x2=\"" + px(x0) +
+         "\" y2=\"" + px(y1) + "\" stroke=\"" + kAxis + "\"/>\n";
+
+  // Axis titles.
+  if (!spec.x_label.empty()) {
+    svg += "<text x=\"" + px((x0 + x1) / 2.0) + "\" y=\"" + px(y1 + 34.0) +
+           "\" font-size=\"12\" text-anchor=\"middle\" fill=\"" +
+           std::string(kInkSecondary) + "\">" + xml_escape(spec.x_label) +
+           (spec.log_x ? " (log scale)" : "") + "</text>\n";
+  }
+  if (!spec.y_label.empty()) {
+    const double cy = (y0 + y1) / 2.0;
+    svg += "<text x=\"14\" y=\"" + px(cy) +
+           "\" font-size=\"12\" text-anchor=\"middle\" fill=\"" +
+           std::string(kInkSecondary) + "\" transform=\"rotate(-90 14 " +
+           px(cy) + ")\">" + xml_escape(spec.y_label) +
+           (spec.log_y ? " (log scale)" : "") + "</text>\n";
+  }
+
+  // Series marks: error bars under the line, line under the markers; the
+  // markers carry a 1px surface ring so overlapping points stay separable.
+  for (std::size_t s = 0; s < points.size(); ++s) {
+    const char* color = kSeriesColors[s];
+    for (const Point& p : points[s]) {
+      if (p.err <= 0.0) continue;
+      const double x = sx.map(p.x);
+      double bar_lo = p.y - p.err, bar_hi = p.y + p.err;
+      if (spec.log_y && bar_lo <= 0.0) bar_lo = 0.0;  // clamp below
+      double ya = spec.log_y && bar_lo == 0.0 ? y1 : sy.map(bar_lo);
+      double yb = sy.map(bar_hi);
+      ya = std::min(std::max(ya, y0), y1);
+      yb = std::min(std::max(yb, y0), y1);
+      svg += "<line x1=\"" + px(x) + "\" y1=\"" + px(ya) + "\" x2=\"" + px(x) +
+             "\" y2=\"" + px(yb) + "\" stroke=\"" + color + "\"/>\n";
+      for (double cap : {ya, yb}) {
+        svg += "<line x1=\"" + px(x - 4.0) + "\" y1=\"" + px(cap) +
+               "\" x2=\"" + px(x + 4.0) + "\" y2=\"" + px(cap) +
+               "\" stroke=\"" + color + "\"/>\n";
+      }
+    }
+    if (points[s].size() >= 2) {
+      svg += "<polyline fill=\"none\" stroke=\"" + std::string(color) +
+             "\" stroke-width=\"2\" points=\"";
+      for (std::size_t i = 0; i < points[s].size(); ++i) {
+        if (i) svg += ' ';
+        svg += px(sx.map(points[s][i].x)) + "," + px(sy.map(points[s][i].y));
+      }
+      svg += "\"/>\n";
+    }
+    for (const Point& p : points[s]) {
+      svg += "<circle cx=\"" + px(sx.map(p.x)) + "\" cy=\"" +
+             px(sy.map(p.y)) + "\" r=\"4\" fill=\"" + color + "\" stroke=\"" +
+             kSurface + "\"/>\n";
+    }
+  }
+
+  // Legend (always present for >= 2 drawn series; never for one).
+  if (legend_rows > 0) {
+    double cx = x0, cy = legend_top + 12.0;
+    for (std::size_t s = 0; s < points.size(); ++s) {
+      const std::string& label = spec.series[kept[s]].label;
+      const double w = legend_entry_width(label);
+      if (cx + w > x1 && cx > x0) {
+        cx = x0;
+        cy += kLegendRowHeight;
+      }
+      const char* color = kSeriesColors[s];
+      svg += "<line x1=\"" + px(cx) + "\" y1=\"" + px(cy - 4.0) + "\" x2=\"" +
+             px(cx + 22.0) + "\" y2=\"" + px(cy - 4.0) + "\" stroke=\"" +
+             color + "\" stroke-width=\"2\"/>\n";
+      svg += "<circle cx=\"" + px(cx + 11.0) + "\" cy=\"" + px(cy - 4.0) +
+             "\" r=\"4\" fill=\"" + std::string(color) + "\" stroke=\"" +
+             kSurface + "\"/>\n";
+      svg += "<text x=\"" + px(cx + 28.0) + "\" y=\"" + px(cy) +
+             "\" font-size=\"12\" fill=\"" + std::string(kInkSecondary) +
+             "\">" + xml_escape(label) + "</text>\n";
+      cx += w;
+    }
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace ps::report

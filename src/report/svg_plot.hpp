@@ -1,0 +1,44 @@
+// Deterministic SVG figure renderer for the report pipeline: line/scatter
+// series with ci95 error bars, linear or log10 axes, gridlines, and a
+// legend, emitted as a pure function of the spec — no timestamps, no
+// randomness, fixed number formatting — so two renders of the same data are
+// byte-identical (the property CI diffs sharded vs unsharded reports on).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ps::report {
+
+/// One plotted series: points in draw order (the renderer stable-sorts by x
+/// so polylines never double back), plus optional symmetric error bars.
+struct PlotSeries {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  /// Empty, or one ci95 half-width per point (0 = no bar at that point).
+  std::vector<double> err;
+};
+
+struct PlotSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false;
+  bool log_y = false;
+  std::vector<PlotSeries> series;
+};
+
+/// The fixed categorical series palette (8 slots, assigned in order, never
+/// cycled) — exposed so tests and callers can bound series counts.
+constexpr std::size_t kMaxPlotSeries = 8;
+
+/// Renders the figure as a standalone SVG document. Non-finite points, and
+/// non-positive values on a log axis, are dropped deterministically; a
+/// series left with no points is omitted from the plot and legend. Returns
+/// an empty string — after a stderr diagnostic — when the spec has more
+/// than kMaxPlotSeries series (the palette is never cycled) or no series
+/// at all; callers must treat that as an error.
+std::string render_svg_plot(const PlotSpec& spec);
+
+}  // namespace ps::report

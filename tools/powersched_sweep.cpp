@@ -17,7 +17,10 @@
 //
 // Options:
 //   --list                 print the registered solver names and exit
-//   --list-presets         print the bench preset catalogue and exit
+//   --list-presets         print the bench preset catalogue and exit;
+//                          with --markdown, emit the full Markdown preset
+//                          reference (what docs/presets.md is generated
+//                          from — CI fails when that file drifts)
 //   --preset NAME          run a bench preset (e1..e16, a1..a4, p_micro);
 //                          --trials/--seed/--threads/--csv/--timing override
 //                          the preset's defaults
@@ -48,7 +51,10 @@
 //                          unsharded process would have produced
 //
 // Output statistics are bit-identical for any --threads value; trials are
-// seeded per (parameters, trial index), never per worker.
+// seeded per (parameters, trial index), never per worker. stdout carries
+// only the requested output (tables, listings, generated docs); progress
+// and diagnostics go to stderr, so `--list-presets --markdown >
+// docs/presets.md` and friends stay clean.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,7 +79,7 @@ void usage(const char* argv0) {
                "[--threads K] [--csv path] [--timing] [--no-cache]\n"
                "       %s ... [--shard I/N] [--cache-file path]\n"
                "       %s ... --merge cache1,cache2,... [--csv path]\n"
-               "       %s --list | --list-presets\n",
+               "       %s --list | --list-presets [--markdown]\n",
                argv0, argv0, argv0, argv0, argv0);
 }
 
@@ -147,6 +153,9 @@ int main(int argc, char** argv) {
   bool trials_given = false;
   bool seed_given = false;
   bool plan_flags_given = false;  // --solvers/--grid/--param/--algo-param
+  bool list_solvers = false;
+  bool list_presets = false;
+  bool markdown = false;
 
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -160,14 +169,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--list") == 0) {
-      const SolverRegistry registry = SolverRegistry::with_builtins();
-      for (const auto& name : registry.names()) std::puts(name.c_str());
-      return 0;
+      list_solvers = true;
     } else if (std::strcmp(arg, "--list-presets") == 0) {
-      for (const auto& preset : bench_presets()) {
-        std::printf("%-8s %s\n", preset.name.c_str(), preset.title.c_str());
-      }
-      return 0;
+      list_presets = true;
+    } else if (std::strcmp(arg, "--markdown") == 0) {
+      markdown = true;
     } else if (std::strcmp(arg, "--preset") == 0) {
       preset_name = next_value(i);
     } else if (std::strcmp(arg, "--solvers") == 0) {
@@ -244,6 +250,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (markdown && !list_presets) {
+    std::fprintf(stderr, "%s: --markdown requires --list-presets\n", argv[0]);
+    return 2;
+  }
+
+  // The listing modes own stdout: nothing else is printed there, so the
+  // output is pipeable into generated docs verbatim.
+  if (list_solvers) {
+    const SolverRegistry registry = SolverRegistry::with_builtins();
+    for (const auto& name : registry.names()) std::puts(name.c_str());
+    return 0;
+  }
+  if (list_presets) {
+    if (markdown) {
+      std::fputs(preset_catalogue_markdown().c_str(), stdout);
+    } else {
+      for (const auto& preset : bench_presets()) {
+        std::printf("%-8s %s\n", preset.name.c_str(), preset.title.c_str());
+      }
+    }
+    return 0;
+  }
+
   if (!merge_files.empty() && shard_count != 1) {
     std::fprintf(stderr,
                  "%s: --merge assembles the full plan and cannot be combined "
@@ -286,14 +315,16 @@ int main(int argc, char** argv) {
     run_options.shard_count = shard_count;
     run_options.cache_file = cache_file;
     run_options.merge_files = merge_files;
-    std::printf("preset %s: %s", preset->name.c_str(), preset->title.c_str());
+    std::fprintf(stderr, "preset %s: %s", preset->name.c_str(),
+                 preset->title.c_str());
     if (shard_count > 1) {
-      std::printf("  [shard %zu/%zu]", shard_index, shard_count);
+      std::fprintf(stderr, "  [shard %zu/%zu]", shard_index, shard_count);
     }
     if (!merge_files.empty()) {
-      std::printf("  [merging %zu cache file(s)]", merge_files.size());
+      std::fprintf(stderr, "  [merging %zu cache file(s)]",
+                   merge_files.size());
     }
-    std::printf("\n\n");
+    std::fprintf(stderr, "\n");
     return run_bench_preset(*preset, run_options) ? 0 : 1;
   }
 
@@ -331,19 +362,20 @@ int main(int argc, char** argv) {
 
   std::vector<ScenarioResult> results;
   if (merge_mode) {
-    std::printf("merge: assembling %zu scenario(s) from %zu cache file(s)\n",
-                scenarios.size(), merge_files.size());
+    std::fprintf(stderr,
+                 "merge: assembling %zu scenario(s) from %zu cache file(s)\n",
+                 scenarios.size(), merge_files.size());
     if (!merge_scenario_results(scenarios, file_cache, results)) return 1;
   } else {
     const std::string threads_text =
         options.num_threads == 0 ? "hardware"
                                  : std::to_string(options.num_threads);
-    std::printf("sweep: %zu scenario(s) x %d trial(s), %s threads",
-                scenarios.size(), plan.trials, threads_text.c_str());
+    std::fprintf(stderr, "sweep: %zu scenario(s) x %d trial(s), %s threads",
+                 scenarios.size(), plan.trials, threads_text.c_str());
     if (shard_count > 1) {
-      std::printf("  [shard %zu/%zu]", shard_index, shard_count);
+      std::fprintf(stderr, "  [shard %zu/%zu]", shard_index, shard_count);
     }
-    std::printf("\n");
+    std::fprintf(stderr, "\n");
     const SweepRunner runner(options);
     results = runner.run(registry, scenarios);
   }
@@ -362,8 +394,8 @@ int main(int argc, char** argv) {
                    csv_path.c_str());
       return 1;
     }
-    std::printf("\nwrote %zu aggregated row(s) to %s\n", results.size(),
-                csv_path.c_str());
+    std::fprintf(stderr, "wrote %zu aggregated row(s) to %s\n",
+                 results.size(), csv_path.c_str());
   }
   if (!tables_ok) {
     std::fprintf(stderr, "%s: FAILED to write one or more PS_CSV_DIR table "
