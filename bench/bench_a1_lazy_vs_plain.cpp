@@ -3,6 +3,10 @@
 // tie-breaking; m:same_output checks it); the lazy path evaluates a
 // small, slowly-growing fraction of the plain path's oracle calls as the
 // candidate pool grows (the ratio column = lazy/plain evals). Preset "a1".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset a1` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("a1"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("a1", argc, argv);
+}

@@ -2,6 +2,10 @@
 // query) vs the stateless SetFunction recompute inside the Theorem 2.2.1
 // scheduler. Outputs are identical (ratio = 1); wall time separates
 // sharply as the instance grows (m:speedup). Preset "a2".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset a2` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("a2"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("a2", argc, argv);
+}

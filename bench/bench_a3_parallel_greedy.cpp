@@ -4,6 +4,10 @@
 // threads axis is an algo param, so every row runs the same instance).
 // The runner itself is pinned to one worker so m:sweep_ms is clean.
 // Preset "a3".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset a3` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("a3"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("a3", argc, argv);
+}

@@ -4,6 +4,10 @@
 // length-increasing restart cost nothing is. Output costs are unchanged
 // (ratio = cost_after/cost_before <= 1); greedy time drops with the pool.
 // Preset "a4".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset a4` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("a4"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("a4", argc, argv);
+}

@@ -3,6 +3,10 @@
 // reduction with ratios against the offline density-greedy comparator
 // (m:feasible_ok re-checks every chosen set against all l originals);
 // the second sweep is the single-knapsack coin-flip mixture. Preset "e10".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e10` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e10"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e10", argc, argv);
+}

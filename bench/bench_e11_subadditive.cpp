@@ -4,6 +4,10 @@
 // c*sqrt(n), not worse. Sweep (b): the hardness engine — random
 // value-oracle attacks with polynomially many queries flat-line at value
 // 1 while the hidden optimum grows (m:found_opt stays 0). Preset "e11".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e11` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e11"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e11", argc, argv);
+}

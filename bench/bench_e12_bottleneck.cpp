@@ -4,6 +4,10 @@
 // best, making the min objective O(k)-competitive. objective mean =
 // P[hired the k best]; m:min_given_k aggregates only over trials that
 // hired k (a conditional named metric). Preset "e12".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e12` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e12"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e12", argc, argv);
+}

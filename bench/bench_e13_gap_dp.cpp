@@ -4,6 +4,10 @@
 // comparison is against TRUE optimum at sizes brute force cannot reach.
 // Sweep (b): the prize-collecting gap-budget DP's value/gaps frontier
 // (gap_budget is an algo param: one instance, whole frontier). Preset "e13".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e13` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e13"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e13", argc, argv);
+}

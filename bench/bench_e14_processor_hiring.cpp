@@ -4,6 +4,10 @@
 // submodular, so Algorithm 1 applies and is constant-competitive. The
 // sweep compares against the offline greedy (reference-cached per trial,
 // shared with the first-k naive baseline). Preset "e14".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e14` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e14"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e14", argc, argv);
+}

@@ -5,6 +5,10 @@
 // the same instance (zfrac is an algo param) the two frontiers must be
 // consistent: primal(Z).energy fed back as the dual's budget recovers
 // value >= ~Z (m:dual_recovers). Preset "e15".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e15` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e15"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e15", argc, argv);
+}

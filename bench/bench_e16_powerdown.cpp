@@ -4,6 +4,10 @@
 // distributions, plus the adversarial gap that realizes both classic
 // constants exactly. The engine's ratio accumulator (policy cost /
 // offline optimum) is exactly the competitive ratio. Preset "e16".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e16` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e16"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e16", argc, argv);
+}

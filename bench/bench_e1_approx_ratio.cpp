@@ -6,6 +6,10 @@
 //
 // Expected shape: mean ratio well under the bound, growing (at most)
 // gently with n; always-on and wake-per-job ratios visibly worse.
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e1` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e1"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e1", argc, argv);
+}

@@ -6,6 +6,10 @@
 //
 // Expected shape: ratio (cost/B) grows by a bounded additive step per row
 // and stays below m:bound_2log2inveps; m:utility_frac >= 1-eps.
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e2` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e2"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e2", argc, argv);
+}

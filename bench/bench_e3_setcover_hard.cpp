@@ -4,6 +4,10 @@
 // sets). Two sweeps (preset "e3"): random Set-Cover-derived scheduling
 // instances vs exact cover OPT (ratios stay below H_n), and the
 // adversarial family through the full pipeline (ratio ~ k/2 = Theta(log n)).
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e3` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e3"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e3", argc, argv);
+}

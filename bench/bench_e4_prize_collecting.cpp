@@ -7,6 +7,10 @@
 //
 // Expected shape: m:value_floor_ok = 1 per row; ratio (cost/B) grows
 // slowly (log) as eps shrinks and never exceeds m:bound.
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e4` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e4"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e4", argc, argv);
+}

@@ -5,6 +5,10 @@
 //
 // Expected shape: infeasible = 0 everywhere (the floor is always met);
 // ratio max degrades only logarithmically as the spread grows.
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e5` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e5"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e5", argc, argv);
+}

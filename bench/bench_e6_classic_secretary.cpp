@@ -5,6 +5,10 @@
 // to 1/e = 0.3679 — and vs the observation fraction at n=100 — peaks near
 // 1/e (observe_frac is an algo param, so every row replays the same
 // arrival orders).
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e6` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e6"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e6", argc, argv);
+}

@@ -4,6 +4,10 @@
 // The proof guarantees expected value >= f(R)*(1-1/e)/7e ~ f(R)/30 in the
 // worst case; measured ratios sit far above that floor and degrade
 // gracefully with k. Preset "e7".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e7` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e7"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e7", argc, argv);
+}

@@ -3,6 +3,10 @@
 // the ablation). The proof floor is 1/8e^2 ~ 0.0169; the half-split is
 // ablated against running Algorithm 1 directly on the full stream
 // (solver "secretary.nonmonotone_full"). Preset "e8".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e8` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e8"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e8", argc, argv);
+}

@@ -4,6 +4,10 @@
 // like 1/log^2 r). Sweep (b): ratio vs the number of simultaneous matroid
 // constraints l (an algo param: every l sees the same function, matroids,
 // and order; the bound degrades like 1/l). Preset "e9".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset e9` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("e9"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("e9", argc, argv);
+}

@@ -3,6 +3,10 @@
 // coverage-oracle evaluation, and the full greedy scheduler — as engine
 // micro-sweeps (the runner's wall clock provides the timing; objectives
 // double as determinism checks). Preset "p_micro".
-#include "engine/bench_presets.hpp"
+// Deprecation shim: `powersched sweep --preset p_micro` is the front
+// door; extra argv (e.g. --trials 2 --csv out.csv) forwards to it.
+#include "cli/powersched_cli.hpp"
 
-int main() { return ps::engine::run_preset_main("p_micro"); }
+int main(int argc, char** argv) {
+  return ps::cli::preset_shim_main("p_micro", argc, argv);
+}

@@ -1,0 +1,962 @@
+#include "cli/powersched_cli.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/bench_presets.hpp"
+#include "engine/registry.hpp"
+#include "engine/result_sink.hpp"
+#include "engine/scenario.hpp"
+#include "engine/session.hpp"
+#include "report/csv_table.hpp"
+#include "report/report_builder.hpp"
+#include "util/status.hpp"
+
+namespace ps::cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Command + option declarations: the single source the parser, the usage
+// strings, `powersched help`, and the generated docs/cli.md all read from.
+
+struct OptionSpec {
+  const char* name;        // "--csv"
+  const char* value_name;  // "PATH"; nullptr = boolean flag
+  const char* help;
+  bool hidden = false;     // legacy alias: parsed, but undocumented
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  /// Longer description for help/docs (one paragraph, may be "").
+  const char* description;
+  std::vector<const char*> synopsis;  // lines after "usage: powersched "
+  std::vector<OptionSpec> options;
+  const char* positionals_name = nullptr;  // e.g. "CACHE-FILE..."
+  const char* positionals_help = nullptr;
+};
+
+// Options shared verbatim between `sweep` and `merge` (one parser, one
+// document) — the plan-identity and output surface.
+#define PS_PLAN_OPTIONS                                                      \
+  {"--preset", "NAME",                                                       \
+   "bench preset to run (e1..e16, a1..a4, p_micro); mutually exclusive "     \
+   "with the ad-hoc plan flags"},                                            \
+  {"--solvers", "A,B,C", "ad-hoc plan: registered solver keys to sweep"},    \
+  {"--grid", "NAME=V1,V2,...",                                               \
+   "ad-hoc plan: add a swept parameter axis (repeatable)"},                  \
+  {"--param", "NAME=VALUE",                                                  \
+   "ad-hoc plan: fix a parameter for every scenario (repeatable)"},          \
+  {"--algo-param", "NAME",                                                   \
+   "mark a parameter as algorithm-only: excluded from the instance-stream "  \
+   "seed, so sweeping it replays identical instances (repeatable)"},         \
+  {"--trials", "N", "trials per scenario (0 < N; default: the plan's own)"}, \
+  {"--seed", "S", "base seed (default: the plan's own)"}
+
+#define PS_OUTPUT_OPTIONS                                                   \
+  {"--csv", "PATH", "write the aggregated union-of-columns results CSV"},   \
+  {"--report", "DIR",                                                       \
+   "also render the preset's Markdown + SVG figure report into DIR "        \
+   "(byte-identical to `powersched report` over the --csv file)"},          \
+  {"--timing", nullptr,                                                     \
+   "include the (non-deterministic) wall-time columns"}
+
+const std::vector<CommandSpec>& commands() {
+  static const std::vector<CommandSpec> specs = {
+      {"sweep",
+       "run a bench preset or an ad-hoc solver sweep",
+       "Runs every scenario of the selected plan — a preset from the "
+       "catalogue or an ad-hoc solvers × grid sweep — fanned across a "
+       "thread pool, and streams the aggregated results into the "
+       "configured sinks (tables on stdout, CSV, cache file, figure "
+       "report). All emitted statistics except wall time are bit-identical "
+       "for any --threads value, and a --shard/--cache-file run merges "
+       "back into the unsharded output byte-for-byte (see `merge`).",
+       {"sweep --preset NAME [--trials N] [--seed S] [--threads K] "
+        "[--csv PATH] [--report DIR] [--timing] [--no-cache]",
+        "sweep --solvers A,B,C [--grid NAME=V1,V2]... [--param NAME=V]... "
+        "[--algo-param NAME]... [common options]",
+        "sweep ... [--shard I/N] [--cache-file PATH]"},
+       {PS_PLAN_OPTIONS,
+        {"--threads", "K",
+         "worker threads; 0 = hardware concurrency, 1 = serial (default: "
+         "the preset's own, or 0)"},
+        PS_OUTPUT_OPTIONS,
+        {"--no-cache", nullptr,
+         "disable the per-scenario result cache for preset runs"},
+        {"--shard", "I/N",
+         "run only shard I of N (0-based) of the expanded scenario grid — "
+         "round-robin partition, union of shards = the full plan"},
+        {"--cache-file", "PATH",
+         "persistent scenario cache: load before the run (skipping "
+         "already-computed scenarios), save after (write-to-temp + rename)"},
+        // Legacy powersched_sweep aliases; the dedicated commands are the
+        // documented surface.
+        {"--merge", "F1,F2,...", "deprecated: use `powersched merge`",
+         /*hidden=*/true},
+        {"--list", nullptr, "deprecated: use `powersched list-solvers`",
+         /*hidden=*/true},
+        {"--list-presets", nullptr,
+         "deprecated: use `powersched list-presets`", /*hidden=*/true},
+        {"--markdown", nullptr, "deprecated: use `powersched list-presets "
+         "--markdown`", /*hidden=*/true}}},
+
+      {"merge",
+       "assemble per-shard cache files into the full plan's results",
+       "Runs no trials: loads the named per-shard scenario cache files, "
+       "assembles the full plan from them, and emits the byte-identical "
+       "tables/CSV/report a single unsharded `sweep` would have produced. "
+       "The plan-identity flags (--preset or the ad-hoc plan, --trials, "
+       "--seed) must match the sharded runs, since they are part of the "
+       "scenario cache key. Fails (exit 1) when the files do not cover the "
+       "plan. --cache-file additionally persists the merged union.",
+       {"merge --preset NAME [--trials N] [--seed S] CACHE-FILE... "
+        "[--csv PATH] [--report DIR]",
+        "merge --solvers A,B,C [plan flags]... --inputs F1,F2,... "
+        "[--csv PATH]"},
+       {PS_PLAN_OPTIONS,
+        {"--inputs", "F1,F2,...",
+         "the per-shard cache files (alternative to positionals)"},
+        PS_OUTPUT_OPTIONS,
+        {"--cache-file", "PATH", "also save the merged cache union to PATH"}},
+       "CACHE-FILE...",
+       "per-shard scenario cache files to merge"},
+
+      {"report",
+       "render a preset's aggregated CSV into Markdown + SVG figures",
+       "The figure-reproduction step: draws each sweep of the preset the "
+       "way its PlotHint declares, embedding one deterministic SVG per "
+       "sweep in a Markdown page under --out. The output is a pure "
+       "function of the CSV bytes, so a `merge`d multi-shard CSV renders "
+       "byte-identically to an unsharded one.",
+       {"report --preset NAME (--csv PATH | --csv-dir DIR) [--out DIR]",
+        "report --all --csv-dir DIR [--out DIR]"},
+       {{"--preset", "NAME", "preset whose CSV to render"},
+        {"--csv", "PATH", "the preset's aggregated CSV"},
+        {"--csv-dir", "DIR", "instead of --csv: read DIR/<preset>.csv"},
+        {"--all", nullptr,
+         "render every preset whose CSV exists in --csv-dir"},
+        {"--out", "DIR", "output directory (default docs/reports)"}}},
+
+      {"list-presets",
+       "print the bench preset catalogue",
+       "One line per preset, or with --markdown the full generated preset "
+       "reference (the exact content of docs/presets.md; CI fails when "
+       "that file drifts from the code).",
+       {"list-presets [--markdown]"},
+       {{"--markdown", nullptr,
+         "emit the full Markdown preset reference (docs/presets.md)"}}},
+
+      {"list-solvers",
+       "print the registered solver keys",
+       "All solver adapters SolverRegistry::with_builtins() registers, one "
+       "key per line.",
+       {"list-solvers"},
+       {}},
+
+      {"help",
+       "show help for a command",
+       "Without arguments, the command overview. With a command name, that "
+       "command's options. With --markdown, the full CLI reference (the "
+       "exact content of docs/cli.md; CI fails when that file drifts from "
+       "the code).",
+       {"help [COMMAND]", "help --markdown"},
+       {{"--markdown", nullptr,
+         "emit the full Markdown CLI reference (docs/cli.md)"}},
+       "[COMMAND]",
+       "command to describe"},
+  };
+  return specs;
+}
+
+#undef PS_PLAN_OPTIONS
+#undef PS_OUTPUT_OPTIONS
+
+const CommandSpec* find_command(const std::string& name) {
+  for (const auto& spec : commands()) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// The one option parser every command shares.
+
+struct ParsedArgs {
+  std::map<std::string, std::vector<std::string>> options;
+  std::vector<std::string> positionals;
+
+  bool has(const std::string& name) const { return options.count(name) > 0; }
+  /// Last occurrence of a value option, or nullptr.
+  const std::string* value(const std::string& name) const {
+    const auto it = options.find(name);
+    return it == options.end() ? nullptr : &it->second.back();
+  }
+  std::vector<std::string> values(const std::string& name) const {
+    const auto it = options.find(name);
+    return it == options.end() ? std::vector<std::string>() : it->second;
+  }
+};
+
+const OptionSpec* find_option(const CommandSpec& spec,
+                              const std::string& name) {
+  for (const auto& option : spec.options) {
+    if (name == option.name) return &option;
+  }
+  return nullptr;
+}
+
+Status parse_args(const CommandSpec& spec,
+                  const std::vector<std::string>& args, ParsedArgs& out) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (spec.positionals_name == nullptr) {
+        return Status::usage("unexpected argument '" + arg +
+                             "' for 'powersched " + spec.name + "'");
+      }
+      out.positionals.push_back(arg);
+      continue;
+    }
+    // --name VALUE and --name=VALUE both work.
+    std::string name = arg;
+    std::string inline_value;
+    bool has_inline = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+      has_inline = true;
+    }
+    const OptionSpec* option = find_option(spec, name);
+    if (option == nullptr) {
+      return Status::usage("unknown option '" + name + "' for 'powersched " +
+                           spec.name + "'");
+    }
+    if (option->value_name == nullptr) {
+      if (has_inline) {
+        return Status::usage("option '" + name + "' takes no value");
+      }
+      out.options[name].push_back("");
+      continue;
+    }
+    if (has_inline) {
+      out.options[name].push_back(inline_value);
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return Status::usage("missing value for '" + name + "' (want " +
+                           option->value_name + ")");
+    }
+    out.options[name].push_back(args[++i]);
+  }
+  return Status();
+}
+
+// ---------------------------------------------------------------------------
+// Strict value parsers. Every malformed spec is a usage-level Status; no
+// atoi-style silent fallthrough ("--trials 5x" ran 5 trials once).
+
+bool parse_decimal_u64(const std::string& text, std::uint64_t& value) {
+  if (text.empty()) return false;
+  for (char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  value = parsed;
+  return true;
+}
+
+Status parse_positive_int(const std::string& text, const char* flag,
+                          int& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_decimal_u64(text, parsed) || parsed == 0 || parsed > 1000000) {
+    return Status::usage(std::string(flag) + " must be a positive integer "
+                         "(got '" + text + "')");
+  }
+  value = static_cast<int>(parsed);
+  return Status();
+}
+
+Status parse_threads(const std::string& text, int& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_decimal_u64(text, parsed) || parsed > 4096) {
+    return Status::usage(
+        "--threads must be an integer >= 0 (0 = hardware concurrency; got '" +
+        text + "')");
+  }
+  value = static_cast<int>(parsed);
+  return Status();
+}
+
+Status parse_seed(const std::string& text, std::uint64_t& value) {
+  if (!parse_decimal_u64(text, value)) {
+    return Status::usage("bad --seed '" + text +
+                         "' (want an unsigned decimal integer)");
+  }
+  return Status();
+}
+
+/// "I/N", both unsigned decimals, 0 <= I < N. Rejects signs, garbage, and
+/// out-of-range indices with messages naming the rule — `--shard 3/3` and
+/// `--shard -1/2` used to be easy to write and hard to diagnose.
+Status parse_shard_spec(const std::string& text, std::size_t& index,
+                        std::size_t& count) {
+  const std::size_t slash = text.find('/');
+  std::uint64_t i = 0;
+  std::uint64_t n = 0;
+  if (slash == std::string::npos ||
+      !parse_decimal_u64(text.substr(0, slash), i) ||
+      !parse_decimal_u64(text.substr(slash + 1), n)) {
+    return Status::usage("bad --shard '" + text +
+                         "' (want I/N with 0 <= I < N, e.g. 0/3)");
+  }
+  if (n == 0) {
+    return Status::usage("bad --shard '" + text +
+                         "': shard count must be >= 1");
+  }
+  if (i >= n) {
+    return Status::usage("bad --shard '" + text +
+                         "': shard index is 0-based and must be < the "
+                         "shard count");
+  }
+  index = static_cast<std::size_t>(i);
+  count = static_cast<std::size_t>(n);
+  return Status();
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Parses "name=v1,v2,..." into an axis; usage Status on any malformation.
+Status parse_axis_spec(const std::string& text, const char* flag,
+                       engine::ParamAxis& axis) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::usage(std::string("bad ") + flag + " '" + text +
+                         "' (want NAME=V1,V2,...)");
+  }
+  for (const auto& token : split_commas(text.substr(eq + 1))) {
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      return Status::usage(std::string("bad ") + flag + " '" + text +
+                           "': '" + token + "' is not a number");
+    }
+    axis.values.push_back(value);
+  }
+  axis.name = text.substr(0, eq);
+  return Status();
+}
+
+// ---------------------------------------------------------------------------
+// Usage / help / markdown rendering, all from the command table above.
+
+std::string usage_text(const CommandSpec& spec) {
+  std::string out;
+  for (std::size_t i = 0; i < spec.synopsis.size(); ++i) {
+    out += i == 0 ? "usage: powersched " : "       powersched ";
+    out += spec.synopsis[i];
+    out += "\n";
+  }
+  return out;
+}
+
+std::string general_help_text() {
+  std::string out =
+      "powersched — the unified experiment CLI of the powersched engine\n"
+      "\n"
+      "usage: powersched <command> [options]\n"
+      "\n"
+      "commands:\n";
+  for (const auto& spec : commands()) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-13s %s\n", spec.name,
+                  spec.summary);
+    out += line;
+  }
+  out +=
+      "\n"
+      "exit codes: 0 success, 1 runtime failure, 2 usage error\n"
+      "run `powersched help <command>` for per-command options\n";
+  return out;
+}
+
+std::string command_help_text(const CommandSpec& spec) {
+  std::string out = "powersched " + std::string(spec.name) + " — " +
+                    spec.summary + "\n\n" + usage_text(spec);
+  if (spec.description[0] != '\0') {
+    out += "\n";
+    out += spec.description;
+    out += "\n";
+  }
+  bool any_visible = false;
+  for (const auto& option : spec.options) any_visible |= !option.hidden;
+  if (any_visible) {
+    out += "\noptions:\n";
+    for (const auto& option : spec.options) {
+      if (option.hidden) continue;
+      std::string head = option.name;
+      if (option.value_name != nullptr) {
+        head += " ";
+        head += option.value_name;
+      }
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %-24s %s\n", head.c_str(),
+                    option.help);
+      out += line;
+    }
+  }
+  if (spec.positionals_name != nullptr) {
+    out += "\npositionals:\n";
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-24s %s\n", spec.positionals_name,
+                  spec.positionals_help);
+    out += line;
+  }
+  bool any_hidden = false;
+  for (const auto& option : spec.options) any_hidden |= option.hidden;
+  if (any_hidden) {
+    out += "\ndeprecated aliases (legacy powersched_sweep compatibility):\n";
+    for (const auto& option : spec.options) {
+      if (!option.hidden) continue;
+      std::string head = option.name;
+      if (option.value_name != nullptr) {
+        head += " ";
+        head += option.value_name;
+      }
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %-24s %s\n", head.c_str(),
+                    option.help);
+      out += line;
+    }
+  }
+  return out;
+}
+
+/// Markdown-table cell: pipes would split the cell, so escape them.
+std::string md_cell(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '|') out += "\\|";
+    else out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cli_reference_markdown() {
+  std::string out =
+      "# powersched CLI reference\n"
+      "\n"
+      "<!-- GENERATED FILE — do not edit by hand. The source of truth is\n"
+      "     src/cli/powersched_cli.cpp; regenerate with\n"
+      "       ./build/powersched help --markdown > docs/cli.md\n"
+      "     CI fails when this file drifts from the code. -->\n"
+      "\n"
+      "One binary is the front door to every experiment: `powersched "
+      "<command>`.\nEach command is a thin argv adapter over "
+      "`ps::engine::Session` plus a stack\nof `ResultSink`s (see "
+      "[architecture.md](architecture.md)); the legacy binaries\n"
+      "(`powersched_sweep`, `powersched_report`, every `bench_*`) are "
+      "deprecation\nshims over the same implementation and emit "
+      "byte-identical stdout.\n"
+      "\n"
+      "**Exit codes:** `0` success · `1` runtime failure (the run itself "
+      "failed:\nunwritable sink, unreadable cache, merge not covering the "
+      "plan, ...) · `2`\nusage error (unknown preset/solver/option, bad "
+      "shard spec, conflicting\nflags, ...).\n";
+  for (const auto& spec : commands()) {
+    out += "\n## powersched ";
+    out += spec.name;
+    out += "\n\n";
+    out += spec.summary;
+    out += ".\n\n```\n" + usage_text(spec) + "```\n";
+    if (spec.description[0] != '\0') {
+      out += "\n";
+      out += spec.description;
+      out += "\n";
+    }
+    bool any_visible = false;
+    for (const auto& option : spec.options) any_visible |= !option.hidden;
+    if (any_visible) {
+      out += "\n| option | value | description |\n|---|---|---|\n";
+      for (const auto& option : spec.options) {
+        if (option.hidden) continue;
+        out += "| `";
+        out += option.name;
+        out += "` | ";
+        if (option.value_name != nullptr) {
+          out += "`";
+          out += option.value_name;
+          out += "`";
+        } else {
+          out += "—";
+        }
+        out += " | " + md_cell(option.help) + " |\n";
+      }
+    }
+    if (spec.positionals_name != nullptr) {
+      out += "\nPositional arguments: `";
+      out += spec.positionals_name;
+      out += "` — ";
+      out += spec.positionals_help;
+      out += ".\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Prints the Status (and, for usage errors, the command synopsis) to
+/// stderr and maps it onto the documented 0/1/2 exit contract.
+int finish_status(const CommandSpec* spec, const Status& status) {
+  if (status.ok()) return 0;
+  std::fprintf(stderr, "powersched: %s\n", status.message().c_str());
+  if (status.code() == Status::Code::kUsage && spec != nullptr) {
+    std::fputs(usage_text(*spec).c_str(), stderr);
+  }
+  return status.exit_code();
+}
+
+int cmd_list_solvers() {
+  const engine::SolverRegistry registry =
+      engine::SolverRegistry::with_builtins();
+  for (const auto& name : registry.names()) std::puts(name.c_str());
+  return 0;
+}
+
+int cmd_list_presets(bool markdown) {
+  if (markdown) {
+    std::fputs(engine::preset_catalogue_markdown().c_str(), stdout);
+  } else {
+    for (const auto& preset : engine::bench_presets()) {
+      std::printf("%-8s %s\n", preset.name.c_str(), preset.title.c_str());
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// sweep / merge — one builder, two commands.
+
+struct SessionRequest {
+  engine::RunConfig config;
+  std::string csv_path;
+  std::string report_dir;
+};
+
+Status build_session_request(const ParsedArgs& args, bool merge_command,
+                             SessionRequest& out) {
+  engine::RunConfig& config = out.config;
+  config.verbose = true;
+
+  bool plan_flags_given = false;
+  if (const std::string* preset = args.value("--preset")) {
+    config.preset = *preset;
+  }
+  for (const auto& list : args.values("--solvers")) {
+    for (const auto& name : split_commas(list)) {
+      if (!name.empty()) config.plan.solvers.push_back(name);
+    }
+    plan_flags_given = true;
+  }
+  for (const auto& text : args.values("--grid")) {
+    engine::ParamAxis axis;
+    if (Status status = parse_axis_spec(text, "--grid", axis); !status.ok()) {
+      return status;
+    }
+    if (axis.values.empty()) {
+      return Status::usage("bad --grid '" + text +
+                           "' (an axis needs at least one value)");
+    }
+    config.plan.axes.push_back(std::move(axis));
+    plan_flags_given = true;
+  }
+  for (const auto& text : args.values("--param")) {
+    engine::ParamAxis axis;
+    if (Status status = parse_axis_spec(text, "--param", axis);
+        !status.ok()) {
+      return status;
+    }
+    if (axis.values.size() != 1) {
+      return Status::usage("bad --param '" + text +
+                           "' (want NAME=VALUE, exactly one value)");
+    }
+    config.plan.base_params.set(axis.name, axis.values[0]);
+    plan_flags_given = true;
+  }
+  for (const auto& name : args.values("--algo-param")) {
+    if (name.empty() || name.find('=') != std::string::npos ||
+        name.find(',') != std::string::npos) {
+      return Status::usage("bad --algo-param '" + name +
+                           "' (takes one bare parameter name; set values "
+                           "with --param NAME=VALUE)");
+    }
+    config.plan.algo_params.push_back(name);
+    plan_flags_given = true;
+  }
+  if (!config.preset.empty() && plan_flags_given) {
+    return Status::usage(
+        "--solvers/--grid/--param/--algo-param cannot be combined with "
+        "--preset (presets define their own plans; only "
+        "--trials/--seed/--threads and the output flags override)");
+  }
+
+  if (const std::string* trials = args.value("--trials")) {
+    if (Status status = parse_positive_int(*trials, "--trials",
+                                           config.trials);
+        !status.ok()) {
+      return status;
+    }
+  }
+  if (const std::string* seed = args.value("--seed")) {
+    if (Status status = parse_seed(*seed, config.seed); !status.ok()) {
+      return status;
+    }
+    config.seed_given = true;
+  }
+  if (const std::string* threads = args.value("--threads")) {
+    if (Status status = parse_threads(*threads, config.num_threads);
+        !status.ok()) {
+      return status;
+    }
+  }
+  if (const std::string* shard = args.value("--shard")) {
+    if (Status status = parse_shard_spec(*shard, config.shard_index,
+                                         config.shard_count);
+        !status.ok()) {
+      return status;
+    }
+  }
+  if (const std::string* cache_file = args.value("--cache-file")) {
+    config.cache_file = *cache_file;
+  }
+  config.timing = args.has("--timing");
+  if (args.has("--no-cache")) config.use_cache = false;
+
+  // Merge inputs: the merge command takes positionals and/or --inputs; the
+  // sweep command keeps the legacy --merge alias.
+  std::vector<std::string> merge_inputs;
+  const char* inputs_flag = merge_command ? "--inputs" : "--merge";
+  for (const auto& list : args.values(inputs_flag)) {
+    for (const auto& file : split_commas(list)) {
+      if (!file.empty()) merge_inputs.push_back(file);
+    }
+  }
+  for (const auto& file : args.positionals) merge_inputs.push_back(file);
+  if (merge_command && merge_inputs.empty()) {
+    return Status::usage(
+        "merge needs at least one per-shard cache file (positional or "
+        "--inputs F1,F2,...)");
+  }
+  if (!merge_command && args.has("--merge") && merge_inputs.empty()) {
+    return Status::usage("--merge needs at least one cache file");
+  }
+  config.merge_files = std::move(merge_inputs);
+
+  if (const std::string* csv = args.value("--csv")) out.csv_path = *csv;
+  if (const std::string* report = args.value("--report")) {
+    if (config.preset.empty()) {
+      return Status::usage(
+          "--report renders the preset's declared figures and needs "
+          "--preset");
+    }
+    out.report_dir = *report;
+  }
+  return Status();
+}
+
+int run_session_request(const CommandSpec& spec, SessionRequest request) {
+  const std::size_t shard_index = request.config.shard_index;
+  const std::size_t shard_count = request.config.shard_count;
+  const std::size_t merge_count = request.config.merge_files.size();
+  const bool has_cache_file = !request.config.cache_file.empty();
+
+  engine::Session session(std::move(request.config));
+  if (Status status = session.prepare(); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  if (const engine::BenchPreset* preset = session.preset()) {
+    std::fprintf(stderr, "preset %s: %s", preset->name.c_str(),
+                 preset->title.c_str());
+    if (shard_count > 1) {
+      std::fprintf(stderr, "  [shard %zu/%zu]", shard_index, shard_count);
+    }
+    if (merge_count > 0) {
+      std::fprintf(stderr, "  [merging %zu cache file(s)]", merge_count);
+    }
+    std::fprintf(stderr, "\n");
+  }
+
+  session.add_sink(std::make_unique<engine::TableSink>());
+  if (has_cache_file) {
+    session.add_sink(std::make_unique<engine::CacheFileSink>());
+  }
+  if (!request.csv_path.empty()) {
+    session.add_sink(std::make_unique<engine::CsvSink>(request.csv_path));
+  }
+  if (!request.report_dir.empty()) {
+    session.add_sink(
+        std::make_unique<engine::SvgReportSink>(request.report_dir));
+  }
+  return finish_status(&spec, session.run());
+}
+
+int cmd_sweep(const CommandSpec& spec, const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  // Legacy powersched_sweep listing modes. They own stdout completely, so
+  // `--list-presets --markdown > docs/presets.md` keeps working verbatim.
+  // The markdown-consistency check comes first, exactly as the legacy
+  // binary ordered it: `--list --markdown` is a usage error, not a listing.
+  if (parsed.has("--markdown") && !parsed.has("--list-presets")) {
+    return finish_status(
+        &spec, Status::usage("--markdown requires --list-presets"));
+  }
+  if (parsed.has("--list")) return cmd_list_solvers();
+  if (parsed.has("--list-presets")) {
+    return cmd_list_presets(parsed.has("--markdown"));
+  }
+  SessionRequest request;
+  if (Status status = build_session_request(parsed, /*merge_command=*/false,
+                                            request);
+      !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  return run_session_request(spec, std::move(request));
+}
+
+int cmd_merge(const CommandSpec& spec, const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  SessionRequest request;
+  if (Status status = build_session_request(parsed, /*merge_command=*/true,
+                                            request);
+      !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  return run_session_request(spec, std::move(request));
+}
+
+// ---------------------------------------------------------------------------
+// report
+
+Status render_report(const engine::BenchPreset& preset,
+                     const std::string& csv_path,
+                     const std::string& out_dir) {
+  if (Status status = engine::ensure_directory(out_dir); !status.ok()) {
+    return status;
+  }
+  report::CsvTable table;
+  if (!report::CsvTable::load(csv_path, table)) {
+    return Status::runtime("FAILED to load results CSV '" + csv_path + "'");
+  }
+  if (!report::build_preset_report(preset, table, out_dir)) {
+    return Status::runtime("FAILED to build figure report for preset '" +
+                           preset.name + "' in '" + out_dir + "'");
+  }
+  std::fprintf(stderr, "report: wrote %s/%s.md (%zu figure(s))\n",
+               out_dir.c_str(), preset.name.c_str(), preset.sweeps.size());
+  return Status();
+}
+
+int cmd_report(const CommandSpec& spec,
+               const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  const std::string preset_name =
+      parsed.value("--preset") ? *parsed.value("--preset") : "";
+  const std::string csv_path =
+      parsed.value("--csv") ? *parsed.value("--csv") : "";
+  const std::string csv_dir =
+      parsed.value("--csv-dir") ? *parsed.value("--csv-dir") : "";
+  const std::string out_dir =
+      parsed.value("--out") ? *parsed.value("--out") : "docs/reports";
+  const bool all = parsed.has("--all");
+
+  if (!all && preset_name.empty()) {
+    return finish_status(
+        &spec, Status::usage("pass --preset NAME (or --all with --csv-dir)"
+                             "\navailable presets: " +
+                             engine::preset_names_joined()));
+  }
+
+  if (all) {
+    if (!preset_name.empty() || !csv_path.empty() || csv_dir.empty()) {
+      return finish_status(
+          &spec,
+          Status::usage("--all renders every preset with a CSV in "
+                        "--csv-dir (and takes no --preset/--csv)"));
+    }
+    std::size_t rendered = 0;
+    for (const auto& preset : engine::bench_presets()) {
+      const std::filesystem::path path =
+          std::filesystem::path(csv_dir) / (preset.name + ".csv");
+      std::error_code ec;
+      if (!std::filesystem::exists(path, ec)) continue;
+      if (Status status = render_report(preset, path.string(), out_dir);
+          !status.ok()) {
+        return finish_status(&spec, status);
+      }
+      ++rendered;
+    }
+    if (rendered == 0) {
+      return finish_status(
+          &spec, Status::runtime("no <preset>.csv files found in '" +
+                                 csv_dir + "'"));
+    }
+    return 0;
+  }
+
+  const engine::BenchPreset* preset =
+      engine::find_bench_preset(preset_name);
+  if (preset == nullptr) {
+    return finish_status(
+        &spec, Status::usage("unknown preset '" + preset_name +
+                             "'\navailable presets: " +
+                             engine::preset_names_joined()));
+  }
+  if (csv_path.empty() == csv_dir.empty()) {  // need exactly one
+    return finish_status(
+        &spec, Status::usage("pass exactly one of --csv or --csv-dir"));
+  }
+  const std::string resolved_csv =
+      !csv_path.empty()
+          ? csv_path
+          : (std::filesystem::path(csv_dir) / (preset_name + ".csv"))
+                .string();
+  return finish_status(&spec, render_report(*preset, resolved_csv, out_dir));
+}
+
+// ---------------------------------------------------------------------------
+// help + dispatch
+
+int cmd_help(const CommandSpec& spec, const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  if (parsed.has("--markdown")) {
+    std::fputs(cli_reference_markdown().c_str(), stdout);
+    return 0;
+  }
+  if (parsed.positionals.empty()) {
+    std::fputs(general_help_text().c_str(), stdout);
+    return 0;
+  }
+  if (parsed.positionals.size() > 1) {
+    return finish_status(
+        &spec, Status::usage("help takes at most one command name"));
+  }
+  const CommandSpec* target = find_command(parsed.positionals[0]);
+  if (target == nullptr) {
+    return finish_status(
+        &spec, Status::usage("unknown command '" + parsed.positionals[0] +
+                             "' (run `powersched help` for the list)"));
+  }
+  std::fputs(command_help_text(*target).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fputs(general_help_text().c_str(), stderr);
+    return 2;
+  }
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "--help" || command == "-h") {
+    std::fputs(general_help_text().c_str(), stdout);
+    return 0;
+  }
+  const CommandSpec* spec = find_command(command);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "powersched: unknown command '%s'\n\n",
+                 command.c_str());
+    std::fputs(general_help_text().c_str(), stderr);
+    return 2;
+  }
+  if (command == std::string("sweep")) return cmd_sweep(*spec, rest);
+  if (command == std::string("merge")) return cmd_merge(*spec, rest);
+  if (command == std::string("report")) return cmd_report(*spec, rest);
+  if (command == std::string("list-presets")) {
+    ParsedArgs parsed;
+    if (Status status = parse_args(*spec, rest, parsed); !status.ok()) {
+      return finish_status(spec, status);
+    }
+    return cmd_list_presets(parsed.has("--markdown"));
+  }
+  if (command == std::string("list-solvers")) {
+    ParsedArgs parsed;
+    if (Status status = parse_args(*spec, rest, parsed); !status.ok()) {
+      return finish_status(spec, status);
+    }
+    return cmd_list_solvers();
+  }
+  return cmd_help(*spec, rest);  // "help"
+}
+
+int powersched_main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run(args);
+}
+
+int legacy_shim_main(const char* command, int argc, char** argv) {
+  std::fprintf(stderr,
+               "%s: deprecated shim — forwarding to `powersched %s` (same "
+               "options, byte-identical stdout)\n",
+               argc > 0 ? argv[0] : "powersched-shim", command);
+  std::vector<std::string> args{command};
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run(args);
+}
+
+int preset_shim_main(const char* preset, int argc, char** argv) {
+  std::fprintf(stderr,
+               "%s: deprecated shim — forwarding to `powersched sweep "
+               "--preset %s` (extra options forward too)\n",
+               argc > 0 ? argv[0] : "bench-shim", preset);
+  std::vector<std::string> args{"sweep", "--preset", preset};
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run(args);
+}
+
+}  // namespace ps::cli

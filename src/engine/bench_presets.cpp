@@ -1,10 +1,11 @@
 #include "engine/bench_presets.hpp"
 
 #include <cstdio>
+#include <memory>
+#include <utility>
 
-#include "engine/cache_store.hpp"
-#include "engine/registry.hpp"
-#include "engine/sweep_runner.hpp"
+#include "engine/result_sink.hpp"
+#include "engine/session.hpp"
 
 namespace ps::engine {
 namespace {
@@ -803,13 +804,13 @@ std::string preset_catalogue_markdown() {
       "\n"
       "<!-- GENERATED FILE — do not edit by hand. The source of truth is\n"
       "     src/engine/bench_presets.cpp; regenerate with\n"
-      "       ./build/powersched_sweep --list-presets --markdown > "
+      "       ./build/powersched list-presets --markdown > "
       "docs/presets.md\n"
       "     CI fails when this file drifts from the code. -->\n"
       "\n"
-      "Every experiment is a preset: `powersched_sweep --preset <name>` "
+      "Every experiment is a preset: `powersched sweep --preset <name>` "
       "runs it,\n`--csv` writes its aggregated union-of-columns CSV (see "
-      "[csv-schema.md](csv-schema.md)),\nand `powersched_report --preset "
+      "[csv-schema.md](csv-schema.md)),\nand `powersched report --preset "
       "<name> --csv <file>` renders the figures the\npreset declares below "
       "(the *figure* column is the per-sweep `PlotHint`).\nParameters marked "
       "*(algo)* tune the algorithm rather than the instance\ngenerator: "
@@ -843,97 +844,38 @@ std::string preset_catalogue_markdown() {
 
 bool run_bench_preset(const BenchPreset& preset,
                       const PresetRunOptions& options) {
-  if (options.shard_count == 0 || options.shard_index >= options.shard_count) {
-    std::fprintf(stderr, "preset %s: bad shard %zu/%zu\n", preset.name.c_str(),
-                 options.shard_index, options.shard_count);
-    return false;
-  }
-  const bool merge_mode = !options.merge_files.empty();
-  if (merge_mode && options.shard_count != 1) {
-    std::fprintf(stderr,
-                 "preset %s: merge mode assembles the full plan and cannot "
-                 "be sharded\n",
-                 preset.name.c_str());
-    return false;
-  }
+  // Compatibility wrapper over the Session API: one RunConfig plus the
+  // default sink stack (tables, then the cache file, then the CSV — the
+  // flush order the legacy runner used). New code should build a Session
+  // directly; this entry point exists so the pre-redesign call sites and
+  // their tests keep running through the exact same implementation.
+  RunConfig config;
+  config.preset = preset.name;
+  config.trials = options.trials;
+  config.seed = options.seed;
+  config.seed_given = options.seed_given;
+  config.num_threads = options.num_threads;
+  config.timing = options.timing;
+  config.use_cache = options.use_cache;
+  config.shard_index = options.shard_index;
+  config.shard_count = options.shard_count;
+  config.cache_file = options.cache_file;
+  config.merge_files = options.merge_files;
 
-  const SolverRegistry registry = SolverRegistry::with_builtins();
-  SweepOptions sweep_options;
-  sweep_options.num_threads = options.num_threads >= 0
-                                  ? static_cast<std::size_t>(options.num_threads)
-                                  : preset.default_threads;
-  sweep_options.use_cache = options.use_cache;
-
-  // A persistent cache file or a merge set works against a file-scoped
-  // cache, not the process-wide one: what gets saved is exactly what was
-  // loaded plus what this run computed.
-  ScenarioCache file_cache;
-  if (!setup_file_cache(options.cache_file, options.merge_files, file_cache,
-                        sweep_options)) {
-    return false;
-  }
-  const SweepRunner runner(sweep_options);
-  const bool timing = preset.timing || options.timing;
-
-  // Expand every sweep up front and shard over the concatenated grid with
-  // global indices, so a shard can cut across sweep boundaries and the
-  // union over shards is exactly the whole preset.
-  std::vector<std::vector<ScenarioSpec>> per_sweep;
-  per_sweep.reserve(preset.sweeps.size());
-  std::size_t global_index = 0;
-  for (const auto& preset_sweep : preset.sweeps) {
-    SweepPlan plan = preset_sweep.plan;
-    if (options.trials > 0) plan.trials = options.trials;
-    if (options.seed_given) plan.seed = options.seed;
-    std::vector<ScenarioSpec> scenarios = plan.expand();
-    if (options.shard_count > 1) {
-      std::vector<ScenarioSpec> mine;
-      for (auto& spec : scenarios) {
-        if (global_index++ % options.shard_count == options.shard_index) {
-          mine.push_back(std::move(spec));
-        }
-      }
-      scenarios = std::move(mine);
-    }
-    per_sweep.push_back(std::move(scenarios));
-  }
-
-  std::vector<ScenarioResult> all;
-  bool tables_ok = true;
-  bool first = true;
-  for (std::size_t i = 0; i < preset.sweeps.size(); ++i) {
-    std::vector<ScenarioResult> results;
-    if (merge_mode) {
-      if (!merge_scenario_results(per_sweep[i], file_cache, results)) {
-        return false;
-      }
-    } else {
-      results = runner.run(registry, per_sweep[i]);
-    }
-    tables_ok = results_table(results,
-                              (first ? std::string() : std::string("\n")) +
-                                  preset.sweeps[i].caption,
-                              timing)
-                    .print() &&
-                tables_ok;
-    all.insert(all.end(), results.begin(), results.end());
-    first = false;
-  }
-  if (!preset.pass_criterion.empty()) {
-    std::printf("\nPASS criterion: %s\n", preset.pass_criterion.c_str());
-  }
-  if (!options.cache_file.empty() &&
-      !ScenarioCacheStore(options.cache_file).save(file_cache)) {
-    return false;
+  Session session(std::move(config));
+  session.add_sink(std::make_unique<TableSink>());
+  if (!options.cache_file.empty()) {
+    session.add_sink(std::make_unique<CacheFileSink>());
   }
   if (!options.csv_path.empty()) {
-    if (!write_results_csv(all, options.csv_path, timing)) return false;
-    // Progress/diagnostic chatter goes to stderr: stdout carries only the
-    // tables and the pass criterion, so redirected output stays clean.
-    std::fprintf(stderr, "wrote %zu aggregated row(s) to %s\n", all.size(),
-                 options.csv_path.c_str());
+    session.add_sink(std::make_unique<CsvSink>(options.csv_path));
   }
-  return tables_ok;
+  const Status status = session.run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "preset %s: %s\n", preset.name.c_str(),
+                 status.message().c_str());
+  }
+  return status.ok();
 }
 
 int run_preset_main(const std::string& name) {

@@ -1,10 +1,12 @@
 // The bench preset catalogue: every experiment in bench/ as a declarative
-// (name, sweep plans, pass criterion) bundle runnable from the sweep CLI
-// (`powersched_sweep --preset e13`) or from the bench binaries themselves,
-// which are thin wrappers over run_preset_main. This is what replaced the
-// per-bench bespoke driver loops: one registered solver adapter per
-// algorithm, one SweepPlan per table, and the engine does the seeding,
-// threading, caching, aggregation, and emission uniformly.
+// (name, sweep plans, pass criterion) bundle runnable from the unified CLI
+// (`powersched sweep --preset e13`) or from the bench binaries, which are
+// deprecation shims over that command. This is what replaced the per-bench
+// bespoke driver loops: one registered solver adapter per algorithm, one
+// SweepPlan per table, and the engine does the seeding, threading, caching,
+// aggregation, and emission uniformly — driven through ps::engine::Session
+// (see session.hpp), for which run_bench_preset below is a compatibility
+// wrapper.
 #pragma once
 
 #include <cstddef>
@@ -119,12 +121,17 @@ struct PresetRunOptions {
 /// criterion. Returns false when a results file (CSV or cache) could not be
 /// written, when merge inputs are missing or do not cover the plan, or when
 /// the shard selection is invalid.
+///
+/// Compatibility wrapper: this is a Session with the default sink stack
+/// (TableSink, then CacheFileSink/CsvSink as the options ask). New code
+/// should build a ps::engine::Session directly (session.hpp) — the options
+/// struct maps 1:1 onto RunConfig and the Status carries the reason.
 bool run_bench_preset(const BenchPreset& preset,
                       const PresetRunOptions& options = {});
 
-/// Entry point for the bench binaries: runs the named preset with its
-/// defaults; returns a process exit code (2 = unknown preset, 1 = CSV
-/// failure, 0 = success).
+/// Runs the named preset with its defaults; returns a process exit code
+/// (2 = unknown preset, 1 = runtime failure, 0 = success). The bench
+/// binaries now shim into the `powersched` CLI instead; kept for embedders.
 int run_preset_main(const std::string& name);
 
 }  // namespace ps::engine

@@ -57,12 +57,13 @@ class ScenarioCacheStore {
   std::string path_;
 };
 
-/// Shared --cache-file/--merge plumbing of the preset runner and the ad hoc
-/// sweep CLI: when either argument is non-empty, points `sweep_options` at
-/// `cache` (enabling caching into the file-scoped cache rather than the
-/// process-wide one), merges `merge_files` into it, then loads `cache_file`
-/// if one is named. No-op when both are empty. Returns false — the loaders
-/// have already printed the diagnostic — when any file fails to load.
+/// Shared --cache-file/--merge plumbing of ps::engine::Session (the one
+/// place cache wiring lives since the API redesign): when either argument
+/// is non-empty, points `sweep_options` at `cache` (enabling caching into
+/// the file-scoped cache rather than the process-wide one), merges
+/// `merge_files` into it, then loads `cache_file` if one is named. No-op
+/// when both are empty. Returns false — the loaders have already printed
+/// the diagnostic — when any file fails to load.
 bool setup_file_cache(const std::string& cache_file,
                       const std::vector<std::string>& merge_files,
                       ScenarioCache& cache, SweepOptions& sweep_options);

@@ -1,0 +1,158 @@
+#include "engine/result_sink.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <ostream>
+
+#include "engine/cache_store.hpp"
+#include "report/csv_table.hpp"
+#include "report/report_builder.hpp"
+
+namespace ps::engine {
+
+Status ensure_parent_directory(const std::string& file_path) {
+  namespace fs = std::filesystem;
+  const fs::path parent =
+      fs::path(file_path).lexically_normal().parent_path();
+  if (parent.empty()) return Status();
+  std::error_code ec;
+  fs::create_directories(parent, ec);
+  if (ec) {
+    return Status::runtime("cannot create parent directory '" +
+                           parent.string() + "' for output path '" +
+                           file_path + "': " + ec.message());
+  }
+  return Status();
+}
+
+Status ensure_directory(const std::string& dir_path) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(dir_path).lexically_normal();
+  if (dir.empty()) return Status();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::runtime("cannot create output directory '" + dir.string() +
+                           "': " + ec.message());
+  }
+  return Status();
+}
+
+// ---------------------------------------------------------------------------
+// TableSink
+
+Status TableSink::consume(const SweepBatch& batch) {
+  // Tables after the first are separated by one blank line — the exact
+  // spacing the legacy preset runner produced.
+  const std::string caption =
+      (batch.first ? std::string() : std::string("\n")) + batch.caption;
+  const util::Table table =
+      results_table(*batch.results, caption, batch.timing);
+  if (stream_ != nullptr) {
+    table.print(*stream_);
+    return Status();
+  }
+  if (!table.print()) {
+    return Status::runtime("FAILED to write one or more PS_CSV_DIR table "
+                           "CSVs");
+  }
+  return Status();
+}
+
+Status TableSink::finish(const SinkContext& context) {
+  if (context.preset == nullptr || context.preset->pass_criterion.empty()) {
+    return Status();
+  }
+  if (stream_ != nullptr) {
+    *stream_ << "\nPASS criterion: " << context.preset->pass_criterion
+             << "\n";
+  } else {
+    std::printf("\nPASS criterion: %s\n",
+                context.preset->pass_criterion.c_str());
+  }
+  return Status();
+}
+
+// ---------------------------------------------------------------------------
+// CsvSink
+
+Status CsvSink::prepare(const SinkContext& context) {
+  (void)context;
+  return ensure_parent_directory(path_);
+}
+
+Status CsvSink::consume(const SweepBatch& batch) {
+  (void)batch;  // the CSV is written once, from the run's full result set
+  return Status();
+}
+
+Status CsvSink::finish(const SinkContext& context) {
+  if (!write_results_csv(*context.all_results, path_, context.timing)) {
+    return Status::runtime("FAILED to write results CSV '" + path_ + "'");
+  }
+  std::fprintf(stderr, "wrote %zu aggregated row(s) to %s\n",
+               context.all_results->size(), path_.c_str());
+  return Status();
+}
+
+// ---------------------------------------------------------------------------
+// CacheFileSink
+
+Status CacheFileSink::prepare(const SinkContext& context) {
+  if (context.cache_file.empty() || context.file_cache == nullptr) {
+    return Status::usage(
+        "cache-file sink requires a session cache file (set "
+        "RunConfig::cache_file)");
+  }
+  return ensure_parent_directory(context.cache_file);
+}
+
+Status CacheFileSink::consume(const SweepBatch& batch) {
+  (void)batch;  // entries land in the cache as scenarios complete
+  return Status();
+}
+
+Status CacheFileSink::finish(const SinkContext& context) {
+  if (!ScenarioCacheStore(context.cache_file).save(*context.file_cache)) {
+    return Status::runtime("FAILED to write scenario cache '" +
+                           context.cache_file + "'");
+  }
+  return Status();
+}
+
+// ---------------------------------------------------------------------------
+// SvgReportSink
+
+Status SvgReportSink::prepare(const SinkContext& context) {
+  if (context.preset == nullptr) {
+    return Status::usage(
+        "figure reports need a preset: an ad-hoc --solvers sweep declares "
+        "no PlotHints");
+  }
+  return ensure_directory(out_dir_);
+}
+
+Status SvgReportSink::consume(const SweepBatch& batch) {
+  (void)batch;  // the report is a pure function of the run's full CSV
+  return Status();
+}
+
+Status SvgReportSink::finish(const SinkContext& context) {
+  const std::string csv =
+      results_csv_text(*context.all_results, context.timing);
+  report::CsvTable table;
+  std::string error;
+  if (!report::CsvTable::parse(csv, table, &error)) {
+    return Status::runtime("internal: run CSV failed to parse: " + error);
+  }
+  if (!report::build_preset_report(*context.preset, table, out_dir_)) {
+    return Status::runtime("FAILED to build figure report for preset '" +
+                           context.preset->name + "' in '" + out_dir_ + "'");
+  }
+  std::fprintf(stderr, "report: wrote %s/%s.md (%zu figure(s))\n",
+               out_dir_.c_str(), context.preset->name.c_str(),
+               context.preset->sweeps.size());
+  return Status();
+}
+
+}  // namespace ps::engine

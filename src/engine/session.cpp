@@ -1,0 +1,226 @@
+#include "engine/session.hpp"
+
+#include <cstdio>
+#include <iterator>
+#include <utility>
+
+#include "engine/cache_store.hpp"
+
+namespace ps::engine {
+
+Session::Session(RunConfig config)
+    : config_(std::move(config)),
+      registry_(SolverRegistry::with_builtins()) {}
+
+Session::~Session() = default;
+
+void Session::add_sink(std::unique_ptr<ResultSink> sink) {
+  sinks_.push_back(std::move(sink));
+}
+
+std::size_t Session::num_scenarios() const {
+  std::size_t total = 0;
+  for (const auto& unit : units_) total += unit.scenarios.size();
+  return total;
+}
+
+Status Session::prepare_units() {
+  if (preset_ != nullptr) {
+    // Expand every sweep up front and shard over the concatenated grid with
+    // global indices, so a shard can cut across sweep boundaries and the
+    // union over shards is exactly the whole preset.
+    std::size_t global_index = 0;
+    for (const auto& preset_sweep : preset_->sweeps) {
+      SweepPlan plan = preset_sweep.plan;
+      if (config_.trials > 0) plan.trials = config_.trials;
+      if (config_.seed_given) plan.seed = config_.seed;
+      if (units_.empty()) effective_seed_ = plan.seed;
+      std::vector<ScenarioSpec> scenarios = plan.expand();
+      if (config_.shard_count > 1) {
+        std::vector<ScenarioSpec> mine;
+        for (auto& spec : scenarios) {
+          if (global_index++ % config_.shard_count == config_.shard_index) {
+            mine.push_back(std::move(spec));
+          }
+        }
+        scenarios = std::move(mine);
+      }
+      units_.push_back({preset_sweep.caption, std::move(scenarios)});
+    }
+    return Status();
+  }
+
+  SweepPlan plan = config_.plan;
+  if (config_.trials > 0) plan.trials = config_.trials;
+  if (config_.seed_given) plan.seed = config_.seed;
+  if (plan.trials <= 0) {
+    return Status::usage("--trials must be positive");
+  }
+  for (const auto& name : plan.solvers) {
+    if (!registry_.contains(name)) {
+      return Status::usage("unknown solver '" + name +
+                           "'\nregistered: " + registry_.names_joined());
+    }
+  }
+  // An algo param that names nothing in the plan would silently change
+  // nothing but the cache key — reject the typo instead of falling through.
+  for (const auto& name : plan.algo_params) {
+    bool found = plan.base_params.has(name);
+    for (const auto& axis : plan.axes) found |= axis.name == name;
+    if (!found) {
+      return Status::usage("--algo-param '" + name +
+                           "' names no --grid axis or --param of the sweep");
+    }
+  }
+  effective_seed_ = plan.seed;
+  effective_trials_ = plan.trials;
+  units_.push_back(
+      {"sweep results (seed " + std::to_string(plan.seed) + ")",
+       config_.shard_count > 1
+           ? plan.shard(config_.shard_index, config_.shard_count)
+           : plan.expand()});
+  return Status();
+}
+
+Status Session::prepare() {
+  if (prepared_) return Status();
+
+  if (config_.shard_count == 0 ||
+      config_.shard_index >= config_.shard_count) {
+    return Status::usage(
+        "bad shard " + std::to_string(config_.shard_index) + "/" +
+        std::to_string(config_.shard_count) + " (want I/N with 0 <= I < N)");
+  }
+  if (!config_.merge_files.empty() && config_.shard_count != 1) {
+    return Status::usage(
+        "merge mode assembles the full plan and cannot be combined with a "
+        "shard selection");
+  }
+  if (config_.trials < 0) {
+    return Status::usage("--trials must be positive");
+  }
+
+  if (!config_.preset.empty()) {
+    preset_ = find_bench_preset(config_.preset);
+    if (preset_ == nullptr) {
+      return Status::usage("unknown preset '" + config_.preset +
+                           "'\navailable presets: " + preset_names_joined());
+    }
+  } else if (config_.plan.solvers.empty()) {
+    return Status::usage(
+        "nothing to run: pass a preset or an ad-hoc solver list\n"
+        "registered solvers: " + registry_.names_joined() +
+        "\navailable presets: " + preset_names_joined());
+  }
+
+  if (Status status = prepare_units(); !status.ok()) return status;
+
+  sweep_options_.num_threads =
+      config_.num_threads >= 0 ? static_cast<std::size_t>(config_.num_threads)
+      : preset_ != nullptr     ? preset_->default_threads
+                               : 0;
+  // Ad-hoc plans never touch the process-global cache (determinism tests
+  // re-running a sweep must exercise the real computation); presets opt out
+  // via use_cache. A file-scoped cache below overrides either way.
+  sweep_options_.use_cache = preset_ != nullptr && config_.use_cache;
+  sweep_options_.cache = nullptr;
+
+  // Creating the cache file's parent directory is CacheFileSink::prepare's
+  // job — a cache_file with no sink attached must not leave directories
+  // behind as a side effect.
+  if (!config_.cache_file.empty() || !config_.merge_files.empty()) {
+    if (!setup_file_cache(config_.cache_file, config_.merge_files,
+                          file_cache_, sweep_options_)) {
+      // The loaders already printed the precise diagnostic with the path.
+      return Status::runtime(
+          config_.merge_files.empty()
+              ? "FAILED to load scenario cache '" + config_.cache_file + "'"
+              : "FAILED to load one or more merge cache files");
+    }
+  }
+
+  timing_ = (preset_ != nullptr && preset_->timing) || config_.timing;
+  prepared_ = true;
+  return Status();
+}
+
+Status Session::run() {
+  if (Status status = prepare(); !status.ok()) return status;
+
+  SinkContext context;
+  context.preset = preset_;
+  context.seed = effective_seed_;
+  context.timing = timing_;
+  context.file_cache = sweep_options_.cache != nullptr ? &file_cache_ : nullptr;
+  context.cache_file = config_.cache_file;
+
+  for (const auto& sink : sinks_) {
+    if (Status status = sink->prepare(context); !status.ok()) return status;
+  }
+
+  const bool merge_mode = !config_.merge_files.empty();
+  if (config_.verbose) {
+    if (merge_mode) {
+      std::fprintf(stderr,
+                   "merge: assembling %zu scenario(s) from %zu cache "
+                   "file(s)\n",
+                   num_scenarios(), config_.merge_files.size());
+    } else if (preset_ == nullptr) {
+      const std::string threads_text =
+          sweep_options_.num_threads == 0
+              ? "hardware"
+              : std::to_string(sweep_options_.num_threads);
+      std::fprintf(stderr,
+                   "sweep: %zu scenario(s) x %d trial(s), %s threads",
+                   num_scenarios(), effective_trials_, threads_text.c_str());
+      if (config_.shard_count > 1) {
+        std::fprintf(stderr, "  [shard %zu/%zu]", config_.shard_index,
+                     config_.shard_count);
+      }
+      std::fprintf(stderr, "\n");
+    }
+  }
+
+  const SweepRunner runner(sweep_options_);
+  std::vector<ScenarioResult> all;
+  Status deferred;
+  bool first = true;
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    std::vector<ScenarioResult> results;
+    if (merge_mode) {
+      if (!merge_scenario_results(units_[i].scenarios, file_cache_,
+                                  results)) {
+        // merge_scenario_results already named the missing scenarios.
+        return Status::runtime(
+            "merge cache files do not cover the plan (missing scenarios "
+            "listed above)");
+      }
+    } else {
+      results = runner.run(registry_, units_[i].scenarios);
+    }
+    SweepBatch batch;
+    batch.preset = preset_;
+    batch.sweep_index = i;
+    batch.first = first;
+    batch.caption = units_[i].caption;
+    batch.timing = timing_;
+    batch.results = &results;
+    for (const auto& sink : sinks_) {
+      if (Status status = sink->consume(batch);
+          !status.ok() && deferred.ok()) {
+        deferred = status;
+      }
+    }
+    all.insert(all.end(), std::make_move_iterator(results.begin()),
+               std::make_move_iterator(results.end()));
+    first = false;
+  }
+
+  context.all_results = &all;
+  for (const auto& sink : sinks_) {
+    if (Status status = sink->finish(context); !status.ok()) return status;
+  }
+  return deferred;
+}
+
+}  // namespace ps::engine

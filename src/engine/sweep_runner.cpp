@@ -285,8 +285,8 @@ util::Table results_table(const std::vector<ScenarioResult>& results,
   return table;
 }
 
-bool write_results_csv(const std::vector<ScenarioResult>& results,
-                       const std::string& path, bool include_timing) {
+std::vector<std::vector<std::string>> results_csv_rows(
+    const std::vector<ScenarioResult>& results, bool include_timing) {
   // Union of parameter names across scenarios, in sorted order, so sweeps
   // over heterogeneous solver families still line up column-wise. Metric
   // columns work the same way: sorted union, blank where absent.
@@ -309,12 +309,9 @@ bool write_results_csv(const std::vector<ScenarioResult>& results,
   for (const auto& name : metric_names) header.push_back("m_" + name);
   if (include_timing) header.push_back("wall_ms_mean");
 
-  util::CsvWriter writer(path, header);
-  if (!writer.ok()) {
-    std::fprintf(stderr, "sweep: cannot open CSV output file '%s'\n",
-                 path.c_str());
-    return false;
-  }
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(results.size() + 1);
+  rows.push_back(std::move(header));
 
   for (const auto& result : results) {
     std::vector<std::string> row{result.spec.solver};
@@ -345,8 +342,34 @@ bool write_results_csv(const std::vector<ScenarioResult>& results,
     if (include_timing) {
       row.push_back(stat_cell(result.wall_ms, result.wall_ms.mean(), 1));
     }
-    writer.write_row(row);
+    rows.push_back(std::move(row));
   }
+  return rows;
+}
+
+std::string results_csv_text(const std::vector<ScenarioResult>& results,
+                             bool include_timing) {
+  std::string out;
+  for (const auto& row : results_csv_rows(results, include_timing)) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += util::csv_escape(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_results_csv(const std::vector<ScenarioResult>& results,
+                       const std::string& path, bool include_timing) {
+  const auto rows = results_csv_rows(results, include_timing);
+  util::CsvWriter writer(path, rows.front());
+  if (!writer.ok()) {
+    std::fprintf(stderr, "sweep: cannot open CSV output file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  for (std::size_t i = 1; i < rows.size(); ++i) writer.write_row(rows[i]);
   if (!writer.flush()) {
     std::fprintf(stderr, "sweep: write to CSV output file '%s' failed\n",
                  path.c_str());

@@ -155,6 +155,19 @@ util::Table results_table(const std::vector<ScenarioResult>& results,
                           const std::string& caption,
                           bool include_timing = false);
 
+/// The aggregated CSV as cell rows — row 0 is the header — in exactly the
+/// schema docs/csv-schema.md specifies. write_results_csv and
+/// results_csv_text are both thin emitters over this, so a file written to
+/// disk and a string rendered in memory carry byte-identical content.
+std::vector<std::vector<std::string>> results_csv_rows(
+    const std::vector<ScenarioResult>& results, bool include_timing = false);
+
+/// The aggregated CSV rendered to one string (RFC-4180 escaping, trailing
+/// newline) — byte-identical to the file write_results_csv produces. This is
+/// what lets the report sink render figures without a CSV file round-trip.
+std::string results_csv_text(const std::vector<ScenarioResult>& results,
+                             bool include_timing = false);
+
 /// Writes one aggregated row per scenario with the union of parameter names
 /// as columns, the core statistics, and one `m_<name>_mean` column per
 /// named metric in the union. Deterministic for fixed scenarios (wall-time

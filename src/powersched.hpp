@@ -10,12 +10,19 @@
 //   ps::core        — budgeted submodular maximization (Lemma 2.1.2)
 //   ps::scheduling  — power-minimization schedulers and comparators
 //   ps::secretary   — online (secretary) algorithms
-//   ps::engine      — solver registry and parallel scenario-sweep runner
+//   ps::engine      — solver registry, sweep runner, and the Session /
+//                     ResultSink front door (ps::Status error type)
+//   ps::cli         — the `powersched` multi-command CLI as a library
 #pragma once
 
+#include "cli/powersched_cli.hpp"
 #include "core/budgeted_maximization.hpp"
+#include "engine/bench_presets.hpp"
+#include "engine/cache_store.hpp"
 #include "engine/registry.hpp"
+#include "engine/result_sink.hpp"
 #include "engine/scenario.hpp"
+#include "engine/session.hpp"
 #include "engine/solver.hpp"
 #include "engine/sweep_runner.hpp"
 #include "matching/bipartite_graph.hpp"
@@ -59,6 +66,7 @@
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"

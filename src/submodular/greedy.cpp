@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <queue>
 
 namespace ps::submodular {
@@ -141,16 +142,23 @@ namespace {
 
 GreedyResult exhaustive_impl(const SetFunction& f, int k, bool exact_size) {
   const int n = f.ground_size();
-  assert(n <= 24 && "exhaustive maximization is exponential in ground size");
   GreedyResult result;
   result.chosen = ItemSet(n);
   result.value = f.value(result.chosen);
   ++result.oracle_calls;
+  if (k <= 0 || n <= 0) {
+    // The empty set is the only candidate; also keeps the shift below
+    // well-defined for k=0 probes on large ground sets.
+    result.order = result.chosen.to_vector();
+    result.value_curve.assign(1, result.value);
+    return result;
+  }
+  assert(n <= 24 && "exhaustive maximization is exponential in ground size");
 
-  const std::uint32_t limit = 1u << n;
+  const std::uint64_t limit = std::uint64_t{1} << n;
   const int target = std::min(k, n);
-  for (std::uint32_t mask = 1; mask < limit; ++mask) {
-    const int size = __builtin_popcount(mask);
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    const int size = __builtin_popcountll(mask);
     if (size > k) continue;
     if (exact_size && size != target) continue;
     ItemSet s(n);

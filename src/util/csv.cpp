@@ -15,7 +15,7 @@ bool CsvWriter::flush() {
   return ok();
 }
 
-std::string CsvWriter::escape(const std::string& cell) {
+std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string out = "\"";
   for (char ch : cell) {
@@ -24,6 +24,10 @@ std::string CsvWriter::escape(const std::string& cell) {
   }
   out += '"';
   return out;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  return csv_escape(cell);
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {

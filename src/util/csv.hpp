@@ -8,6 +8,12 @@
 
 namespace ps::util {
 
+/// RFC-4180 quoting of one cell: returned verbatim unless it contains a
+/// comma, quote, or newline, in which case it is quoted with `""` escapes.
+/// The one escaping rule shared by CsvWriter and the in-memory CSV
+/// renderers, so file-written and string-rendered CSV are byte-identical.
+std::string csv_escape(const std::string& cell);
+
 /// Writes rows to a CSV file with RFC-4180 quoting of cells that need it.
 class CsvWriter {
  public:

@@ -1,0 +1,52 @@
+// ps::Status — the one error type of the engine/report/tool surface. It
+// replaces the mixed bool-with-stderr-side-channel and raw-int-exit-code
+// returns that used to be duplicated across sweep_runner, bench_presets,
+// report, and every tool main: a failure carries its message, and the code
+// maps onto the documented process exit contract
+//
+//   0  ok       — success
+//   1  runtime  — the run itself failed (unwritable sink, unreadable cache,
+//                 merge inputs not covering the plan, ...)
+//   2  usage    — the request was malformed (unknown preset/solver/option,
+//                 bad shard spec, conflicting flags, ...)
+//
+// so `status.exit_code()` at the top of a tool is the whole mapping. Deep
+// layers may still print rich diagnostics to stderr as they fail (they know
+// the most context); the Status message is the summary the caller can
+// attach, rethrow, or test against without scraping stderr.
+#pragma once
+
+#include <string>
+
+namespace ps {
+
+class Status {
+ public:
+  enum class Code { kOk = 0, kRuntime = 1, kUsage = 2 };
+
+  /// Default-constructed Status is success; `Status()` reads as "ok".
+  Status() = default;
+
+  static Status runtime(std::string message) {
+    return Status(Code::kRuntime, std::move(message));
+  }
+  static Status usage(std::string message) {
+    return Status(Code::kUsage, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// The documented process exit code: 0 ok, 1 runtime, 2 usage.
+  int exit_code() const { return static_cast<int>(code_); }
+
+ private:
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace ps

@@ -1,0 +1,149 @@
+// Tests for the `powersched` multi-command CLI library: command dispatch,
+// the strict shared option parser (malformed shard specs, algo-param
+// pairs, numbers — all usage errors now, never silent fallthrough), the
+// documented 0/1/2 exit-code contract, and the generated CLI reference
+// (docs/cli.md) covering every command.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli/powersched_cli.hpp"
+
+namespace ps::cli {
+namespace {
+
+int run_cli(std::initializer_list<const char*> args) {
+  return run(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(Cli, DispatchAndHelp) {
+  EXPECT_EQ(run_cli({}), 2);               // no command: usage
+  EXPECT_EQ(run_cli({"no-such-cmd"}), 2);  // unknown command: usage
+  EXPECT_EQ(run_cli({"help"}), 0);
+  EXPECT_EQ(run_cli({"help", "sweep"}), 0);
+  EXPECT_EQ(run_cli({"help", "merge"}), 0);
+  EXPECT_EQ(run_cli({"help", "no-such-cmd"}), 2);
+  EXPECT_EQ(run_cli({"help", "sweep", "merge"}), 2);
+  EXPECT_EQ(run_cli({"--help"}), 0);
+}
+
+TEST(Cli, UnknownOptionsAndValues) {
+  EXPECT_EQ(run_cli({"sweep", "--bogus"}), 2);
+  EXPECT_EQ(run_cli({"sweep", "--preset"}), 2);       // missing value
+  EXPECT_EQ(run_cli({"list-solvers", "--timing"}), 2);  // wrong command
+  EXPECT_EQ(run_cli({"sweep", "stray-positional"}), 2);
+  EXPECT_EQ(run_cli({"sweep", "--timing=1"}), 2);     // flag takes no value
+}
+
+TEST(Cli, SweepUsageErrors) {
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e99"}), 2);
+  EXPECT_EQ(run_cli({"sweep"}), 2);  // nothing to run
+  // Presets define their own plans.
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--solvers", "a"}), 2);
+  // Strict numbers: the old atoi path ran "5x" as 5 silently.
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--trials", "5x"}), 2);
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--trials", "-3"}), 2);
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--trials", "0"}), 2);
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--seed", "1x"}), 2);
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--threads", "-1"}), 2);
+  // --markdown is a list-presets modifier — even alongside --list, exactly
+  // as the legacy powersched_sweep ordered its checks.
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--markdown"}), 2);
+  EXPECT_EQ(run_cli({"sweep", "--list", "--markdown"}), 2);
+  // --report needs a preset's PlotHints.
+  EXPECT_EQ(run_cli({"sweep", "--solvers", "powerdown.break_even",
+                     "--report", "somewhere"}),
+            2);
+}
+
+TEST(Cli, MalformedShardSpecsAreUsageErrors) {
+  for (const char* shard : {"3/3", "-1/2", "a/b", "1/0", "1", "/2", "2/",
+                            "0x1/2", "+1/2"}) {
+    EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--shard", shard}), 2)
+        << shard;
+  }
+}
+
+TEST(Cli, MalformedPlanFlagsAreUsageErrors) {
+  EXPECT_EQ(run_cli({"sweep", "--solvers", "powerdown.break_even", "--grid",
+                     "dist"}),
+            2);
+  EXPECT_EQ(run_cli({"sweep", "--solvers", "powerdown.break_even", "--grid",
+                     "dist=1,zz"}),
+            2);
+  EXPECT_EQ(run_cli({"sweep", "--solvers", "powerdown.break_even", "--param",
+                     "alpha=1,2"}),
+            2);
+  // --algo-param takes a bare name, not a pair — the old CLI accepted
+  // "eps=0.5" and silently created an algo param that matched nothing.
+  EXPECT_EQ(run_cli({"sweep", "--solvers", "powerdown.break_even",
+                     "--algo-param", "eps=0.5"}),
+            2);
+  // ...and a bare name must still match something in the plan.
+  EXPECT_EQ(run_cli({"sweep", "--solvers", "powerdown.break_even",
+                     "--algo-param", "bogus"}),
+            2);
+  EXPECT_EQ(run_cli({"sweep", "--solvers", "nosuch.solver"}), 2);
+}
+
+TEST(Cli, MergeAndReportUsageErrors) {
+  EXPECT_EQ(run_cli({"merge", "--preset", "e15"}), 2);  // no inputs
+  EXPECT_EQ(run_cli({"report"}), 2);
+  EXPECT_EQ(run_cli({"report", "--preset", "e15"}), 2);  // no csv source
+  EXPECT_EQ(run_cli({"report", "--preset", "e99", "--csv", "x.csv"}), 2);
+  EXPECT_EQ(run_cli({"report", "--all"}), 2);  // --all needs --csv-dir
+  EXPECT_EQ(run_cli({"report", "--all", "--csv-dir", "d", "--preset", "e1"}),
+            2);
+}
+
+TEST(Cli, RuntimeFailuresExitOne) {
+  // A merge input that does not exist is a runtime failure, not usage.
+  EXPECT_EQ(run_cli({"merge", "--preset", "e15",
+                     "cli_test_does_not_exist.cache"}),
+            1);
+  // A report over a missing CSV likewise.
+  const std::string out_dir = ::testing::TempDir() + "cli_test_reports";
+  EXPECT_EQ(run_cli({"report", "--preset", "e15", "--csv",
+                     "cli_test_does_not_exist.csv", "--out",
+                     out_dir.c_str()}),
+            1);
+}
+
+TEST(Cli, SweepRunsEndToEndThroughSession) {
+  const std::string csv = ::testing::TempDir() + "cli_test_e15.csv";
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--trials", "1", "--csv",
+                     csv.c_str()}),
+            0);
+  std::ifstream in(csv);
+  EXPECT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("solver"), std::string::npos);
+  std::remove(csv.c_str());
+}
+
+TEST(Cli, MarkdownReferenceCoversEveryCommand) {
+  const std::string markdown = cli_reference_markdown();
+  for (const char* heading :
+       {"# powersched CLI reference", "## powersched sweep",
+        "## powersched merge", "## powersched report",
+        "## powersched list-presets", "## powersched list-solvers",
+        "## powersched help"}) {
+    EXPECT_NE(markdown.find(heading), std::string::npos) << heading;
+  }
+  // The exit-code contract and the key option surface are documented.
+  EXPECT_NE(markdown.find("Exit codes"), std::string::npos);
+  for (const char* option : {"--shard", "--cache-file", "--csv", "--report",
+                             "--algo-param", "--inputs", "--out"}) {
+    EXPECT_NE(markdown.find(option), std::string::npos) << option;
+  }
+  // Deprecated aliases stay out of the documented surface.
+  EXPECT_EQ(markdown.find("`--merge`"), std::string::npos);
+  EXPECT_EQ(markdown.find("`--list`"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps::cli

@@ -1,0 +1,18 @@
+// powersched — the unified multi-command experiment CLI and the engine's
+// one front door:
+//
+//   $ ./powersched sweep --preset e15 --shard 0/3 --cache-file s0.cache
+//   $ ./powersched merge --preset e15 s0.cache s1.cache s2.cache --csv e15.csv
+//   $ ./powersched report --preset e15 --csv e15.csv --out docs/reports
+//   $ ./powersched list-presets --markdown > docs/presets.md
+//   $ ./powersched help --markdown > docs/cli.md
+//
+// The full reference lives in docs/cli.md (generated from `help
+// --markdown`); the implementation is src/cli/powersched_cli.cpp, a thin
+// argv adapter over ps::engine::Session + ResultSinks. Exit codes: 0
+// success, 1 runtime failure, 2 usage error.
+#include "cli/powersched_cli.hpp"
+
+int main(int argc, char** argv) {
+  return ps::cli::powersched_main(argc, argv);
+}

@@ -1,141 +1,9 @@
-// powersched_report — render a bench preset's aggregated sweep CSV into its
-// figure report: one deterministic SVG per sweep (drawn as the preset's
-// PlotHint declares) plus a Markdown page embedding them, written under
-// --out. The figure-reproduction step that used to live in a notebook:
-//
-//   $ ./powersched_sweep --preset e15 --csv e15.csv
-//   $ ./powersched_report --preset e15 --csv e15.csv --out docs/reports
-//       -> docs/reports/e15.md + docs/reports/e15-sweep1.svg
-//
-// Works identically on a `--merge`d multi-shard CSV (the CI merge job
-// renders its artifacts this way) — the report is a pure function of the
-// CSV bytes, so sharded and unsharded inputs produce byte-identical output.
-//
-// Options:
-//   --preset NAME     preset to render (e1..e16, a1..a4, p_micro)
-//   --csv PATH        the preset's aggregated CSV (from --preset ... --csv
-//                     or from --merge ... --csv)
-//   --csv-dir DIR     instead of --csv: read DIR/<preset>.csv
-//   --all             render every preset whose CSV exists in --csv-dir
-//   --out DIR         output directory (default docs/reports)
-//
-// Exit codes: 0 success, 1 failure (diagnostic on stderr), 2 usage.
-#include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <string>
-#include <vector>
-
-#include "engine/bench_presets.hpp"
-#include "report/csv_table.hpp"
-#include "report/report_builder.hpp"
-
-namespace {
-
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --preset NAME (--csv file.csv | --csv-dir DIR) "
-               "[--out DIR]\n"
-               "       %s --all --csv-dir DIR [--out DIR]\n",
-               argv0, argv0);
-}
-
-bool render_one(const ps::engine::BenchPreset& preset,
-                const std::string& csv_path, const std::string& out_dir) {
-  ps::report::CsvTable table;
-  if (!ps::report::CsvTable::load(csv_path, table)) return false;
-  if (!ps::report::build_preset_report(preset, table, out_dir)) return false;
-  std::fprintf(stderr, "report: wrote %s/%s.md (%zu figure(s))\n",
-               out_dir.c_str(), preset.name.c_str(), preset.sweeps.size());
-  return true;
-}
-
-}  // namespace
+// powersched_report — deprecation shim over `powersched report` (same
+// options, byte-identical stdout). Kept so existing scripts and CI recipes
+// keep working; new invocations should use the unified `powersched` CLI
+// (see docs/cli.md).
+#include "cli/powersched_cli.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ps::engine;
-
-  std::string preset_name;
-  std::string csv_path;
-  std::string csv_dir;
-  std::string out_dir = "docs/reports";
-  bool all = false;
-
-  auto next_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
-      usage(argv[0]);
-      std::exit(2);
-    }
-    return argv[++i];
-  };
-
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--preset") == 0) {
-      preset_name = next_value(i);
-    } else if (std::strcmp(arg, "--csv") == 0) {
-      csv_path = next_value(i);
-    } else if (std::strcmp(arg, "--csv-dir") == 0) {
-      csv_dir = next_value(i);
-    } else if (std::strcmp(arg, "--out") == 0) {
-      out_dir = next_value(i);
-    } else if (std::strcmp(arg, "--all") == 0) {
-      all = true;
-    } else {
-      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
-      usage(argv[0]);
-      return 2;
-    }
-  }
-
-  if (!all && preset_name.empty()) {
-    usage(argv[0]);
-    std::fprintf(stderr, "\navailable presets: %s\n",
-                 preset_names_joined().c_str());
-    return 2;
-  }
-
-  if (all) {
-    if (!preset_name.empty() || !csv_path.empty() || csv_dir.empty()) {
-      std::fprintf(stderr,
-                   "%s: --all renders every preset with a CSV in --csv-dir "
-                   "(and takes no --preset/--csv)\n",
-                   argv[0]);
-      return 2;
-    }
-    std::size_t rendered = 0;
-    for (const auto& preset : bench_presets()) {
-      const std::filesystem::path path =
-          std::filesystem::path(csv_dir) / (preset.name + ".csv");
-      std::error_code ec;
-      if (!std::filesystem::exists(path, ec)) continue;
-      if (!render_one(preset, path.string(), out_dir)) return 1;
-      ++rendered;
-    }
-    if (rendered == 0) {
-      std::fprintf(stderr, "%s: no <preset>.csv files found in '%s'\n",
-                   argv[0], csv_dir.c_str());
-      return 1;
-    }
-    return 0;
-  }
-
-  const BenchPreset* preset = find_bench_preset(preset_name);
-  if (preset == nullptr) {
-    std::fprintf(stderr, "%s: unknown preset '%s'\navailable presets: %s\n",
-                 argv[0], preset_name.c_str(), preset_names_joined().c_str());
-    return 2;
-  }
-  if (csv_path.empty() == csv_dir.empty()) {  // need exactly one
-    std::fprintf(stderr, "%s: pass exactly one of --csv or --csv-dir\n",
-                 argv[0]);
-    usage(argv[0]);
-    return 2;
-  }
-  if (csv_path.empty()) {
-    csv_path = (std::filesystem::path(csv_dir) / (preset_name + ".csv"))
-                   .string();
-  }
-  return render_one(*preset, csv_path, out_dir) ? 0 : 1;
+  return ps::cli::legacy_shim_main("report", argc, argv);
 }

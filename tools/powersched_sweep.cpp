@@ -1,406 +1,9 @@
-// powersched_sweep — run any registered solver over any parameter grid, or
-// any bench preset from the catalogue, in one invocation, fanned across a
-// thread pool, with one aggregated CSV out.
-//
-//   $ ./powersched_sweep --solvers powerdown.break_even,powerdown.randomized
-//       --grid dist=0,1,2,3 --param alpha=2 --trials 10 --threads 8
-//       --csv powerdown.csv          (one command line; wrapped here)
-//   $ ./powersched_sweep --preset e13 --trials 2 --csv e13.csv
-//
-// Sharded, multi-process operation (the CI matrix runs exactly this):
-//
-//   $ ./powersched_sweep --preset e15 --shard 0/3 --cache-file s0.cache
-//   $ ./powersched_sweep --preset e15 --shard 1/3 --cache-file s1.cache
-//   $ ./powersched_sweep --preset e15 --shard 2/3 --cache-file s2.cache
-//   $ ./powersched_sweep --preset e15 --merge s0.cache,s1.cache,s2.cache
-//       --csv e15.csv      # byte-identical to the unsharded run's CSV
-//
-// Options:
-//   --list                 print the registered solver names and exit
-//   --list-presets         print the bench preset catalogue and exit;
-//                          with --markdown, emit the full Markdown preset
-//                          reference (what docs/presets.md is generated
-//                          from — CI fails when that file drifts)
-//   --preset NAME          run a bench preset (e1..e16, a1..a4, p_micro);
-//                          --trials/--seed/--threads/--csv/--timing override
-//                          the preset's defaults
-//   --solvers a,b,c        solver keys to sweep (required unless
-//                          --list/--list-presets/--preset)
-//   --grid name=v1,v2,...  add a swept parameter axis (repeatable)
-//   --param name=value     fix a parameter for every scenario (repeatable)
-//   --algo-param name      mark a parameter as algorithm-only: it is
-//                          excluded from the instance-stream seed, so
-//                          sweeping it keeps instances fixed (repeatable)
-//   --trials N             trials per scenario (default 20)
-//   --seed S               base seed (default 20100601)
-//   --threads K            worker threads; 0 = hardware concurrency
-//                          (default 0), 1 = serial
-//   --csv path             write the aggregated results CSV to `path`
-//   --timing               include the (non-deterministic) wall-time column
-//   --no-cache             disable the per-scenario result cache for
-//                          preset runs
-//   --shard I/N            run only shard I of N (0-based) of the expanded
-//                          scenario grid — round-robin partition, union of
-//                          shards = the full plan
-//   --cache-file path      persistent scenario cache: load before the run
-//                          (skipping already-computed scenarios), save
-//                          after (write-to-temp + rename)
-//   --merge f1,f2,...      powersched_merge mode: run nothing; assemble the
-//                          full plan from the listed per-shard cache files
-//                          and emit the byte-identical tables/CSV a single
-//                          unsharded process would have produced
-//
-// Output statistics are bit-identical for any --threads value; trials are
-// seeded per (parameters, trial index), never per worker. stdout carries
-// only the requested output (tables, listings, generated docs); progress
-// and diagnostics go to stderr, so `--list-presets --markdown >
-// docs/presets.md` and friends stay clean.
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
-#include <vector>
-
-#include "engine/bench_presets.hpp"
-#include "engine/cache_store.hpp"
-#include "engine/registry.hpp"
-#include "engine/scenario.hpp"
-#include "engine/sweep_runner.hpp"
-
-namespace {
-
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --solvers a,b,c [--grid name=v1,v2]... "
-               "[--param name=v]... [--algo-param name]... [--trials N] "
-               "[--seed S] [--threads K (0 = hardware)] [--csv path] "
-               "[--timing]\n"
-               "       %s --preset NAME [--trials N] [--seed S] "
-               "[--threads K] [--csv path] [--timing] [--no-cache]\n"
-               "       %s ... [--shard I/N] [--cache-file path]\n"
-               "       %s ... --merge cache1,cache2,... [--csv path]\n"
-               "       %s --list | --list-presets [--markdown]\n",
-               argv0, argv0, argv0, argv0, argv0);
-}
-
-std::vector<std::string> split_commas(const std::string& text) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t comma = text.find(',', start);
-    if (comma == std::string::npos) {
-      out.push_back(text.substr(start));
-      break;
-    }
-    out.push_back(text.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return out;
-}
-
-/// Parses "I/N" (0-based shard index, shard count) with I < N, N >= 1.
-bool parse_shard(const std::string& text, std::size_t& index,
-                 std::size_t& count) {
-  const std::size_t slash = text.find('/');
-  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
-    return false;
-  }
-  const std::string index_text = text.substr(0, slash);
-  const std::string count_text = text.substr(slash + 1);
-  char* end = nullptr;
-  const unsigned long long i = std::strtoull(index_text.c_str(), &end, 10);
-  if (end != index_text.c_str() + index_text.size()) return false;
-  const unsigned long long n = std::strtoull(count_text.c_str(), &end, 10);
-  if (end != count_text.c_str() + count_text.size()) return false;
-  if (n == 0 || i >= n) return false;
-  index = static_cast<std::size_t>(i);
-  count = static_cast<std::size_t>(n);
-  return true;
-}
-
-/// Parses "name=v1,v2,..." into an axis; empty name on failure.
-ps::engine::ParamAxis parse_axis(const std::string& text) {
-  ps::engine::ParamAxis axis;
-  const std::size_t eq = text.find('=');
-  if (eq == std::string::npos || eq == 0) return axis;
-  for (const auto& token : split_commas(text.substr(eq + 1))) {
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == token.c_str() || *end != '\0') return axis;
-    axis.values.push_back(value);
-  }
-  if (!axis.values.empty()) axis.name = text.substr(0, eq);
-  return axis;
-}
-
-}  // namespace
+// powersched_sweep — deprecation shim over `powersched sweep` (same
+// options, byte-identical stdout). Kept so existing scripts and CI recipes
+// keep working; new invocations should use the unified `powersched` CLI
+// (see docs/cli.md).
+#include "cli/powersched_cli.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ps::engine;
-
-  SweepPlan plan;
-  SweepOptions options;
-  options.num_threads = 0;
-  std::string csv_path;
-  std::string preset_name;
-  std::string cache_file;
-  std::vector<std::string> merge_files;
-  std::size_t shard_index = 0;
-  std::size_t shard_count = 1;
-  bool include_timing = false;
-  bool threads_given = false;
-  bool use_cache = true;
-  bool trials_given = false;
-  bool seed_given = false;
-  bool plan_flags_given = false;  // --solvers/--grid/--param/--algo-param
-  bool list_solvers = false;
-  bool list_presets = false;
-  bool markdown = false;
-
-  auto next_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
-      usage(argv[0]);
-      std::exit(2);
-    }
-    return argv[++i];
-  };
-
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--list") == 0) {
-      list_solvers = true;
-    } else if (std::strcmp(arg, "--list-presets") == 0) {
-      list_presets = true;
-    } else if (std::strcmp(arg, "--markdown") == 0) {
-      markdown = true;
-    } else if (std::strcmp(arg, "--preset") == 0) {
-      preset_name = next_value(i);
-    } else if (std::strcmp(arg, "--solvers") == 0) {
-      for (const auto& name : split_commas(next_value(i))) {
-        if (!name.empty()) plan.solvers.push_back(name);
-      }
-      plan_flags_given = true;
-    } else if (std::strcmp(arg, "--grid") == 0) {
-      const auto axis = parse_axis(next_value(i));
-      if (axis.name.empty()) {
-        std::fprintf(stderr, "%s: bad --grid '%s' (want name=v1,v2,...)\n",
-                     argv[0], argv[i]);
-        return 2;
-      }
-      plan.axes.push_back(axis);
-      plan_flags_given = true;
-    } else if (std::strcmp(arg, "--param") == 0) {
-      const auto axis = parse_axis(next_value(i));
-      if (axis.name.empty() || axis.values.size() != 1) {
-        std::fprintf(stderr, "%s: bad --param '%s' (want name=value)\n",
-                     argv[0], argv[i]);
-        return 2;
-      }
-      plan.base_params.set(axis.name, axis.values[0]);
-      plan_flags_given = true;
-    } else if (std::strcmp(arg, "--algo-param") == 0) {
-      plan.algo_params.push_back(next_value(i));
-      plan_flags_given = true;
-    } else if (std::strcmp(arg, "--trials") == 0) {
-      plan.trials = std::atoi(next_value(i));
-      trials_given = true;
-    } else if (std::strcmp(arg, "--seed") == 0) {
-      plan.seed = std::strtoull(next_value(i), nullptr, 10);
-      seed_given = true;
-    } else if (std::strcmp(arg, "--threads") == 0) {
-      const int threads = std::atoi(next_value(i));
-      if (threads < 0) {
-        std::fprintf(stderr,
-                     "%s: --threads must be >= 0 (0 = hardware concurrency)\n",
-                     argv[0]);
-        return 2;
-      }
-      options.num_threads = static_cast<std::size_t>(threads);
-      threads_given = true;
-    } else if (std::strcmp(arg, "--csv") == 0) {
-      csv_path = next_value(i);
-    } else if (std::strcmp(arg, "--timing") == 0) {
-      include_timing = true;
-    } else if (std::strcmp(arg, "--no-cache") == 0) {
-      use_cache = false;
-    } else if (std::strcmp(arg, "--shard") == 0) {
-      const char* value = next_value(i);
-      if (!parse_shard(value, shard_index, shard_count)) {
-        std::fprintf(stderr,
-                     "%s: bad --shard '%s' (want I/N with 0 <= I < N)\n",
-                     argv[0], value);
-        return 2;
-      }
-    } else if (std::strcmp(arg, "--cache-file") == 0) {
-      cache_file = next_value(i);
-    } else if (std::strcmp(arg, "--merge") == 0) {
-      for (const auto& file : split_commas(next_value(i))) {
-        if (!file.empty()) merge_files.push_back(file);
-      }
-      if (merge_files.empty()) {
-        std::fprintf(stderr, "%s: --merge needs at least one cache file\n",
-                     argv[0]);
-        return 2;
-      }
-    } else {
-      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
-      usage(argv[0]);
-      return 2;
-    }
-  }
-
-  if (markdown && !list_presets) {
-    std::fprintf(stderr, "%s: --markdown requires --list-presets\n", argv[0]);
-    return 2;
-  }
-
-  // The listing modes own stdout: nothing else is printed there, so the
-  // output is pipeable into generated docs verbatim.
-  if (list_solvers) {
-    const SolverRegistry registry = SolverRegistry::with_builtins();
-    for (const auto& name : registry.names()) std::puts(name.c_str());
-    return 0;
-  }
-  if (list_presets) {
-    if (markdown) {
-      std::fputs(preset_catalogue_markdown().c_str(), stdout);
-    } else {
-      for (const auto& preset : bench_presets()) {
-        std::printf("%-8s %s\n", preset.name.c_str(), preset.title.c_str());
-      }
-    }
-    return 0;
-  }
-
-  if (!merge_files.empty() && shard_count != 1) {
-    std::fprintf(stderr,
-                 "%s: --merge assembles the full plan and cannot be combined "
-                 "with --shard\n",
-                 argv[0]);
-    return 2;
-  }
-
-  if (!preset_name.empty()) {
-    const BenchPreset* preset = find_bench_preset(preset_name);
-    if (preset == nullptr) {
-      std::fprintf(stderr, "%s: unknown preset '%s'\navailable presets: %s\n",
-                   argv[0], preset_name.c_str(),
-                   preset_names_joined().c_str());
-      return 2;
-    }
-    if (plan_flags_given) {
-      std::fprintf(stderr,
-                   "%s: --solvers/--grid/--param/--algo-param cannot be "
-                   "combined with --preset (presets define their own plans; "
-                   "only --trials/--seed/--threads/--csv/--timing/--no-cache "
-                   "override)\n",
-                   argv[0]);
-      return 2;
-    }
-    if (trials_given && plan.trials <= 0) {
-      std::fprintf(stderr, "%s: --trials must be positive\n", argv[0]);
-      return 2;
-    }
-    PresetRunOptions run_options;
-    run_options.trials = trials_given ? plan.trials : 0;
-    run_options.seed = plan.seed;
-    run_options.seed_given = seed_given;
-    run_options.num_threads =
-        threads_given ? static_cast<int>(options.num_threads) : -1;
-    run_options.csv_path = csv_path;
-    run_options.timing = include_timing;
-    run_options.use_cache = use_cache;
-    run_options.shard_index = shard_index;
-    run_options.shard_count = shard_count;
-    run_options.cache_file = cache_file;
-    run_options.merge_files = merge_files;
-    std::fprintf(stderr, "preset %s: %s", preset->name.c_str(),
-                 preset->title.c_str());
-    if (shard_count > 1) {
-      std::fprintf(stderr, "  [shard %zu/%zu]", shard_index, shard_count);
-    }
-    if (!merge_files.empty()) {
-      std::fprintf(stderr, "  [merging %zu cache file(s)]",
-                   merge_files.size());
-    }
-    std::fprintf(stderr, "\n");
-    return run_bench_preset(*preset, run_options) ? 0 : 1;
-  }
-
-  const SolverRegistry registry = SolverRegistry::with_builtins();
-  if (plan.solvers.empty()) {
-    usage(argv[0]);
-    std::fprintf(stderr, "\nregistered solvers: %s\navailable presets: %s\n",
-                 registry.names_joined().c_str(),
-                 preset_names_joined().c_str());
-    return 2;
-  }
-  if (plan.trials <= 0) {
-    std::fprintf(stderr, "%s: --trials must be positive\n", argv[0]);
-    return 2;
-  }
-  for (const auto& name : plan.solvers) {
-    if (!registry.contains(name)) {
-      std::fprintf(stderr, "%s: unknown solver '%s'\nregistered: %s\n",
-                   argv[0], name.c_str(), registry.names_joined().c_str());
-      return 2;
-    }
-  }
-
-  const auto scenarios = shard_count > 1
-                             ? plan.shard(shard_index, shard_count)
-                             : plan.expand();
-
-  // A cache file or a merge set works against a file-scoped cache; the ad
-  // hoc path otherwise runs uncached.
-  ScenarioCache file_cache;
-  const bool merge_mode = !merge_files.empty();
-  if (!setup_file_cache(cache_file, merge_files, file_cache, options)) {
-    return 1;
-  }
-
-  std::vector<ScenarioResult> results;
-  if (merge_mode) {
-    std::fprintf(stderr,
-                 "merge: assembling %zu scenario(s) from %zu cache file(s)\n",
-                 scenarios.size(), merge_files.size());
-    if (!merge_scenario_results(scenarios, file_cache, results)) return 1;
-  } else {
-    const std::string threads_text =
-        options.num_threads == 0 ? "hardware"
-                                 : std::to_string(options.num_threads);
-    std::fprintf(stderr, "sweep: %zu scenario(s) x %d trial(s), %s threads",
-                 scenarios.size(), plan.trials, threads_text.c_str());
-    if (shard_count > 1) {
-      std::fprintf(stderr, "  [shard %zu/%zu]", shard_index, shard_count);
-    }
-    std::fprintf(stderr, "\n");
-    const SweepRunner runner(options);
-    results = runner.run(registry, scenarios);
-  }
-  const bool tables_ok =
-      results_table(results,
-                    "sweep results (seed " + std::to_string(plan.seed) + ")",
-                    include_timing)
-          .print();
-
-  if (!cache_file.empty() && !ScenarioCacheStore(cache_file).save(file_cache)) {
-    return 1;
-  }
-  if (!csv_path.empty()) {
-    if (!write_results_csv(results, csv_path, include_timing)) {
-      std::fprintf(stderr, "%s: FAILED to write results CSV '%s'\n", argv[0],
-                   csv_path.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "wrote %zu aggregated row(s) to %s\n",
-                 results.size(), csv_path.c_str());
-  }
-  if (!tables_ok) {
-    std::fprintf(stderr, "%s: FAILED to write one or more PS_CSV_DIR table "
-                 "CSVs\n", argv[0]);
-    return 1;
-  }
-  return 0;
+  return ps::cli::legacy_shim_main("sweep", argc, argv);
 }
