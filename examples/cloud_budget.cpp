@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
   plan.trials = 10;
   plan.seed = seed;
 
-  const ps::engine::SweepRunner runner({/*num_threads=*/0});
+  ps::engine::SweepOptions options;
+  options.num_threads = 0;  // hardware concurrency
+  const ps::engine::SweepRunner runner(options);
   const auto results =
       runner.run(ps::engine::SolverRegistry::with_builtins(), plan);
 

@@ -1,10 +1,13 @@
 #include "cli/powersched_cli.hpp"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,10 +15,13 @@
 #include <vector>
 
 #include "engine/bench_presets.hpp"
+#include "engine/perf_baseline.hpp"
 #include "engine/registry.hpp"
 #include "engine/result_sink.hpp"
 #include "engine/scenario.hpp"
 #include "engine/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/csv_table.hpp"
 #include "report/report_builder.hpp"
 #include "util/status.hpp"
@@ -70,6 +76,20 @@ struct CommandSpec {
   {"--timing", nullptr,                                                     \
    "include the (non-deterministic) wall-time columns"}
 
+// Observability surface shared by every command that runs real work. All
+// three only ever write to stderr or their own side files, so primary
+// output (stdout tables, CSV, SVG) stays byte-identical with them on.
+#define PS_OBS_OPTIONS                                                      \
+  {"--metrics", nullptr,                                                    \
+   "collect engine metrics and print the snapshot (counters, gauges, "      \
+   "latency histograms) to stderr at exit"},                                \
+  {"--metrics-json", "FILE",                                                \
+   "collect engine metrics and write the snapshot as JSON to FILE at "      \
+   "exit (see docs/observability.md for the schema)"},                      \
+  {"--trace", "FILE",                                                       \
+   "record phase/trial spans and write Chrome trace_event JSON to FILE "    \
+   "(open in chrome://tracing or https://ui.perfetto.dev)"}
+
 const std::vector<CommandSpec>& commands() {
   static const std::vector<CommandSpec> specs = {
       {"sweep",
@@ -99,6 +119,11 @@ const std::vector<CommandSpec>& commands() {
         {"--cache-file", "PATH",
          "persistent scenario cache: load before the run (skipping "
          "already-computed scenarios), save after (write-to-temp + rename)"},
+        {"--progress", nullptr,
+         "live stderr progress line (scenarios done/total, trials/s, ETA), "
+         "at most one update per second; auto-disabled when stderr is not "
+         "a terminal"},
+        PS_OBS_OPTIONS,
         // Legacy powersched_sweep aliases; the dedicated commands are the
         // documented surface.
         {"--merge", "F1,F2,...", "deprecated: use `powersched merge`",
@@ -127,7 +152,8 @@ const std::vector<CommandSpec>& commands() {
         {"--inputs", "F1,F2,...",
          "the per-shard cache files (alternative to positionals)"},
         PS_OUTPUT_OPTIONS,
-        {"--cache-file", "PATH", "also save the merged cache union to PATH"}},
+        {"--cache-file", "PATH", "also save the merged cache union to PATH"},
+        PS_OBS_OPTIONS},
        "CACHE-FILE...",
        "per-shard scenario cache files to merge"},
 
@@ -145,7 +171,44 @@ const std::vector<CommandSpec>& commands() {
         {"--csv-dir", "DIR", "instead of --csv: read DIR/<preset>.csv"},
         {"--all", nullptr,
          "render every preset whose CSV exists in --csv-dir"},
-        {"--out", "DIR", "output directory (default docs/reports)"}}},
+        {"--out", "DIR", "output directory (default docs/reports)"},
+        PS_OBS_OPTIONS}},
+
+      {"bench",
+       "measure solver-kernel ns/op baselines; compare two snapshots",
+       "Times the hot solver kernels of the selected presets — one kernel "
+       "per distinct solver, serial, warmup repetitions discarded, ns/op "
+       "as the median over timed repetitions — and writes a "
+       "schema-versioned BENCH_<rev>.json snapshot. With --compare, runs "
+       "nothing: diffs two snapshot files entry-by-entry and exits 1 when "
+       "any kernel's new/old ns_per_op ratio exceeds --threshold. CI "
+       "compares every build against the committed baseline under "
+       "bench/baselines/.",
+       {"bench [--presets A,B,...] [--trials N] [--reps R] [--warmup W] "
+        "[--rev NAME] [--out FILE]",
+        "bench --compare OLD.json NEW.json [--threshold X]"},
+       {{"--presets", "A,B,...",
+         "presets to measure (default: p_micro,a1,a2,a3,a4)"},
+        {"--trials", "N",
+         "trials per timed repetition — the inner loop (default 32)"},
+        {"--reps", "R",
+         "timed repetitions; ns/op is their median (default 5)"},
+        {"--warmup", "W", "discarded warmup repetitions (default 1)"},
+        {"--rev", "NAME",
+         "revision label stamped into the snapshot (default 'dev'; CI "
+         "passes the git short hash)"},
+        {"--out", "FILE", "snapshot path (default BENCH_<rev>.json)"},
+        {"--compare", nullptr,
+         "compare mode: diff the two positional snapshot files instead of "
+         "measuring"},
+        {"--threshold", "X",
+         "--compare regression bound: fail (exit 1) when new/old ns_per_op "
+         "> X for any kernel (default 2.0)"},
+        {"--verbose", nullptr,
+         "print each kernel measurement to stderr as it completes"},
+        PS_OBS_OPTIONS},
+       "[OLD NEW]",
+       "the two snapshot files --compare diffs (old baseline first)"},
 
       {"list-presets",
        "print the bench preset catalogue",
@@ -180,6 +243,7 @@ const std::vector<CommandSpec>& commands() {
 
 #undef PS_PLAN_OPTIONS
 #undef PS_OUTPUT_OPTIONS
+#undef PS_OBS_OPTIONS
 
 const CommandSpec* find_command(const std::string& name) {
   for (const auto& spec : commands()) {
@@ -546,6 +610,79 @@ int finish_status(const CommandSpec* spec, const Status& status) {
   return status.exit_code();
 }
 
+// ---------------------------------------------------------------------------
+// Observability flags (--metrics / --metrics-json / --trace), shared by
+// every work-running command. Activation happens before the session runs;
+// emission happens after, wrapping the command's own exit code.
+
+struct ObsRequest {
+  bool metrics_text = false;
+  std::string metrics_json_path;
+  std::string trace_path;
+};
+
+/// Reads the obs flags and switches the global registry / trace recorder on
+/// accordingly. Off remains the default: without these flags no instrument
+/// is touched and output is bit-identical to an uninstrumented build.
+ObsRequest activate_obs(const ParsedArgs& args) {
+  ObsRequest out;
+  out.metrics_text = args.has("--metrics");
+  if (const std::string* path = args.value("--metrics-json")) {
+    out.metrics_json_path = *path;
+  }
+  if (const std::string* path = args.value("--trace")) {
+    out.trace_path = *path;
+  }
+  if (out.metrics_text || !out.metrics_json_path.empty()) {
+    obs::set_enabled(true);
+  }
+  if (!out.trace_path.empty()) {
+    obs::TraceRecorder::global().set_active(true);
+  }
+  return out;
+}
+
+/// Emits whatever the obs flags asked for and folds writer failures into
+/// the exit code (a run that succeeded but could not write its trace file
+/// exits 1 — silent loss of requested output is worse). Also switches the
+/// global instrumentation back off and drops the written spans, so an
+/// embedder calling run() repeatedly gets per-invocation scoping.
+int emit_obs(const ObsRequest& request, int exit_code) {
+  if (!request.trace_path.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.set_active(false);
+    if (Status status = recorder.write(request.trace_path); !status.ok()) {
+      std::fprintf(stderr, "powersched: %s\n", status.message().c_str());
+      if (exit_code == 0) exit_code = 1;
+    } else {
+      std::fprintf(stderr, "trace: wrote %s (%zu span(s))\n",
+                   request.trace_path.c_str(), recorder.size());
+    }
+    recorder.clear();
+  }
+  if (request.metrics_text || !request.metrics_json_path.empty()) {
+    const obs::Registry::Snapshot snapshot =
+        obs::Registry::global().snapshot();
+    if (request.metrics_text) {
+      std::fputs(obs::render_metrics_text(snapshot).c_str(), stderr);
+    }
+    if (!request.metrics_json_path.empty()) {
+      std::ofstream out(request.metrics_json_path,
+                        std::ios::binary | std::ios::trunc);
+      if (out) out << obs::render_metrics_json(snapshot);
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr,
+                     "powersched: cannot write metrics JSON file '%s'\n",
+                     request.metrics_json_path.c_str());
+        if (exit_code == 0) exit_code = 1;
+      }
+    }
+    obs::set_enabled(false);
+  }
+  return exit_code;
+}
+
 int cmd_list_solvers() {
   const engine::SolverRegistry registry =
       engine::SolverRegistry::with_builtins();
@@ -753,7 +890,12 @@ int cmd_sweep(const CommandSpec& spec, const std::vector<std::string>& args) {
       !status.ok()) {
     return finish_status(&spec, status);
   }
-  return run_session_request(spec, std::move(request));
+  // The ticker is interactive-terminal-only by contract: piped stderr (CI
+  // logs, 2>file) never sees the carriage-return line.
+  request.config.progress =
+      parsed.has("--progress") && ::isatty(STDERR_FILENO) != 0;
+  const ObsRequest obs_request = activate_obs(parsed);
+  return emit_obs(obs_request, run_session_request(spec, std::move(request)));
 }
 
 int cmd_merge(const CommandSpec& spec, const std::vector<std::string>& args) {
@@ -767,7 +909,8 @@ int cmd_merge(const CommandSpec& spec, const std::vector<std::string>& args) {
       !status.ok()) {
     return finish_status(&spec, status);
   }
-  return run_session_request(spec, std::move(request));
+  const ObsRequest obs_request = activate_obs(parsed);
+  return emit_obs(obs_request, run_session_request(spec, std::move(request)));
 }
 
 // ---------------------------------------------------------------------------
@@ -792,12 +935,7 @@ Status render_report(const engine::BenchPreset& preset,
   return Status();
 }
 
-int cmd_report(const CommandSpec& spec,
-               const std::vector<std::string>& args) {
-  ParsedArgs parsed;
-  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
-    return finish_status(&spec, status);
-  }
+int cmd_report_impl(const CommandSpec& spec, const ParsedArgs& parsed) {
   const std::string preset_name =
       parsed.value("--preset") ? *parsed.value("--preset") : "";
   const std::string csv_path =
@@ -862,6 +1000,140 @@ int cmd_report(const CommandSpec& spec,
   return finish_status(&spec, render_report(*preset, resolved_csv, out_dir));
 }
 
+int cmd_report(const CommandSpec& spec,
+               const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  const ObsRequest obs_request = activate_obs(parsed);
+  return emit_obs(obs_request, cmd_report_impl(spec, parsed));
+}
+
+// ---------------------------------------------------------------------------
+// bench
+
+int cmd_bench(const CommandSpec& spec, const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  const ObsRequest obs_request = activate_obs(parsed);
+
+  if (parsed.has("--compare")) {
+    if (parsed.positionals.size() != 2) {
+      return finish_status(
+          &spec, Status::usage("--compare takes exactly two snapshot files "
+                               "(old baseline first): bench --compare "
+                               "OLD.json NEW.json"));
+    }
+    double threshold = 2.0;
+    if (const std::string* text = parsed.value("--threshold")) {
+      char* end = nullptr;
+      threshold = std::strtod(text->c_str(), &end);
+      if (text->empty() || end != text->c_str() + text->size() ||
+          threshold <= 0.0) {
+        return finish_status(
+            &spec, Status::usage("bad --threshold '" + *text +
+                                 "' (want a positive ratio, e.g. 2.0)"));
+      }
+    }
+    engine::BenchReport old_report;
+    engine::BenchReport new_report;
+    if (Status status =
+            engine::load_bench_report(parsed.positionals[0], old_report);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+    if (Status status =
+            engine::load_bench_report(parsed.positionals[1], new_report);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+    const engine::BenchComparison comparison =
+        engine::compare_bench_reports(old_report, new_report, threshold);
+    std::fputs(comparison.text.c_str(), stdout);
+    if (comparison.matched == 0) {
+      return emit_obs(
+          obs_request,
+          finish_status(&spec, Status::runtime(
+                                   "the snapshots share no kernel — nothing "
+                                   "was compared")));
+    }
+    if (comparison.regressions > 0) {
+      return emit_obs(
+          obs_request,
+          finish_status(
+              &spec,
+              Status::runtime(std::to_string(comparison.regressions) +
+                              " kernel(s) regressed past the threshold")));
+    }
+    return emit_obs(obs_request, 0);
+  }
+
+  if (!parsed.positionals.empty()) {
+    return finish_status(
+        &spec, Status::usage("bench takes positionals only with --compare"));
+  }
+  if (parsed.has("--threshold")) {
+    return finish_status(
+        &spec,
+        Status::usage("--threshold only applies to bench --compare"));
+  }
+
+  engine::BenchOptions options;
+  for (const auto& list : parsed.values("--presets")) {
+    for (const auto& name : split_commas(list)) {
+      if (!name.empty()) options.presets.push_back(name);
+    }
+  }
+  if (const std::string* text = parsed.value("--trials")) {
+    if (Status status = parse_positive_int(*text, "--trials", options.trials);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* text = parsed.value("--reps")) {
+    if (Status status = parse_positive_int(*text, "--reps", options.reps);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* text = parsed.value("--warmup")) {
+    std::uint64_t warmup = 0;
+    if (!parse_decimal_u64(*text, warmup) || warmup > 1000) {
+      return finish_status(
+          &spec, Status::usage("bad --warmup '" + *text +
+                               "' (want an integer >= 0)"));
+    }
+    options.warmup = static_cast<int>(warmup);
+  }
+  if (const std::string* rev = parsed.value("--rev")) {
+    if (rev->empty()) {
+      return finish_status(&spec,
+                           Status::usage("--rev needs a non-empty label"));
+    }
+    options.revision = *rev;
+  }
+  options.verbose = parsed.has("--verbose");
+
+  engine::BenchReport report;
+  if (Status status = engine::run_bench(options, report); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  const std::string out_path =
+      parsed.value("--out") != nullptr ? *parsed.value("--out")
+                                       : "BENCH_" + options.revision + ".json";
+  if (Status status = engine::write_bench_report(report, out_path);
+      !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  std::fprintf(stderr, "bench: wrote %s (%zu kernel(s), rev %s)\n",
+               out_path.c_str(), report.entries.size(),
+               report.revision.c_str());
+  return emit_obs(obs_request, 0);
+}
+
 // ---------------------------------------------------------------------------
 // help + dispatch
 
@@ -915,6 +1187,7 @@ int run(const std::vector<std::string>& args) {
   if (command == std::string("sweep")) return cmd_sweep(*spec, rest);
   if (command == std::string("merge")) return cmd_merge(*spec, rest);
   if (command == std::string("report")) return cmd_report(*spec, rest);
+  if (command == std::string("bench")) return cmd_bench(*spec, rest);
   if (command == std::string("list-presets")) {
     ParsedArgs parsed;
     if (Status status = parse_args(*spec, rest, parsed); !status.ok()) {

@@ -13,6 +13,9 @@
 #include <iterator>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/time.hpp"
+
 namespace ps::engine {
 
 const char kScenarioCacheFormatHeader[] = "powersched-scenario-cache v1";
@@ -33,6 +36,13 @@ bool plain_token(const std::string& name) {
 bool file_exists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0
+             ? static_cast<std::uint64_t>(st.st_size)
+             : 0;
 }
 
 bool load_error(const std::string& path, std::size_t line_no,
@@ -99,6 +109,8 @@ util::Accumulator* core_accumulator(ScenarioResult& result,
 
 bool ScenarioCacheStore::load(ScenarioCache& cache) const {
   if (!file_exists(path_)) return true;  // nothing persisted yet
+  const obs::StopWatch watch;
+  std::size_t entries_loaded = 0;
   std::ifstream in(path_, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "cache load: cannot open '%s'\n", path_.c_str());
@@ -205,6 +217,7 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
       // cache key can never disagree.
       cache.insert(scenario_cache_key(spec),
                    std::make_shared<ScenarioResult>(std::move(result)));
+      ++entries_loaded;
       in_entry = false;
     } else {
       return load_error(path_, line_no, "unknown keyword '" + keyword + "'");
@@ -213,10 +226,19 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
   if (in_entry) {
     return load_error(path_, line_no, "truncated file: entry missing 'end'");
   }
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.counter("cache.store.load.files").add(1);
+    registry.counter("cache.store.load.entries").add(entries_loaded);
+    registry.counter("cache.store.load.bytes").add(file_size(path_));
+    registry.histogram("cache.store.load.ns").record(watch.ns());
+  }
   return true;
 }
 
 bool ScenarioCacheStore::save(const ScenarioCache& cache) const {
+  const obs::StopWatch watch;
+  std::size_t entries_saved = 0;
   const std::string tmp_path =
       path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
@@ -274,6 +296,7 @@ bool ScenarioCacheStore::save(const ScenarioCache& cache) const {
       out << '\n';
     }
     out << "end\n";
+    ++entries_saved;
   }
 
   out.flush();
@@ -290,6 +313,13 @@ bool ScenarioCacheStore::save(const ScenarioCache& cache) const {
                  tmp_path.c_str(), path_.c_str(), std::strerror(errno));
     std::remove(tmp_path.c_str());
     return false;
+  }
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.counter("cache.store.save.files").add(1);
+    registry.counter("cache.store.save.entries").add(entries_saved);
+    registry.counter("cache.store.save.bytes").add(file_size(path_));
+    registry.histogram("cache.store.save.ns").record(watch.ns());
   }
   return true;
 }

@@ -1,0 +1,106 @@
+// Performance baselines: `powersched bench` measures the hot solver kernels
+// of the catalogue presets (p_micro + a1..a4 by default) with warmup +
+// repetition-median ns/op timing, writes a schema-versioned BENCH_<rev>.json
+// snapshot, and `bench --compare OLD NEW` diffs two snapshots and fails past
+// a regression threshold. This is what turns "did PR N make trials slower?"
+// from a guess into a CI gate: the repo carries a committed baseline under
+// bench/baselines/, and the bench job compares every build against it.
+//
+// Timing here is intentionally *serial* (one thread, no pool, no cache):
+// the quantity tracked is the cost of one solver trial, not sweep
+// throughput — thread-pool scaling has its own metrics (see
+// docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ps::engine {
+
+/// One timed kernel: the first scenario of one solver within one preset's
+/// expanded plan, identified stably by (preset, kernel, params) so two
+/// snapshots of different revisions can be matched entry-by-entry.
+struct BenchEntry {
+  std::string preset;
+  /// Solver key — the kernel under test.
+  std::string kernel;
+  /// Parameter signature of the timed scenario (ParamMap::signature()).
+  std::string params;
+  /// Trials per repetition (the inner loop length).
+  int trials = 0;
+  /// Timed repetitions; ns_per_op is the median over them.
+  int reps = 0;
+  double ns_per_op = 0.0;
+  double trials_per_sec = 0.0;
+};
+
+/// One bench snapshot — what BENCH_<rev>.json holds.
+struct BenchReport {
+  /// Schema tag written to / checked in the JSON ("powersched-bench v1").
+  static const char kSchema[];
+
+  /// Revision label the caller stamps in (git short hash in CI).
+  std::string revision;
+  std::string host_os;
+  std::string host_machine;
+  unsigned hardware_concurrency = 0;
+  int warmup = 0;
+  std::vector<BenchEntry> entries;
+};
+
+struct BenchOptions {
+  /// Presets to measure; empty = the default set (p_micro, a1..a4).
+  std::vector<std::string> presets;
+  /// Trials per repetition (inner loop; larger = less timer noise).
+  int trials = 32;
+  /// Timed repetitions (median taken).
+  int reps = 5;
+  /// Discarded warmup repetitions before timing starts.
+  int warmup = 1;
+  /// Revision label stamped into the report.
+  std::string revision = "dev";
+  /// One "bench: <preset>/<kernel> ..." line per kernel on stderr.
+  bool verbose = false;
+};
+
+/// The default preset set `powersched bench` measures.
+const std::vector<std::string>& default_bench_presets();
+
+/// Runs the measurement. Status::usage on an unknown preset name or
+/// non-positive trials/reps.
+ps::Status run_bench(const BenchOptions& options, BenchReport& out);
+
+/// The report as its canonical JSON document (deterministic for a fixed
+/// report: entries in measurement order, %.17g numbers).
+std::string render_bench_json(const BenchReport& report);
+
+/// Writes render_bench_json to `path`, creating parent directories.
+ps::Status write_bench_report(const BenchReport& report,
+                              const std::string& path);
+
+/// Parses a BENCH_*.json file back. Status::runtime with the path and the
+/// parse/schema error on failure.
+ps::Status load_bench_report(const std::string& path, BenchReport& out);
+
+/// Outcome of comparing two snapshots.
+struct BenchComparison {
+  /// Human-readable table: one row per matched entry (old/new ns_per_op and
+  /// the ratio), plus lines for entries present in only one snapshot.
+  std::string text;
+  std::size_t matched = 0;
+  /// Entries whose new/old ns_per_op ratio exceeded the threshold.
+  std::size_t regressions = 0;
+};
+
+/// Matches entries by (preset, kernel, params) and flags every matched
+/// entry with new/old > threshold as a regression. Entries missing on
+/// either side are reported in the text but never fail the comparison —
+/// kernels come and go across revisions.
+BenchComparison compare_bench_reports(const BenchReport& old_report,
+                                      const BenchReport& new_report,
+                                      double threshold);
+
+}  // namespace ps::engine

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace ps::engine {
 namespace {
 
@@ -27,9 +29,15 @@ double cached_reference(const std::string& key,
     const auto it = c.values.find(key);
     if (it != c.values.end()) {
       ++c.stats.hits;
+      if (obs::enabled()) {
+        obs::Registry::global().counter("cache.reference.hits").add(1);
+      }
       return it->second;
     }
     ++c.stats.misses;
+  }
+  if (obs::enabled()) {
+    obs::Registry::global().counter("cache.reference.misses").add(1);
   }
   const double value = compute();
   const std::lock_guard<std::mutex> lock(c.mutex);

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <iterator>
+#include <memory>
 #include <utility>
 
 #include "engine/cache_store.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 
 namespace ps::engine {
 
@@ -145,7 +148,14 @@ Status Session::prepare() {
 }
 
 Status Session::run() {
-  if (Status status = prepare(); !status.ok()) return status;
+  // Phase spans mirror the run structure: resolve-plan -> (run -> sink) per
+  // sweep unit -> report. They cost nothing unless metrics or tracing are
+  // on, and they only ever write to the obs registry / trace recorder, so
+  // the primary outputs stay byte-identical either way.
+  obs::PhaseTimer resolve_span("session.resolve_plan");
+  const Status prep_status = prepare();
+  resolve_span.stop();
+  if (!prep_status.ok()) return prep_status;
 
   SinkContext context;
   context.preset = preset_;
@@ -181,7 +191,34 @@ Status Session::run() {
     }
   }
 
-  const SweepRunner runner(sweep_options_);
+  // Session-wide progress totals: the per-unit runner reports only the
+  // trials it actually executes, so the offsets advance by each unit's
+  // planned size once the unit completes (cache-served trials show up as a
+  // jump rather than never completing).
+  std::unique_ptr<obs::ProgressMeter> meter;
+  std::size_t scenario_offset = 0;
+  std::uint64_t trials_offset = 0;
+  SweepOptions run_options = sweep_options_;
+  if (config_.progress && !merge_mode) {
+    std::uint64_t total_trials = 0;
+    for (const auto& unit : units_) {
+      for (const auto& spec : unit.scenarios) {
+        if (spec.trials > 0) {
+          total_trials += static_cast<std::uint64_t>(spec.trials);
+        }
+      }
+    }
+    meter = std::make_unique<obs::ProgressMeter>(num_scenarios(),
+                                                 total_trials);
+    run_options.progress = [&meter, &scenario_offset, &trials_offset](
+                               std::size_t scenarios_done, std::size_t,
+                               std::uint64_t trials_done, std::uint64_t) {
+      meter->on_progress(scenario_offset + scenarios_done,
+                         trials_offset + trials_done);
+    };
+  }
+
+  const SweepRunner runner(run_options);
   std::vector<ScenarioResult> all;
   Status deferred;
   bool first = true;
@@ -196,7 +233,15 @@ Status Session::run() {
             "listed above)");
       }
     } else {
+      obs::PhaseTimer run_span("session.run");
       results = runner.run(registry_, units_[i].scenarios);
+      run_span.stop();
+      scenario_offset += units_[i].scenarios.size();
+      for (const auto& spec : units_[i].scenarios) {
+        if (spec.trials > 0) {
+          trials_offset += static_cast<std::uint64_t>(spec.trials);
+        }
+      }
     }
     SweepBatch batch;
     batch.preset = preset_;
@@ -205,21 +250,26 @@ Status Session::run() {
     batch.caption = units_[i].caption;
     batch.timing = timing_;
     batch.results = &results;
+    obs::PhaseTimer sink_span("session.sink");
     for (const auto& sink : sinks_) {
       if (Status status = sink->consume(batch);
           !status.ok() && deferred.ok()) {
         deferred = status;
       }
     }
+    sink_span.stop();
     all.insert(all.end(), std::make_move_iterator(results.begin()),
                std::make_move_iterator(results.end()));
     first = false;
   }
+  if (meter != nullptr) meter->finish(scenario_offset, trials_offset);
 
   context.all_results = &all;
+  obs::PhaseTimer report_span("session.report");
   for (const auto& sink : sinks_) {
     if (Status status = sink->finish(context); !status.ok()) return status;
   }
+  report_span.stop();
   return deferred;
 }
 

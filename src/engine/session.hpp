@@ -86,6 +86,13 @@ struct RunConfig {
   /// Print stderr progress lines (scenario counts, shard banners). The CLI
   /// sets this; library embedders usually keep it off.
   bool verbose = false;
+
+  /// Live progress ticker on stderr (obs::ProgressMeter): scenarios
+  /// done/total, trials/sec, ETA, throttled to at most one line per second.
+  /// The CLI sets this only when stderr is a TTY, so logs and CI output
+  /// never see the carriage-return line. No effect in merge mode (no
+  /// trials run there).
+  bool progress = false;
 };
 
 class Session {

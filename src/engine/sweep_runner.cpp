@@ -1,13 +1,16 @@
 #include "engine/sweep_runner.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/time.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace ps::engine {
 namespace {
@@ -71,20 +74,35 @@ ScenarioCache& ScenarioCache::global() {
 
 std::shared_ptr<const ScenarioResult> ScenarioCache::find(
     const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return nullptr;
+  std::shared_ptr<const ScenarioResult> found;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+    } else {
+      ++stats_.hits;
+      found = it->second;
+    }
   }
-  ++stats_.hits;
-  return it->second;
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .counter(found != nullptr ? "cache.scenario.hits"
+                                  : "cache.scenario.misses")
+        .add(1);
+  }
+  return found;
 }
 
 void ScenarioCache::insert(const std::string& key,
                            std::shared_ptr<const ScenarioResult> result) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  entries_.emplace(key, std::move(result));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(key, std::move(result));
+  }
+  if (obs::enabled()) {
+    obs::Registry::global().counter("cache.scenario.inserts").add(1);
+  }
 }
 
 std::shared_ptr<const ScenarioResult> ScenarioCache::peek(
@@ -167,11 +185,60 @@ std::vector<ScenarioResult> SweepRunner::run(
   // them in a fixed order, so statistics do not depend on thread count.
   std::vector<std::pair<std::size_t, int>> items;
   std::vector<std::vector<TrialSlot>> slots(scenarios.size());
+  std::size_t scenarios_cache_served = 0;
+  std::size_t scenarios_deduped = 0;
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
-    if (served[s] != nullptr || duplicate_of[s] >= 0) continue;
+    if (served[s] != nullptr) {
+      ++scenarios_cache_served;
+      continue;
+    }
+    if (duplicate_of[s] >= 0) {
+      ++scenarios_deduped;
+      continue;
+    }
     const int trials = scenarios[s].trials;
     slots[s].resize(static_cast<std::size_t>(trials > 0 ? trials : 0));
     for (int t = 0; t < trials; ++t) items.emplace_back(s, t);
+  }
+  const std::size_t scenarios_skipped =
+      scenarios_cache_served + scenarios_deduped;
+
+  // Instrument handles are resolved once out here; inside the trial loop
+  // an increment is a relaxed atomic op, never a registry lookup.
+  const bool metrics_on = obs::enabled();
+  obs::Counter* trials_counter = nullptr;
+  obs::LatencyHistogram* trial_wall = nullptr;
+  obs::LatencyHistogram* trial_cpu = nullptr;
+  if (metrics_on) {
+    auto& registry = obs::Registry::global();
+    registry.counter("sweep.scenarios.planned").add(scenarios.size());
+    registry.counter("sweep.scenarios.cache_served")
+        .add(scenarios_cache_served);
+    registry.counter("sweep.scenarios.deduped").add(scenarios_deduped);
+    registry.counter("sweep.scenarios.executed")
+        .add(scenarios.size() - scenarios_skipped);
+    trials_counter = &registry.counter("sweep.trials.run");
+    trial_wall = &registry.histogram("sweep.trial.wall_ns");
+    trial_cpu = &registry.histogram("sweep.trial.cpu_ns");
+  }
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  const bool tracing = recorder.active();
+
+  // Progress bookkeeping only exists when a callback is installed; the
+  // remaining-trials counters give exact scenario completion without any
+  // ordering assumption on the worker schedule.
+  const std::uint64_t trials_total = items.size();
+  std::atomic<std::uint64_t> trials_done{0};
+  std::atomic<std::size_t> scenarios_done{scenarios_skipped};
+  std::vector<std::atomic<int>> remaining(
+      options_.progress ? scenarios.size() : 0);
+  if (options_.progress) {
+    for (std::size_t s = 0; s < remaining.size(); ++s) {
+      remaining[s].store(static_cast<int>(slots[s].size()),
+                         std::memory_order_relaxed);
+    }
+    options_.progress(scenarios_done.load(), scenarios.size(), 0,
+                      trials_total);
   }
 
   util::ThreadPool pool(options_.num_threads);
@@ -180,10 +247,29 @@ std::vector<ScenarioResult> SweepRunner::run(
     const ScenarioSpec& spec = scenarios[s];
     util::Rng instance_rng(spec.instance_seed(t));
     util::Rng algo_rng(spec.algo_seed(t));
-    util::Timer timer;
     TrialSlot& slot = slots[s][static_cast<std::size_t>(t)];
+    const std::uint64_t cpu_start = metrics_on ? obs::thread_cpu_ns() : 0;
+    const std::uint64_t start_ns = obs::now_ns();
     slot.result = solvers[s]->run_trial(spec.params, instance_rng, algo_rng);
-    slot.wall_ms = timer.milliseconds();
+    const std::uint64_t wall_ns = obs::now_ns() - start_ns;
+    slot.wall_ms = static_cast<double>(wall_ns) / 1e6;
+    if (metrics_on) {
+      trials_counter->add(1);
+      trial_wall->record(wall_ns);
+      trial_cpu->record(obs::thread_cpu_ns() - cpu_start);
+    }
+    if (tracing) {
+      recorder.add_complete(spec.label(), "trial", start_ns, wall_ns);
+    }
+    if (options_.progress) {
+      const std::uint64_t done =
+          trials_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::size_t sc_done = scenarios_done.load(std::memory_order_relaxed);
+      if (remaining[s].fetch_sub(1, std::memory_order_relaxed) == 1) {
+        sc_done = scenarios_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      }
+      options_.progress(sc_done, scenarios.size(), done, trials_total);
+    }
   });
 
   std::vector<ScenarioResult> results(scenarios.size());

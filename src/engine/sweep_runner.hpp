@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -107,6 +109,14 @@ struct SweepOptions {
   bool use_cache = false;
   /// Cache to use when use_cache is set; null = ScenarioCache::global().
   ScenarioCache* cache = nullptr;
+  /// Progress callback, invoked from worker threads after every completed
+  /// trial with monotone running totals (cache-served and duplicate
+  /// scenarios count as done from the start). Throttling is the callee's
+  /// job — obs::ProgressMeter rate-limits itself — and the callback must be
+  /// thread-safe. Null (the default) costs the hot loop nothing.
+  std::function<void(std::size_t scenarios_done, std::size_t scenarios_total,
+                     std::uint64_t trials_done, std::uint64_t trials_total)>
+      progress;
 };
 
 /// Runs scenarios against a registry. Unknown solver names abort with a

@@ -1,0 +1,291 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ps::obs {
+namespace {
+
+constexpr std::size_t kMaxDepth = 64;
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char ch = text[pos];
+      if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(char ch) {
+    if (pos < text.size() && text[pos] == ch) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text.compare(pos, len, word) != 0) return false;
+    pos += len;
+    return true;
+  }
+
+  /// \uXXXX payload, already past the 'u'. Encodes the code point as UTF-8;
+  /// surrogate pairs are decoded when both halves are present.
+  bool parse_unicode_escape(std::string& out) {
+    const auto hex4 = [&](unsigned& value) {
+      if (pos + 4 > text.size()) return false;
+      value = 0;
+      for (std::size_t i = 0; i < 4; ++i) {
+        const char ch = text[pos + i];
+        unsigned digit = 0;
+        if (ch >= '0' && ch <= '9') digit = static_cast<unsigned>(ch - '0');
+        else if (ch >= 'a' && ch <= 'f') digit = static_cast<unsigned>(ch - 'a') + 10;
+        else if (ch >= 'A' && ch <= 'F') digit = static_cast<unsigned>(ch - 'A') + 10;
+        else return false;
+        value = value * 16 + digit;
+      }
+      pos += 4;
+      return true;
+    };
+    unsigned code = 0;
+    if (!hex4(code)) return fail("bad \\u escape");
+    if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate
+      if (pos + 2 <= text.size() && text[pos] == '\\' && text[pos + 1] == 'u') {
+        pos += 2;
+        unsigned low = 0;
+        if (!hex4(low) || low < 0xDC00 || low > 0xDFFF) {
+          return fail("bad low surrogate in \\u escape");
+        }
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+      } else {
+        return fail("unpaired high surrogate in \\u escape");
+      }
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      return fail("unpaired low surrogate in \\u escape");
+    }
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos < text.size()) {
+      const char ch = text[pos];
+      if (ch == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (ch != '\\') {
+        out += ch;
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (pos >= text.size()) return fail("truncated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (!parse_unicode_escape(out)) return false;
+          break;
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      pos = start;
+      return fail("bad number");
+    }
+    if (text[pos] == '0') {
+      ++pos;  // leading zeros are not JSON
+    } else {
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return fail("bad fraction");
+      }
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return fail("bad exponent");
+      }
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    const std::string token = text.substr(start, pos - start);
+    errno = 0;
+    char* end = nullptr;
+    out.number_value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("bad number");
+    out.type = Json::Type::kNumber;
+    return true;
+  }
+
+  bool parse_value(Json& out, std::size_t depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char ch = text[pos];
+    if (ch == '{') {
+      ++pos;
+      out.type = Json::Type::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!consume(':')) return fail("expected ':'");
+        Json value;
+        if (!parse_value(value, depth + 1)) return false;
+        out.object_members.emplace_back(std::move(key), std::move(value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (ch == '[') {
+      ++pos;
+      out.type = Json::Type::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      for (;;) {
+        Json item;
+        if (!parse_value(item, depth + 1)) return false;
+        out.array_items.push_back(std::move(item));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (ch == '"') {
+      out.type = Json::Type::kString;
+      return parse_string(out.string_value);
+    }
+    if (ch == 't') {
+      if (!literal("true", 4)) return fail("bad literal");
+      out.type = Json::Type::kBool;
+      out.bool_value = true;
+      return true;
+    }
+    if (ch == 'f') {
+      if (!literal("false", 5)) return fail("bad literal");
+      out.type = Json::Type::kBool;
+      out.bool_value = false;
+      return true;
+    }
+    if (ch == 'n') {
+      if (!literal("null", 4)) return fail("bad literal");
+      out.type = Json::Type::kNull;
+      return true;
+    }
+    return parse_number(out);
+  }
+};
+
+}  // namespace
+
+bool Json::parse(const std::string& text, Json& out, std::string* error) {
+  out = Json();
+  Parser parser{text, 0, {}};
+  if (!parser.parse_value(out, 0)) {
+    if (error != nullptr) *error = parser.error;
+    return false;
+  }
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(parser.pos);
+    }
+    return false;
+  }
+  return true;
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [name, value] : object_members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ps::obs

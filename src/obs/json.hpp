@@ -1,0 +1,65 @@
+// Minimal JSON reader/escaper for the observability surface. The repo is
+// dependency-free by policy, but three features need to *read* JSON back:
+// `powersched bench --compare` (two BENCH_*.json files), the trace/metrics
+// well-formedness tests, and any embedder checking exporter output. This is
+// a small strict recursive-descent parser over the full JSON grammar —
+// objects, arrays, strings (with escapes), numbers, true/false/null — with
+// a depth limit instead of recursion-unbounded trust.
+//
+// It is a reader for machine-written files, not a streaming parser: the
+// whole document becomes one Json tree. Writing JSON stays as plain string
+// building at each call site (the formats are flat), with json_escape as
+// the one shared helper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ps::obs {
+
+/// One JSON value. Object member order is preserved as parsed (handy for
+/// byte-oriented tests), lookup is linear — fine for the small documents
+/// this reads.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses `text` as one JSON document (trailing whitespace allowed,
+  /// trailing garbage rejected). On failure returns false and, when `error`
+  /// is non-null, describes what went wrong and at which byte offset.
+  static bool parse(const std::string& text, Json& out,
+                    std::string* error = nullptr);
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<Json> array_items;
+  std::vector<std::pair<std::string, Json>> object_members;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// First member named `key`, or nullptr (also when not an object).
+  const Json* find(const std::string& key) const;
+
+  /// Convenience accessors with fallbacks for schema-tolerant readers.
+  double number_or(double fallback) const {
+    return is_number() ? number_value : fallback;
+  }
+  const std::string& string_or(const std::string& fallback) const {
+    return is_string() ? string_value : fallback;
+  }
+};
+
+/// `text` as a JSON string literal body (no surrounding quotes): escapes
+/// quote, backslash, and control characters. Everything else passes through
+/// byte-for-byte (valid UTF-8 in, valid UTF-8 out).
+std::string json_escape(const std::string& text);
+
+}  // namespace ps::obs

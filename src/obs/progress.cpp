@@ -1,0 +1,70 @@
+#include "obs/progress.hpp"
+
+#include "obs/time.hpp"
+
+namespace ps::obs {
+
+ProgressMeter::ProgressMeter(std::size_t scenarios_total,
+                             std::uint64_t trials_total, std::FILE* out,
+                             std::uint64_t min_interval_ns)
+    : scenarios_total_(scenarios_total),
+      trials_total_(trials_total),
+      out_(out),
+      min_interval_ns_(min_interval_ns),
+      start_ns_(now_ns()),
+      last_print_ns_(start_ns_) {}
+
+void ProgressMeter::on_progress(std::size_t scenarios_done,
+                                std::uint64_t trials_done) {
+  const std::uint64_t now = now_ns();
+  std::uint64_t last = last_print_ns_.load(std::memory_order_relaxed);
+  if (now - last < min_interval_ns_) return;
+  // One thread wins the CAS and prints; the rest skip — no lock, no queue
+  // of stale updates.
+  if (!last_print_ns_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  print_line(scenarios_done, trials_done);
+}
+
+void ProgressMeter::finish(std::size_t scenarios_done,
+                           std::uint64_t trials_done) {
+  // Only close out a line that was actually started: a sweep shorter than
+  // the throttle interval stays silent end to end.
+  if (!printed_.load(std::memory_order_relaxed)) return;
+  print_line(scenarios_done, trials_done);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+}
+
+void ProgressMeter::print_line(std::size_t scenarios_done,
+                               std::uint64_t trials_done) {
+  printed_.store(true, std::memory_order_relaxed);
+  const double elapsed_s =
+      static_cast<double>(now_ns() - start_ns_) / 1e9;
+  const double rate =
+      elapsed_s > 0.0 ? static_cast<double>(trials_done) / elapsed_s : 0.0;
+  const std::uint64_t remaining =
+      trials_total_ > trials_done ? trials_total_ - trials_done : 0;
+  char eta[32];
+  if (rate <= 0.0 || remaining == 0) {
+    std::snprintf(eta, sizeof(eta), "--");
+  } else {
+    const double eta_s = static_cast<double>(remaining) / rate;
+    if (eta_s >= 90.0) {
+      std::snprintf(eta, sizeof(eta), "%.1fmin", eta_s / 60.0);
+    } else {
+      std::snprintf(eta, sizeof(eta), "%.0fs", eta_s);
+    }
+  }
+  std::fprintf(out_,
+               "\rprogress: %zu/%zu scenarios  %llu/%llu trials  "
+               "%.0f trials/s  ETA %s   ",
+               scenarios_done, scenarios_total_,
+               static_cast<unsigned long long>(trials_done),
+               static_cast<unsigned long long>(trials_total_), rate, eta);
+  std::fflush(out_);
+}
+
+}  // namespace ps::obs

@@ -1,0 +1,49 @@
+// Live progress reporting for long sweeps: a throttled one-line stderr
+// ticker (scenarios done/total, trials/sec, ETA) driven by the same trial
+// counters the metrics registry sees. Designed for interactive terminals —
+// the caller gates construction on isatty(stderr), so CI logs never see a
+// carriage-return spinner — and for worker-thread callers: on_progress is
+// thread-safe and rate-limits itself with one atomic CAS, so a million
+// trials cost a million relaxed loads and ~one line per second of output.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+
+namespace ps::obs {
+
+class ProgressMeter {
+ public:
+  /// `out` is borrowed (stderr in production, a tmpfile in tests);
+  /// `min_interval_ns` is the floor between printed updates (>= 1s by
+  /// default, per the CI-cleanliness contract).
+  ProgressMeter(std::size_t scenarios_total, std::uint64_t trials_total,
+                std::FILE* out = stderr,
+                std::uint64_t min_interval_ns = 1000000000ull);
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Reports monotone progress; prints (with a leading '\r', no newline)
+  /// at most once per min_interval_ns. Safe from any thread.
+  void on_progress(std::size_t scenarios_done, std::uint64_t trials_done);
+
+  /// Prints the final 100% line and terminates it with a newline. Call
+  /// once, from one thread, after the run completes.
+  void finish(std::size_t scenarios_done, std::uint64_t trials_done);
+
+ private:
+  void print_line(std::size_t scenarios_done, std::uint64_t trials_done);
+
+  std::size_t scenarios_total_;
+  std::uint64_t trials_total_;
+  std::FILE* out_;
+  std::uint64_t min_interval_ns_;
+  std::uint64_t start_ns_;
+  std::atomic<std::uint64_t> last_print_ns_;
+  std::atomic<bool> printed_{false};
+};
+
+}  // namespace ps::obs

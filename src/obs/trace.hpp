@@ -1,0 +1,99 @@
+// Span tracing: a process-global TraceRecorder collecting named time spans
+// and exporting them as Chrome trace_event JSON — load the file in
+// chrome://tracing or https://ui.perfetto.dev to see where a sweep spends
+// its time (session phases as top-level spans, one slice per trial under
+// the worker thread that ran it).
+//
+// Recording is opt-in twice over: spans are captured only while the
+// recorder is active (the CLI activates it for --trace runs), and
+// PhaseTimer also needs obs::enabled() for its histogram side. An inactive
+// recorder costs one relaxed atomic load per would-be span.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ps::obs {
+
+/// One completed span. Times are now_ns() readings (monotonic); the
+/// exporter rebases them onto the recorder's epoch so traces start at ~0.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Stable small id of the recording thread (per-recorder numbering in
+  /// first-seen order) — becomes the trace's "tid" lane.
+  std::uint64_t thread_id = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// The process-global recorder every instrumentation site records into.
+  static TraceRecorder& global();
+
+  TraceRecorder();
+
+  /// Activate/deactivate capture. Activation (re)bases the epoch, so a
+  /// fresh trace starts near ts=0.
+  void set_active(bool active);
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed span (no-op while inactive). Thread-safe; spans
+  /// here are coarse (phases, scenarios, trials), so one mutex is fine.
+  void add_complete(const std::string& name, const std::string& category,
+                    std::uint64_t start_ns, std::uint64_t duration_ns);
+
+  std::size_t size() const;
+  void clear();
+  /// Snapshot of the captured spans, in capture order.
+  std::vector<TraceEvent> events() const;
+
+  /// The capture as a Chrome trace_event JSON document
+  /// ({"traceEvents": [...]}, "ph":"X" complete events, ts/dur in
+  /// microseconds) — deterministic for a fixed capture.
+  std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`; Status names the path on
+  /// failure.
+  ps::Status write(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::uint64_t> thread_hashes_;  // index = assigned thread id
+  std::atomic<bool> active_{false};
+  std::uint64_t epoch_ns_ = 0;
+};
+
+/// RAII phase span: measures monotonic time from construction to stop() or
+/// destruction, records it into Registry::global()'s histogram `name` (when
+/// obs::enabled()) and into TraceRecorder::global() (when tracing is
+/// active). When neither is on, construction is two relaxed loads and no
+/// clock read.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string name, std::string category = "phase");
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Ends the span early (idempotent). Returns the measured duration in ns
+  /// (0 when observability was off at construction).
+  std::uint64_t stop();
+
+ private:
+  std::string name_;
+  std::string category_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace ps::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.hpp"
+#include "obs/time.hpp"
+
 namespace ps::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -25,12 +28,24 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::unique_lock lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    depth = tasks_.size();
   }
   task_ready_.notify_one();
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.counter("pool.tasks.submitted").add(1);
+    // High-water mark of the queue this process has seen — a proxy for how
+    // far ahead of the workers the producer runs.
+    auto& gauge = registry.gauge("pool.queue.depth.max");
+    if (static_cast<double>(depth) > gauge.value()) {
+      gauge.set(static_cast<double>(depth));
+    }
+  }
 }
 
 void ThreadPool::wait_idle() {
@@ -41,6 +56,9 @@ void ThreadPool::wait_idle() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    // Gate the clock reads per iteration: obs::enabled() can flip while
+    // workers are parked, and a 0 start marks "was off at the start".
+    const std::uint64_t idle_start = obs::enabled() ? obs::now_ns() : 0;
     {
       std::unique_lock lock(mutex_);
       task_ready_.wait(lock,
@@ -49,7 +67,14 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const std::uint64_t busy_start = idle_start != 0 ? obs::now_ns() : 0;
     task();
+    if (busy_start != 0) {
+      auto& registry = obs::Registry::global();
+      registry.counter("pool.tasks.executed").add(1);
+      registry.counter("pool.idle_ns").add(busy_start - idle_start);
+      registry.counter("pool.busy_ns").add(obs::now_ns() - busy_start);
+    }
     {
       std::unique_lock lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -1,26 +1,14 @@
-// Wall-clock timing helper for coarse experiment timing (fine-grained timing
-// goes through google-benchmark in bench/).
+// Deprecated shim: util::Timer was the library's ad-hoc stopwatch before
+// the observability subsystem consolidated timing into src/obs/ (one clock,
+// one utility). Existing includes keep compiling; new code should include
+// "obs/time.hpp" and use ps::obs::StopWatch (or obs::PhaseTimer for spans
+// that should show up in metrics and traces).
 #pragma once
 
-#include <chrono>
+#include "obs/time.hpp"
 
 namespace ps::util {
 
-/// Stopwatch measuring wall time since construction or the last reset().
-class Timer {
- public:
-  Timer() : start_(Clock::now()) {}
-
-  void reset() { start_ = Clock::now(); }
-
-  double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-  double milliseconds() const { return seconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
+using Timer = ps::obs::StopWatch;
 
 }  // namespace ps::util

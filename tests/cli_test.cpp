@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -125,19 +126,77 @@ TEST(Cli, SweepRunsEndToEndThroughSession) {
   std::remove(csv.c_str());
 }
 
+TEST(Cli, BenchUsageAndCompare) {
+  EXPECT_EQ(run_cli({"help", "bench"}), 0);
+  EXPECT_EQ(run_cli({"bench", "--presets", "no_such_preset"}), 2);
+  EXPECT_EQ(run_cli({"bench", "--trials", "0"}), 2);
+  EXPECT_EQ(run_cli({"bench", "--reps", "bad"}), 2);
+  EXPECT_EQ(run_cli({"bench", "--threshold", "2.0"}), 2);  // needs --compare
+  // Compare mode wants exactly OLD NEW.
+  EXPECT_EQ(run_cli({"bench", "--compare", "only-one.json"}), 2);
+  EXPECT_EQ(run_cli({"bench", "--compare", "a.json", "b.json", "c.json"}), 2);
+  EXPECT_EQ(run_cli({"bench", "--compare", "--threshold", "0", "a", "b"}), 2);
+  // Missing snapshot files are runtime failures, not usage.
+  EXPECT_EQ(run_cli({"bench", "--compare", "cli_test_no_old.json",
+                     "cli_test_no_new.json"}),
+            1);
+
+  // Measure a tiny snapshot twice, then compare: identical work passes.
+  const std::string old_json = ::testing::TempDir() + "cli_test_bench_old.json";
+  const std::string new_json = ::testing::TempDir() + "cli_test_bench_new.json";
+  EXPECT_EQ(run_cli({"bench", "--presets", "p_micro", "--trials", "1",
+                     "--reps", "1", "--warmup", "0", "--out",
+                     old_json.c_str()}),
+            0);
+  EXPECT_EQ(run_cli({"bench", "--presets", "p_micro", "--trials", "1",
+                     "--reps", "1", "--warmup", "0", "--rev", "head",
+                     "--out", new_json.c_str()}),
+            0);
+  // A generous threshold always passes two runs of the same kernels.
+  EXPECT_EQ(run_cli({"bench", "--compare", "--threshold", "1000",
+                     old_json.c_str(), new_json.c_str()}),
+            0);
+  std::remove(old_json.c_str());
+  std::remove(new_json.c_str());
+}
+
+TEST(Cli, MetricsFlagsWriteSideFiles) {
+  const std::string metrics_json =
+      ::testing::TempDir() + "cli_test_metrics.json";
+  const std::string trace_json = ::testing::TempDir() + "cli_test_trace.json";
+  EXPECT_EQ(run_cli({"sweep", "--preset", "e15", "--trials", "1",
+                     "--metrics", "--metrics-json", metrics_json.c_str(),
+                     "--trace", trace_json.c_str()}),
+            0);
+  std::ifstream metrics_in(metrics_json);
+  std::string metrics_text((std::istreambuf_iterator<char>(metrics_in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_NE(metrics_text.find("powersched-metrics v1"), std::string::npos);
+  EXPECT_NE(metrics_text.find("sweep.trials.run"), std::string::npos);
+  std::ifstream trace_in(trace_json);
+  std::string trace_text((std::istreambuf_iterator<char>(trace_in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(trace_text.find("traceEvents"), std::string::npos);
+  EXPECT_NE(trace_text.find("session.run"), std::string::npos);
+  std::remove(metrics_json.c_str());
+  std::remove(trace_json.c_str());
+}
+
 TEST(Cli, MarkdownReferenceCoversEveryCommand) {
   const std::string markdown = cli_reference_markdown();
   for (const char* heading :
        {"# powersched CLI reference", "## powersched sweep",
         "## powersched merge", "## powersched report",
-        "## powersched list-presets", "## powersched list-solvers",
-        "## powersched help"}) {
+        "## powersched bench", "## powersched list-presets",
+        "## powersched list-solvers", "## powersched help"}) {
     EXPECT_NE(markdown.find(heading), std::string::npos) << heading;
   }
   // The exit-code contract and the key option surface are documented.
   EXPECT_NE(markdown.find("Exit codes"), std::string::npos);
   for (const char* option : {"--shard", "--cache-file", "--csv", "--report",
-                             "--algo-param", "--inputs", "--out"}) {
+                             "--algo-param", "--inputs", "--out", "--metrics",
+                             "--metrics-json", "--trace", "--progress",
+                             "--compare", "--threshold"}) {
     EXPECT_NE(markdown.find(option), std::string::npos) << option;
   }
   // Deprecated aliases stay out of the documented surface.

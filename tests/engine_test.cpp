@@ -167,7 +167,9 @@ std::vector<ScenarioResult> run_reference_sweep(std::size_t num_threads) {
   plan.axes = {{"alpha", {1.0, 2.0}}};
   plan.trials = 12;
   plan.seed = 99;
-  const SweepRunner runner({num_threads});
+  SweepOptions options;
+  options.num_threads = num_threads;
+  const SweepRunner runner(options);
   return runner.run(SolverRegistry::with_builtins(), plan);
 }
 
@@ -421,7 +423,9 @@ std::vector<ScenarioResult> run_metric_sweep(std::size_t num_threads) {
   plan.axes = {{"x", {1.0, 2.0}}};
   plan.trials = 40;
   plan.seed = 7;
-  const SweepRunner runner({num_threads});
+  SweepOptions options;
+  options.num_threads = num_threads;
+  const SweepRunner runner(options);
   return runner.run(registry, plan);
 }
 

@@ -1,0 +1,480 @@
+// Tests for the src/obs observability core and the bench baseline layer:
+// registry semantics, histogram percentiles against a sorted-sample oracle,
+// deterministic snapshot rendering, metrics/trace JSON well-formedness
+// (parsed back with the in-repo JSON reader), thread-safety of concurrent
+// increments, PhaseTimer span capture, ProgressMeter throttling, and the
+// bench snapshot write/load/compare round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/perf_baseline.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/time.hpp"
+#include "obs/trace.hpp"
+
+namespace ps::obs {
+namespace {
+
+/// Restores the global obs switches and clears global obs state on exit,
+/// so tests that flip them cannot leak into the byte-identity tests.
+class ObsStateGuard {
+ public:
+  ObsStateGuard() {
+    set_enabled(false);
+    TraceRecorder::global().set_active(false);
+    TraceRecorder::global().clear();
+  }
+  ~ObsStateGuard() {
+    set_enabled(false);
+    TraceRecorder::global().set_active(false);
+    TraceRecorder::global().clear();
+    Registry::global().reset();
+  }
+};
+
+TEST(Metrics, DisabledByDefault) { EXPECT_FALSE(enabled()); }
+
+TEST(Registry, SameNameResolvesToSameInstrument) {
+  Registry registry;
+  Counter& a = registry.counter("x.count");
+  Counter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(2);
+  EXPECT_EQ(a.value(), 5u);
+
+  Gauge& g = registry.gauge("x.gauge");
+  g.set(2.5);
+  EXPECT_EQ(&registry.gauge("x.gauge"), &g);
+  EXPECT_DOUBLE_EQ(registry.gauge("x.gauge").value(), 2.5);
+
+  LatencyHistogram& h = registry.histogram("x.hist");
+  h.record(100);
+  EXPECT_EQ(&registry.histogram("x.hist"), &h);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsIdentities) {
+  Registry registry;
+  Counter& counter = registry.counter("r.count");
+  counter.add(7);
+  registry.histogram("r.hist").record(50);
+  registry.gauge("r.gauge").set(1.0);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);  // same instrument, zeroed
+  EXPECT_EQ(&registry.counter("r.count"), &counter);
+  EXPECT_EQ(registry.histogram("r.hist").count(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("r.gauge").value(), 0.0);
+}
+
+TEST(Registry, KindCollisionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Registry registry;
+  registry.counter("the.name");
+  EXPECT_DEATH(registry.gauge("the.name"), "different kind");
+}
+
+TEST(Histogram, ExactStatsAndBucketedPercentilesVsOracle) {
+  LatencyHistogram histogram;
+  // Deterministic pseudo-random sample (splitmix-ish), heavy-tailed like
+  // real latencies.
+  std::vector<std::uint64_t> samples;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 5000; ++i) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    samples.push_back(100 + z % (1u << (10 + i % 12)));
+  }
+  std::uint64_t sum = 0;
+  for (const std::uint64_t sample : samples) {
+    histogram.record(sample);
+    sum += sample;
+  }
+  std::vector<std::uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  EXPECT_EQ(histogram.count(), samples.size());
+  EXPECT_EQ(histogram.sum(), sum);
+  EXPECT_EQ(histogram.min(), sorted.front());
+  EXPECT_EQ(histogram.max(), sorted.back());
+
+  // The estimate must land within the geometric bucket containing the
+  // oracle's order statistic — that is the histogram's advertised
+  // resolution (1-2-5 buckets, factor <= 2.5).
+  const auto& bounds = LatencyHistogram::bucket_bounds();
+  const auto bucket_range = [&bounds](std::uint64_t value) {
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), value) -
+        bounds.begin());
+    const double lo = bucket == 0 ? 0.0
+                                  : static_cast<double>(bounds[bucket - 1]);
+    const double hi = bucket < bounds.size()
+                          ? static_cast<double>(bounds[bucket])
+                          : static_cast<double>(UINT64_MAX);
+    return std::pair<double, double>(lo, hi);
+  };
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::uint64_t oracle_lo =
+        sorted[static_cast<std::size_t>(std::floor(rank))];
+    const std::uint64_t oracle_hi =
+        sorted[static_cast<std::size_t>(std::ceil(rank))];
+    const double estimate = histogram.percentile(q);
+    EXPECT_GE(estimate, bucket_range(oracle_lo).first) << "q=" << q;
+    EXPECT_LE(estimate, bucket_range(oracle_hi).second) << "q=" << q;
+    EXPECT_GE(estimate, static_cast<double>(histogram.min())) << "q=" << q;
+    EXPECT_LE(estimate, static_cast<double>(histogram.max())) << "q=" << q;
+  }
+}
+
+TEST(Histogram, SingleSamplePercentileIsExact) {
+  LatencyHistogram histogram;
+  histogram.record(777);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.percentile(q), 777.0);
+  }
+  EXPECT_DOUBLE_EQ(LatencyHistogram().percentile(0.5), 0.0);
+}
+
+TEST(Snapshot, RenderingIsDeterministicAndInsertionOrderFree) {
+  const auto populate = [](Registry& registry,
+                           const std::vector<std::string>& order) {
+    for (const auto& name : order) registry.counter(name).add(1);
+    registry.counter("b.second").add(4);
+    registry.gauge("g.depth").set(3.0);
+    registry.histogram("h.lat").record(1500);
+    registry.histogram("h.lat").record(2500);
+  };
+  Registry forward;
+  populate(forward, {"a.first", "b.second", "c.third"});
+  Registry reverse;
+  populate(reverse, {"c.third", "b.second", "a.first"});
+
+  const std::string text = render_metrics_text(forward.snapshot());
+  EXPECT_EQ(text, render_metrics_text(forward.snapshot()));  // stable
+  EXPECT_EQ(text, render_metrics_text(reverse.snapshot()));  // order-free
+  // Counters, gauges, histograms each sorted by name.
+  EXPECT_LT(text.find("a.first"), text.find("b.second"));
+  EXPECT_LT(text.find("b.second"), text.find("c.third"));
+  EXPECT_NE(text.find("counter b.second"), std::string::npos);
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+}
+
+TEST(Snapshot, MetricsJsonParsesBack) {
+  Registry registry;
+  registry.counter("sweep.trials.run").add(42);
+  registry.gauge("pool.queue.depth.max").set(7.0);
+  registry.histogram("sweep.trial.wall_ns").record(123456);
+  const std::string text = render_metrics_json(registry.snapshot());
+
+  Json root;
+  std::string error;
+  ASSERT_TRUE(Json::parse(text, root, &error)) << error;
+  const Json* schema = root.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string_or(""), "powersched-metrics v1");
+  const Json* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* trials = counters->find("sweep.trials.run");
+  ASSERT_NE(trials, nullptr);
+  EXPECT_DOUBLE_EQ(trials->number_or(0.0), 42.0);
+  const Json* hist = root.find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const Json* wall = hist->find("sweep.trial.wall_ns");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(wall->find("count")->number_or(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(wall->find("min_ns")->number_or(0.0), 123456.0);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  Registry registry;
+  Counter& counter = registry.counter("smoke.count");
+  LatencyHistogram& histogram = registry.histogram("smoke.hist");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&counter, &histogram, i] {
+      for (int j = 0; j < kIncrements; ++j) {
+        counter.add(1);
+        histogram.record(static_cast<std::uint64_t>(100 + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Trace, ChromeJsonIsWellFormedIncludingEscapes) {
+  ObsStateGuard guard;
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.set_active(true);
+  const std::uint64_t start = now_ns();
+  recorder.add_complete("plain.span", "phase", start, 1500);
+  recorder.add_complete("weird \"name\"\n\\{q=1}", "trial", start + 2000,
+                        250);
+  recorder.set_active(false);
+  ASSERT_EQ(recorder.size(), 2u);
+
+  const std::string text = recorder.chrome_trace_json();
+  Json root;
+  std::string error;
+  ASSERT_TRUE(Json::parse(text, root, &error)) << error;
+  const Json* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array_items.size(), 2u);
+  const Json& second = events->array_items[1];
+  EXPECT_EQ(second.find("name")->string_or(""), "weird \"name\"\n\\{q=1}");
+  EXPECT_EQ(second.find("ph")->string_or(""), "X");
+  EXPECT_EQ(second.find("pid")->number_or(0.0), 1.0);
+  // Rebased onto the activation epoch: ts is small, dur is exact (0.25us).
+  EXPECT_DOUBLE_EQ(second.find("dur")->number_or(0.0), 0.25);
+  EXPECT_GE(second.find("ts")->number_or(-1.0), 0.0);
+
+  recorder.clear();
+  Json empty;
+  ASSERT_TRUE(Json::parse(recorder.chrome_trace_json(), empty, &error))
+      << error;
+  EXPECT_TRUE(empty.find("traceEvents")->array_items.empty());
+}
+
+TEST(Trace, InactiveRecorderDropsSpans) {
+  ObsStateGuard guard;
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.add_complete("dropped", "phase", now_ns(), 10);
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(PhaseTimer, RecordsHistogramAndTraceWhenOn) {
+  ObsStateGuard guard;
+  set_enabled(true);
+  TraceRecorder::global().set_active(true);
+  Registry::global().histogram("test.phase").reset();
+  const std::size_t spans_before = TraceRecorder::global().size();
+  {
+    PhaseTimer span("test.phase");
+    const std::uint64_t duration = span.stop();
+    EXPECT_GT(duration, 0u);
+    EXPECT_EQ(span.stop(), 0u);  // idempotent
+  }
+  EXPECT_EQ(Registry::global().histogram("test.phase").count(), 1u);
+  EXPECT_EQ(TraceRecorder::global().size(), spans_before + 1);
+}
+
+TEST(PhaseTimer, NoRecordingWhenOff) {
+  ObsStateGuard guard;
+  Registry::global().histogram("test.phase.off").reset();
+  {
+    PhaseTimer span("test.phase.off");
+    EXPECT_EQ(span.stop(), 0u);
+  }
+  EXPECT_EQ(Registry::global().histogram("test.phase.off").count(), 0u);
+  EXPECT_EQ(TraceRecorder::global().size(), 0u);
+}
+
+std::string drain(std::FILE* file) {
+  std::fflush(file);
+  std::string out(static_cast<std::size_t>(std::ftell(file)), '\0');
+  std::rewind(file);
+  const std::size_t read = std::fread(out.data(), 1, out.size(), file);
+  out.resize(read);
+  return out;
+}
+
+TEST(Progress, ThrottlesAndFinishesOnlyStartedLines) {
+  // Interval 0: every update prints.
+  std::FILE* chatty = std::tmpfile();
+  ASSERT_NE(chatty, nullptr);
+  {
+    ProgressMeter meter(4, 100, chatty, /*min_interval_ns=*/0);
+    meter.on_progress(1, 25);
+    meter.on_progress(2, 50);
+    meter.finish(4, 100);
+  }
+  const std::string chatty_out = drain(chatty);
+  std::fclose(chatty);
+  EXPECT_NE(chatty_out.find("progress: 1/4 scenarios"), std::string::npos);
+  EXPECT_NE(chatty_out.find("100/100 trials"), std::string::npos);
+  EXPECT_EQ(chatty_out.back(), '\n');
+
+  // Huge interval: nothing prints, and finish() stays silent too (a sweep
+  // shorter than the throttle never shows a spinner).
+  std::FILE* quiet = std::tmpfile();
+  ASSERT_NE(quiet, nullptr);
+  {
+    ProgressMeter meter(4, 100, quiet, /*min_interval_ns=*/UINT64_MAX);
+    meter.on_progress(1, 25);
+    meter.on_progress(4, 100);
+    meter.finish(4, 100);
+  }
+  EXPECT_EQ(drain(quiet), "");
+  std::fclose(quiet);
+}
+
+TEST(Json, ParsesTheGrammarAndRejectsGarbage) {
+  Json value;
+  std::string error;
+  ASSERT_TRUE(Json::parse(
+      R"({"a": [1, -2.5e3, true, false, null], "b": "é\n\"\\"})", value,
+      &error))
+      << error;
+  EXPECT_DOUBLE_EQ(value.find("a")->array_items[1].number_or(0.0), -2500.0);
+  EXPECT_EQ(value.find("b")->string_or(""), "\xc3\xa9\n\"\\");
+
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "01", "+1", "\"unterminated",
+        "{\"a\": 1} trailing", "nul", "[1] ]"}) {
+    Json out;
+    EXPECT_FALSE(Json::parse(bad, out)) << bad;
+  }
+  EXPECT_EQ(json_escape("a\"b\\c\nd\x01"), "a\\\"b\\\\c\\nd\\u0001");
+}
+
+}  // namespace
+}  // namespace ps::obs
+
+namespace ps::engine {
+namespace {
+
+BenchReport sample_report(double scale) {
+  BenchReport report;
+  report.revision = scale == 1.0 ? "base" : "head";
+  report.host_os = "TestOS 1.0";
+  report.host_machine = "riscv128";
+  report.hardware_concurrency = 4;
+  report.warmup = 1;
+  for (const char* kernel : {"micro.fill", "micro.match"}) {
+    BenchEntry entry;
+    entry.preset = "p_micro";
+    entry.kernel = kernel;
+    entry.params = "n=64";
+    entry.trials = 8;
+    entry.reps = 3;
+    entry.ns_per_op = 1000.0 * scale;
+    entry.trials_per_sec = 1e9 / entry.ns_per_op;
+    report.entries.push_back(entry);
+  }
+  return report;
+}
+
+TEST(Bench, JsonRoundTripsThroughWriteAndLoad) {
+  const BenchReport report = sample_report(1.0);
+  const std::string path =
+      ::testing::TempDir() + "obs_test_bench_roundtrip.json";
+  ASSERT_TRUE(write_bench_report(report, path).ok());
+  BenchReport loaded;
+  const ps::Status status = load_bench_report(path, loaded);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(loaded.revision, "base");
+  EXPECT_EQ(loaded.host_os, "TestOS 1.0");
+  EXPECT_EQ(loaded.host_machine, "riscv128");
+  EXPECT_EQ(loaded.hardware_concurrency, 4u);
+  EXPECT_EQ(loaded.warmup, 1);
+  ASSERT_EQ(loaded.entries.size(), report.entries.size());
+  EXPECT_EQ(loaded.entries[1].kernel, "micro.match");
+  EXPECT_EQ(loaded.entries[1].params, "n=64");
+  EXPECT_DOUBLE_EQ(loaded.entries[1].ns_per_op, 1000.0);
+  // Canonical rendering: re-rendering the loaded report reproduces the
+  // file byte-for-byte.
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  EXPECT_EQ(render_bench_json(loaded), bytes.str());
+  std::remove(path.c_str());
+}
+
+TEST(Bench, LoadRejectsWrongSchemaAndMissingFile) {
+  BenchReport out;
+  EXPECT_FALSE(load_bench_report("/nonexistent/bench.json", out).ok());
+  const std::string path = ::testing::TempDir() + "obs_test_bad_bench.json";
+  std::ofstream(path) << "{\"schema\": \"something-else v9\"}";
+  const ps::Status status = load_bench_report(path, out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("schema"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// The golden pass/fail pair the CI bench gate rests on: identical
+// snapshots pass any threshold; one kernel 3x slower fails a 2x threshold
+// with exactly that kernel flagged.
+TEST(Bench, CompareFlagsRegressionsPastThreshold) {
+  const BenchReport base = sample_report(1.0);
+  const BenchComparison same = compare_bench_reports(base, base, 2.0);
+  EXPECT_EQ(same.matched, 2u);
+  EXPECT_EQ(same.regressions, 0u);
+  EXPECT_NE(same.text.find("0 regression(s)"), std::string::npos);
+
+  BenchReport slower = sample_report(1.0);
+  slower.revision = "head";
+  slower.entries[1].ns_per_op *= 3.0;
+  const BenchComparison diff = compare_bench_reports(base, slower, 2.0);
+  EXPECT_EQ(diff.matched, 2u);
+  EXPECT_EQ(diff.regressions, 1u);
+  EXPECT_NE(diff.text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(diff.text.find("micro.match"), std::string::npos);
+  // 3x is within a 4x threshold.
+  EXPECT_EQ(compare_bench_reports(base, slower, 4.0).regressions, 0u);
+
+  // Disjoint kernels: reported, never failed.
+  BenchReport renamed = sample_report(1.0);
+  renamed.entries[0].kernel = "micro.renamed";
+  const BenchComparison partial = compare_bench_reports(base, renamed, 2.0);
+  EXPECT_EQ(partial.matched, 1u);
+  EXPECT_EQ(partial.regressions, 0u);
+  EXPECT_NE(partial.text.find("gone"), std::string::npos);
+  EXPECT_NE(partial.text.find("new"), std::string::npos);
+}
+
+TEST(Bench, RunBenchMeasuresRequestedPresets) {
+  BenchOptions options;
+  options.presets = {"p_micro"};
+  options.trials = 1;
+  options.reps = 1;
+  options.warmup = 0;
+  options.revision = "test";
+  BenchReport report;
+  const ps::Status status = run_bench(options, report);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(report.revision, "test");
+  EXPECT_GT(report.entries.size(), 0u);
+  for (const auto& entry : report.entries) {
+    EXPECT_EQ(entry.preset, "p_micro");
+    EXPECT_GT(entry.ns_per_op, 0.0);
+    EXPECT_GT(entry.trials_per_sec, 0.0);
+  }
+  // One kernel per distinct solver.
+  std::set<std::string> kernels;
+  for (const auto& entry : report.entries) kernels.insert(entry.kernel);
+  EXPECT_EQ(kernels.size(), report.entries.size());
+
+  BenchOptions bad = options;
+  bad.presets = {"no_such_preset"};
+  EXPECT_FALSE(run_bench(bad, report).ok());
+  bad = options;
+  bad.reps = 0;
+  EXPECT_FALSE(run_bench(bad, report).ok());
+}
+
+}  // namespace
+}  // namespace ps::engine

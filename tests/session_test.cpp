@@ -19,6 +19,8 @@
 #include "engine/result_sink.hpp"
 #include "engine/session.hpp"
 #include "engine/sweep_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/csv_table.hpp"
 #include "report/report_builder.hpp"
 
@@ -188,6 +190,57 @@ TEST(Session, SinksCompose) {
   ScenarioCache cache;
   EXPECT_TRUE(ScenarioCacheStore(dir + "compose.cache").load(cache));
   EXPECT_GT(cache.size(), 0u);
+}
+
+// The observability purity contract: a fully instrumented run (metrics
+// switch on, trace recorder active, progress callback wired) produces
+// byte-identical tables, CSV, and SVG reports to a plain run. Metrics only
+// ever touch stderr and side files — never the primary outputs.
+TEST(Session, MetricsDoNotPerturbOutputs) {
+  const std::string dir = temp_path("obs/");
+  ASSERT_TRUE(ensure_directory(dir).ok());
+
+  const auto run_e15 = [&dir](const std::string& tag,
+                              std::string& tables_out) {
+    std::ostringstream tables;
+    RunConfig config = e15_config(/*trials=*/2);
+    config.progress = true;  // no TTY here; exercises the callback path
+    Session session(std::move(config));
+    session.add_sink(std::make_unique<TableSink>(tables));
+    session.add_sink(std::make_unique<CsvSink>(dir + tag + ".csv"));
+    session.add_sink(std::make_unique<SvgReportSink>(dir + "reports-" + tag));
+    const Status status = session.run();
+    tables_out = tables.str();
+    return status;
+  };
+
+  std::string plain_tables;
+  ASSERT_TRUE(run_e15("plain", plain_tables).ok());
+
+  obs::set_enabled(true);
+  obs::TraceRecorder::global().set_active(true);
+  std::string instrumented_tables;
+  const Status status = run_e15("instrumented", instrumented_tables);
+  obs::TraceRecorder::global().set_active(false);
+  obs::set_enabled(false);
+  ASSERT_TRUE(status.ok()) << status.message();
+
+  // The instrumentation did observe the run...
+  EXPECT_GT(obs::Registry::global().counter("sweep.trials.run").value(), 0u);
+  EXPECT_GT(obs::TraceRecorder::global().size(), 0u);
+  obs::TraceRecorder::global().clear();
+  obs::Registry::global().reset();
+
+  // ...and the primary outputs do not know it happened.
+  EXPECT_EQ(instrumented_tables, plain_tables);
+  EXPECT_EQ(read_file(dir + "instrumented.csv"), read_file(dir + "plain.csv"));
+  EXPECT_GT(read_file(dir + "plain.csv").size(), 0u);
+  for (const char* name : {"/e15.md", "/e15-sweep1.svg"}) {
+    const std::string plain_bytes = read_file(dir + "reports-plain" + name);
+    EXPECT_GT(plain_bytes.size(), 0u) << name;
+    EXPECT_EQ(read_file(dir + "reports-instrumented" + name), plain_bytes)
+        << name;
+  }
 }
 
 // Missing parent directories of every sink path are created up front; the
