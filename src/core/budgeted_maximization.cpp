@@ -19,7 +19,11 @@ SetFunctionUtility::SetFunctionUtility(const submodular::SetFunction& f)
     : f_(f), set_(f.ground_size()), current_value_(f.value(set_)) {}
 
 double SetFunctionUtility::gain_of(const std::vector<int>& items) const {
-  submodular::ItemSet augmented = set_;
+  // gain_of runs concurrently across candidates under run_plain's pool, so
+  // the scratch is thread-local rather than a member; assignment reuses its
+  // buffer, so steady-state gain queries never allocate at any ground size.
+  thread_local submodular::ItemSet augmented;
+  augmented = set_;
   for (int item : items) augmented.insert(item);
   return f_.value(augmented) - current_value_;
 }

@@ -688,6 +688,44 @@ std::vector<BenchPreset> build_catalogue() {
          true});
   }
 
+  // --- P4-P5: greedy oracle hot-path kernels ------------------------------
+  {
+    SweepPlan coverage;
+    coverage.solvers = {"micro.greedy_coverage"};
+    coverage.axes = {{"n", {128, 512}}};
+    coverage.trials = 5;
+    coverage.seed = 1;
+
+    SweepPlan facility;
+    facility.solvers = {"micro.greedy_facility"};
+    facility.axes = {{"n", {64, 256}}};
+    facility.trials = 5;
+    facility.seed = 1;
+
+    out.push_back(
+        {"p_greedy",
+         "end-to-end greedy kernels over the incremental marginal-gain "
+         "oracles",
+         "objectives are bit-stable across runs (determinism check); wall ms "
+         "tracks the incremental-oracle cost, not |S| * oracle rebuilds.",
+         {sweep("P4: plain greedy on weighted coverage (k = n/8)", coverage,
+                PlotHint{.x = "n",
+                         .y = {"wall_ms_mean"},
+                         .series = {},
+                         .log_x = true,
+                         .log_y = false,
+                         .y_label = "wall ms per trial"}),
+          sweep("P5: lazy greedy on facility location (k = n/8)", facility,
+                PlotHint{.x = "n",
+                         .y = {"wall_ms_mean"},
+                         .series = {},
+                         .log_x = true,
+                         .log_y = false,
+                         .y_label = "wall ms per trial"})},
+         1,
+         true});
+  }
+
   return out;
 }
 

@@ -136,6 +136,7 @@
 #include "secretary/submodular_secretary.hpp"
 #include "submodular/coverage.hpp"
 #include "submodular/cut.hpp"
+#include "submodular/facility_location.hpp"
 #include "submodular/greedy.hpp"
 #include "submodular/hidden_good_set.hpp"
 #include "util/timer.hpp"
@@ -1056,6 +1057,39 @@ void register_micro(SolverRegistry& registry) {
     const int n = params.get_int("n", 256);
     const auto f = submodular::CoverageFunction::random(n, 2 * n, 8, 2.0,
                                                         instance_rng);
+    const auto result =
+        submodular::lazy_greedy_max_cardinality(f, std::max(1, n / 8));
+    TrialResult out;
+    out.objective = result.value;
+    out.oracle_calls = static_cast<double>(result.oracle_calls);
+    return out;
+  });
+
+  registry.add_fn("micro.greedy_coverage", [](const ParamMap& params,
+                                              util::Rng& instance_rng,
+                                              util::Rng&) {
+    // Plain greedy end-to-end on a random coverage instance: every round
+    // scans all remaining items, so this kernel is dominated by the
+    // incremental value_with() oracle (see docs/performance.md).
+    const int n = params.get_int("n", 128);
+    const auto f = submodular::CoverageFunction::random(n, 2 * n, 8, 2.0,
+                                                        instance_rng);
+    const auto result =
+        submodular::greedy_max_cardinality(f, std::max(1, n / 8));
+    TrialResult out;
+    out.objective = result.value;
+    out.oracle_calls = static_cast<double>(result.oracle_calls);
+    return out;
+  });
+
+  registry.add_fn("micro.greedy_facility", [](const ParamMap& params,
+                                              util::Rng& instance_rng,
+                                              util::Rng&) {
+    // Lazy greedy on a dense facility-location instance: stresses the
+    // best/second-best incremental evaluator rather than bitmask unions.
+    const int n = params.get_int("n", 64);
+    const auto f = submodular::FacilityLocationFunction::random(
+        n, 4 * n, 2.0, instance_rng);
     const auto result =
         submodular::lazy_greedy_max_cardinality(f, std::max(1, n / 8));
     TrialResult out;

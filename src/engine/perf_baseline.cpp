@@ -24,8 +24,8 @@ namespace ps::engine {
 const char BenchReport::kSchema[] = "powersched-bench v1";
 
 const std::vector<std::string>& default_bench_presets() {
-  static const std::vector<std::string> presets = {"p_micro", "a1", "a2",
-                                                   "a3", "a4"};
+  static const std::vector<std::string> presets = {"p_micro", "p_greedy",
+                                                   "a1", "a2", "a3", "a4"};
   return presets;
 }
 

@@ -14,13 +14,18 @@ LocalSearchResult local_search_max(const submodular::SetFunction& f,
   result.value = f.value(result.chosen);
   ++result.oracle_calls;
 
+  // Scratch sets reused across every candidate probe below; with_item /
+  // without_item reuse their capacity, so the search loop never allocates.
+  submodular::ItemSet scratch(n), swap_scratch(n);
+
   // Seed with the best feasible singleton (standard for the analysis and a
   // good start in practice).
   int best_single = -1;
   double best_single_value = result.value;
   for (int i = 0; i < n; ++i) {
     if (!constraint.can_add(result.chosen, i)) continue;
-    const double v = f.value(result.chosen.with(i));
+    scratch.with_item(result.chosen, i);
+    const double v = f.value(scratch);
     ++result.oracle_calls;
     if (v > best_single_value) {
       best_single = i;
@@ -45,7 +50,8 @@ LocalSearchResult local_search_max(const submodular::SetFunction& f,
     for (int i = 0; i < n && !improved; ++i) {
       if (result.chosen.contains(i)) continue;
       if (!constraint.can_add(result.chosen, i)) continue;
-      const double v = f.value(result.chosen.with(i));
+      scratch.with_item(result.chosen, i);
+      const double v = f.value(scratch);
       ++result.oracle_calls;
       if (v > result.value * threshold) {
         result.chosen.insert(i);
@@ -61,7 +67,8 @@ LocalSearchResult local_search_max(const submodular::SetFunction& f,
     // Drop moves (useful for non-monotone f).
     result.chosen.for_each([&](int i) {
       if (improved) return;
-      const double v = f.value(result.chosen.without(i));
+      scratch.without_item(result.chosen, i);
+      const double v = f.value(scratch);
       ++result.oracle_calls;
       if (v > result.value * threshold) {
         result.chosen.erase(i);
@@ -78,14 +85,15 @@ LocalSearchResult local_search_max(const submodular::SetFunction& f,
     const auto members = result.chosen.to_vector();
     for (int out : members) {
       if (improved) break;
-      const ItemSet without = result.chosen.without(out);
+      scratch.without_item(result.chosen, out);
       for (int in = 0; in < n && !improved; ++in) {
         if (result.chosen.contains(in)) continue;
-        if (!constraint.is_independent(without.with(in))) continue;
-        const double v = f.value(without.with(in));
+        swap_scratch.with_item(scratch, in);
+        if (!constraint.is_independent(swap_scratch)) continue;
+        const double v = f.value(swap_scratch);
         ++result.oracle_calls;
         if (v > result.value * threshold) {
-          result.chosen = without.with(in);
+          result.chosen = swap_scratch;
           result.value = v;
           improved = true;
         }

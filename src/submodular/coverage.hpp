@@ -2,6 +2,7 @@
 // cases of monotone submodular functions" (Section 2.1).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "submodular/set_function.hpp"
@@ -12,6 +13,12 @@ namespace ps::submodular {
 /// F(S) = total weight of elements covered by the union of the items' sets.
 /// Monotone and submodular. With unit weights this is exactly the Max-Cover /
 /// Set-Cover utility the paper specializes to.
+///
+/// Hot-path layout: the per-item element masks live in one flat contiguous
+/// word array (`mask_words_`), so a value query is a single streaming pass —
+/// no pointer-chasing through per-item heap blocks. Instances are immutable
+/// after construction, which also lets value() keep a one-entry
+/// repeated-query memo (see coverage.cpp).
 class CoverageFunction final : public SetFunction {
  public:
   /// `covers[i]` lists the element ids covered by ground item i; elements are
@@ -20,20 +27,38 @@ class CoverageFunction final : public SetFunction {
   CoverageFunction(int num_elements, std::vector<std::vector<int>> covers,
                    std::vector<double> element_weights = {});
 
-  int ground_size() const override {
-    return static_cast<int>(covers_.size());
-  }
+  int ground_size() const override { return num_items_; }
   int num_elements() const { return num_elements_; }
 
   double value(const ItemSet& s) const override;
   double marginal(const ItemSet& s, int item) const override;
 
+  /// Incremental fast path: maintains the covered-element bitmask and
+  /// per-element coverage counts of the working set, so value_with() is
+  /// O(covered) with no |S| factor and no allocation, and gain() is
+  /// O(newly covered). gain() is bit-identical to marginal(); value_with()
+  /// is bit-identical to value() on the grown set. Supports remove().
+  std::unique_ptr<IncrementalEvaluator> make_incremental() const override;
+
   /// Weight of the whole element universe, i.e. F(full set) upper bound.
   double total_weight() const { return total_weight_; }
 
-  const std::vector<int>& cover_of(int item) const {
-    return covers_[static_cast<std::size_t>(item)];
+  /// The sorted element ids item covers, decoded from its bitmask row.
+  /// O(num_elements / 64 + cover size) per call; hot paths use
+  /// item_mask_words() instead.
+  std::vector<int> cover_of(int item) const;
+
+  double element_weight(int element) const {
+    return element_weights_[static_cast<std::size_t>(element)];
   }
+
+  /// cover_of(item) as an element bitmask: `mask_word_count()` words starting
+  /// at the returned pointer, bit e%64 of word e/64 set iff item covers e.
+  const std::uint64_t* item_mask_words(int item) const {
+    return mask_words_.data() +
+           static_cast<std::size_t>(item) * mask_word_count();
+  }
+  std::size_t mask_word_count() const { return words_per_mask_; }
 
   /// Random instance: `num_items` items, each covering a uniform subset of
   /// size `cover_size` of `num_elements` elements, weights in [1, max_weight].
@@ -42,15 +67,27 @@ class CoverageFunction final : public SetFunction {
                                  util::Rng& rng);
 
  private:
-  /// Coverage bitmask over elements of the union of item covers in `s`.
-  ItemSet covered_elements(const ItemSet& s) const;
+  /// Uninitialized shell for the static factories; every field is filled in
+  /// by the caller.
+  CoverageFunction();
 
-  int num_elements_;
-  std::vector<std::vector<int>> covers_;
+  /// Weight of the elements whose bits are set in `covered`, summed in
+  /// increasing element order — the canonical traversal every oracle entry
+  /// point shares, so their results are bit-identical.
+  double weight_of_mask(const std::uint64_t* covered) const;
+
+  int num_items_ = 0;
+  int num_elements_ = 0;
+  std::size_t words_per_mask_ = 0;
   std::vector<double> element_weights_;
-  double total_weight_;
-  // covers_ re-encoded as element bitsets, built once for fast unions.
-  std::vector<ItemSet> cover_masks_;
+  double total_weight_ = 0.0;
+  // The item covers as bitmasks in one flat array: item i's mask is the
+  // words_per_mask_ words starting at i * words_per_mask_. This is the only
+  // encoding stored; cover_of() decodes it on demand.
+  std::vector<std::uint64_t> mask_words_;
+  // Distinguishes this instance from any earlier one that lived at the same
+  // address, so the thread-local value() memo can never serve a stale hit.
+  std::uint64_t memo_generation_;
 };
 
 }  // namespace ps::submodular

@@ -55,6 +55,108 @@ double FacilityLocationFunction::marginal(const ItemSet& s, int item) const {
   return gain;
 }
 
+namespace {
+
+/// Per-client best/second-best service over the working set. value_with()
+/// sums max(best_j, row_j) in client order — exactly the loop value() runs
+/// on the grown set, so the result is bit-identical to the plain oracle.
+class FacilityIncremental final : public IncrementalEvaluator {
+ public:
+  explicit FacilityIncremental(const FacilityLocationFunction& f)
+      : f_(f),
+        members_(f.ground_size()),
+        best_(static_cast<std::size_t>(f.num_clients()), 0.0),
+        best_fac_(static_cast<std::size_t>(f.num_clients()), -1),
+        second_(static_cast<std::size_t>(f.num_clients()), 0.0),
+        second_fac_(static_cast<std::size_t>(f.num_clients()), -1) {}
+
+  double value_with(int item) override {
+    const std::vector<double>& row = f_.service_row(item);
+    const std::size_t clients = best_.size();
+    double total = 0.0;
+    for (std::size_t j = 0; j < clients; ++j) {
+      total += std::max(best_[j], row[j]);
+    }
+    return total;
+  }
+
+  void add(int item) override {
+    members_.insert(item);
+    const std::vector<double>& row = f_.service_row(item);
+    const std::size_t clients = best_.size();
+    for (std::size_t j = 0; j < clients; ++j) {
+      const double v = row[j];
+      if (v > best_[j]) {
+        second_[j] = best_[j];
+        second_fac_[j] = best_fac_[j];
+        best_[j] = v;
+        best_fac_[j] = item;
+      } else if (v > second_[j]) {
+        second_[j] = v;
+        second_fac_[j] = item;
+      }
+    }
+  }
+
+  void remove(int item) override {
+    members_.erase(item);
+    const std::size_t clients = best_.size();
+    for (std::size_t j = 0; j < clients; ++j) {
+      // Only clients the removed facility backed need a rescan; everyone
+      // else's best/second pair is untouched.
+      if (best_fac_[j] == item || second_fac_[j] == item) rescan(j);
+    }
+  }
+
+  double gain(int item) override {
+    // One pass over clients against the maintained bests — the same loop
+    // as FacilityLocationFunction::marginal, hence bit-identical.
+    const std::vector<double>& row = f_.service_row(item);
+    const std::size_t clients = best_.size();
+    double total = 0.0;
+    for (std::size_t j = 0; j < clients; ++j) {
+      total += std::max(0.0, row[j] - best_[j]);
+    }
+    return total;
+  }
+
+ private:
+  void rescan(std::size_t client) {
+    double best = 0.0, second = 0.0;
+    int best_fac = -1, second_fac = -1;
+    members_.for_each([&](int facility) {
+      const double v = f_.service_row(facility)[client];
+      if (v > best) {
+        second = best;
+        second_fac = best_fac;
+        best = v;
+        best_fac = facility;
+      } else if (v > second) {
+        second = v;
+        second_fac = facility;
+      }
+    });
+    best_[client] = best;
+    best_fac_[client] = best_fac;
+    second_[client] = second;
+    second_fac_[client] = second_fac;
+  }
+
+  const FacilityLocationFunction& f_;
+  ItemSet members_;
+  std::vector<double> best_;
+  std::vector<int> best_fac_;
+  std::vector<double> second_;
+  std::vector<int> second_fac_;
+};
+
+}  // namespace
+
+std::unique_ptr<IncrementalEvaluator>
+FacilityLocationFunction::make_incremental() const {
+  return std::make_unique<FacilityIncremental>(*this);
+}
+
 FacilityLocationFunction FacilityLocationFunction::random(int num_facilities,
                                                           int num_clients,
                                                           double max_service,

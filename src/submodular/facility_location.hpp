@@ -25,6 +25,17 @@ class FacilityLocationFunction final : public SetFunction {
   double value(const ItemSet& s) const override;
   double marginal(const ItemSet& s, int item) const override;
 
+  /// Incremental fast path: maintains each client's best and second-best
+  /// service over the working set, so value_with()/gain() are one pass over
+  /// the clients (no |S| factor, no allocation) and remove() rescans only
+  /// clients the removed facility was best or second-best for. gain() is
+  /// bit-identical to marginal(); value_with() to value() on the grown set.
+  std::unique_ptr<IncrementalEvaluator> make_incremental() const override;
+
+  const std::vector<double>& service_row(int facility) const {
+    return service_[static_cast<std::size_t>(facility)];
+  }
+
   /// Random instance with service values uniform in [0, max_service].
   static FacilityLocationFunction random(int num_facilities, int num_clients,
                                          double max_service, util::Rng& rng);

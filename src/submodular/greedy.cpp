@@ -4,9 +4,41 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <queue>
 
 namespace ps::submodular {
+namespace {
+
+/// One marginal-value query engine shared by the greedy family: routes
+/// through the function's IncrementalEvaluator when it has one, and
+/// otherwise through a reused scratch set — either way the steady state
+/// allocates nothing and the returned doubles are bit-identical to the
+/// original value(chosen.with(item)) oracle calls.
+class ValueWithEngine {
+ public:
+  explicit ValueWithEngine(const SetFunction& f)
+      : f_(f), incremental_(f.make_incremental()), scratch_(f.ground_size()) {}
+
+  /// F(chosen ∪ {item}); `chosen` must be the set grown via picked().
+  double value_with(const ItemSet& chosen, int item) {
+    if (incremental_ != nullptr) return incremental_->value_with(item);
+    scratch_.with_item(chosen, item);
+    return f_.value(scratch_);
+  }
+
+  /// Records that the caller committed `item` into its chosen set.
+  void picked(int item) {
+    if (incremental_ != nullptr) incremental_->add(item);
+  }
+
+ private:
+  const SetFunction& f_;
+  std::unique_ptr<IncrementalEvaluator> incremental_;
+  ItemSet scratch_;
+};
+
+}  // namespace
 
 GreedyResult greedy_max_cardinality(const SetFunction& f, int k) {
   const int n = f.ground_size();
@@ -14,13 +46,14 @@ GreedyResult greedy_max_cardinality(const SetFunction& f, int k) {
   result.chosen = ItemSet(n);
   double current = f.value(result.chosen);
   ++result.oracle_calls;
+  ValueWithEngine engine(f);
 
   for (int round = 0; round < k; ++round) {
     int best_item = -1;
     double best_gain = 0.0;
     for (int i = 0; i < n; ++i) {
       if (result.chosen.contains(i)) continue;
-      const double gain = f.value(result.chosen.with(i)) - current;
+      const double gain = engine.value_with(result.chosen, i) - current;
       ++result.oracle_calls;
       if (best_item == -1 || gain > best_gain) {
         best_item = i;
@@ -29,6 +62,7 @@ GreedyResult greedy_max_cardinality(const SetFunction& f, int k) {
     }
     if (best_item == -1 || best_gain <= 0.0) break;
     result.chosen.insert(best_item);
+    engine.picked(best_item);
     current += best_gain;
     result.order.push_back(best_item);
     result.value_curve.push_back(current);
@@ -43,6 +77,7 @@ GreedyResult lazy_greedy_max_cardinality(const SetFunction& f, int k) {
   result.chosen = ItemSet(n);
   double current = f.value(result.chosen);
   ++result.oracle_calls;
+  ValueWithEngine engine(f);
 
   // Max-heap of (stale upper bound on gain, item, round the bound was
   // computed in). Submodularity guarantees true gain <= stale bound, so a
@@ -58,27 +93,35 @@ GreedyResult lazy_greedy_max_cardinality(const SetFunction& f, int k) {
     if (a.bound != b.bound) return a.bound < b.bound;
     return a.item > b.item;
   };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  // Filled flat and heapified in one O(n) pass; pop order (max bound, ties
+  // toward the smaller item) is what a push-at-a-time priority queue would
+  // produce.
+  std::vector<Entry> heap;
+  heap.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    const double gain = f.value(result.chosen.with(i)) - current;
+    const double gain = engine.value_with(result.chosen, i) - current;
     ++result.oracle_calls;
-    heap.push({gain, i, 0});
+    heap.push_back({gain, i, 0});
   }
+  std::make_heap(heap.begin(), heap.end(), cmp);
 
   for (int round = 1; round <= k && !heap.empty();) {
-    Entry top = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const Entry top = heap.back();
+    heap.pop_back();
     if (top.round == round) {
       if (top.bound <= 0.0) break;
       result.chosen.insert(top.item);
+      engine.picked(top.item);
       current += top.bound;
       result.order.push_back(top.item);
       result.value_curve.push_back(current);
       ++round;
     } else {
-      const double gain = f.value(result.chosen.with(top.item)) - current;
+      const double gain = engine.value_with(result.chosen, top.item) - current;
       ++result.oracle_calls;
-      heap.push({gain, top.item, round});
+      heap.push_back({gain, top.item, round});
+      std::push_heap(heap.begin(), heap.end(), cmp);
     }
   }
   result.value = current;
@@ -94,6 +137,7 @@ GreedyResult stochastic_greedy_max_cardinality(const SetFunction& f, int k,
   result.chosen = ItemSet(n);
   double current = f.value(result.chosen);
   ++result.oracle_calls;
+  ValueWithEngine engine(f);
 
   const int sample_size = std::max(
       1, static_cast<int>(std::ceil(static_cast<double>(n) /
@@ -119,7 +163,7 @@ GreedyResult stochastic_greedy_max_cardinality(const SetFunction& f, int k,
     double best_gain = 0.0;
     for (int i = 0; i < take; ++i) {
       const int item = remaining[static_cast<std::size_t>(i)];
-      const double gain = f.value(result.chosen.with(item)) - current;
+      const double gain = engine.value_with(result.chosen, item) - current;
       ++result.oracle_calls;
       if (best_pos == -1 || gain > best_gain) {
         best_pos = i;
@@ -129,6 +173,7 @@ GreedyResult stochastic_greedy_max_cardinality(const SetFunction& f, int k,
     if (best_pos == -1 || best_gain <= 0.0) continue;
     const int item = remaining[static_cast<std::size_t>(best_pos)];
     result.chosen.insert(item);
+    engine.picked(item);
     current += best_gain;
     result.order.push_back(item);
     result.value_curve.push_back(current);
@@ -139,6 +184,16 @@ GreedyResult stochastic_greedy_max_cardinality(const SetFunction& f, int k,
 }
 
 namespace {
+
+/// Next larger integer with the same popcount (Gosper's hack) — the
+/// sospd-style NextPerm subset walk. Enumerates the size-k masks in
+/// increasing numeric order, the order the filtered full scan visits them
+/// in, so argmax tie-breaking is unchanged.
+std::uint64_t next_same_popcount(std::uint64_t mask) {
+  const std::uint64_t low = mask & (~mask + 1);
+  const std::uint64_t ripple = mask + low;
+  return ripple | (((mask ^ ripple) >> 2) / low);
+}
 
 GreedyResult exhaustive_impl(const SetFunction& f, int k, bool exact_size) {
   const int n = f.ground_size();
@@ -155,23 +210,33 @@ GreedyResult exhaustive_impl(const SetFunction& f, int k, bool exact_size) {
   }
   assert(n <= 24 && "exhaustive maximization is exponential in ground size");
 
+  // Mask-native scan: no per-candidate set is materialized; the winning
+  // mask becomes an ItemSet exactly once at the end.
   const std::uint64_t limit = std::uint64_t{1} << n;
-  const int target = std::min(k, n);
-  for (std::uint64_t mask = 1; mask < limit; ++mask) {
-    const int size = __builtin_popcountll(mask);
-    if (size > k) continue;
-    if (exact_size && size != target) continue;
-    ItemSet s(n);
-    for (int i = 0; i < n; ++i) {
-      if ((mask >> i) & 1u) s.insert(i);
+  std::uint64_t best_mask = 0;
+  if (exact_size) {
+    const int target = std::min(k, n);
+    for (std::uint64_t mask = (std::uint64_t{1} << target) - 1; mask < limit;
+         mask = next_same_popcount(mask)) {
+      const double v = f.value_mask(mask);
+      ++result.oracle_calls;
+      if (v > result.value) {
+        result.value = v;
+        best_mask = mask;
+      }
     }
-    const double v = f.value(s);
-    ++result.oracle_calls;
-    if (v > result.value) {
-      result.value = v;
-      result.chosen = std::move(s);
+  } else {
+    for (std::uint64_t mask = 1; mask < limit; ++mask) {
+      if (__builtin_popcountll(mask) > k) continue;
+      const double v = f.value_mask(mask);
+      ++result.oracle_calls;
+      if (v > result.value) {
+        result.value = v;
+        best_mask = mask;
+      }
     }
   }
+  result.chosen = ItemSet::from_mask(n, best_mask);
   result.order = result.chosen.to_vector();
   result.value_curve.assign(1, result.value);
   return result;

@@ -1,6 +1,7 @@
 #include "submodular/item_set.hpp"
 
 #include <cassert>
+#include <cstring>
 
 namespace ps::submodular {
 namespace {
@@ -11,10 +12,39 @@ std::size_t words_for(int universe_size) {
 }
 }  // namespace
 
-ItemSet::ItemSet(int universe_size)
-    : universe_size_(universe_size), words_(words_for(universe_size), 0) {
+void ItemSet::reset_uninit(int universe_size) {
   assert(universe_size >= 0);
+  const std::size_t new_words = words_for(universe_size);
+  if (!is_inline()) {
+    if (new_words > kInlineWords && rep_.heap.capacity >= new_words) {
+      // Reuse the existing heap buffer: the zero-steady-state-allocation
+      // contract of the scratch idioms rests on this branch.
+    } else {
+      delete[] rep_.heap.ptr;
+      if (new_words > kInlineWords) {
+        rep_.heap.ptr = new std::uint64_t[new_words];
+        rep_.heap.capacity = new_words;
+      }
+    }
+  } else if (new_words > kInlineWords) {
+    rep_.heap.ptr = new std::uint64_t[new_words];
+    rep_.heap.capacity = new_words;
+  }
+  universe_size_ = universe_size;
+  num_words_ = static_cast<std::uint32_t>(new_words);
 }
+
+void ItemSet::reset(int universe_size) {
+  reset_uninit(universe_size);
+  std::memset(words(), 0, num_words_ * sizeof(std::uint64_t));
+}
+
+void ItemSet::copy_from(const ItemSet& other) {
+  reset_uninit(other.universe_size_);
+  std::memcpy(words(), other.words(), num_words_ * sizeof(std::uint64_t));
+}
+
+ItemSet::ItemSet(int universe_size) { reset(universe_size); }
 
 ItemSet::ItemSet(int universe_size, std::initializer_list<int> items)
     : ItemSet(universe_size) {
@@ -26,61 +56,122 @@ ItemSet::ItemSet(int universe_size, const std::vector<int>& items)
   for (int item : items) insert(item);
 }
 
+ItemSet::ItemSet(const ItemSet& other) { copy_from(other); }
+
+ItemSet::ItemSet(ItemSet&& other) noexcept
+    : universe_size_(other.universe_size_), num_words_(other.num_words_) {
+  if (is_inline()) {
+    std::memcpy(rep_.inline_words, other.rep_.inline_words,
+                sizeof(rep_.inline_words));
+  } else {
+    rep_.heap = other.rep_.heap;
+    other.universe_size_ = 0;
+    other.num_words_ = 0;
+    other.rep_.inline_words[0] = 0;
+  }
+}
+
+ItemSet& ItemSet::operator=(const ItemSet& other) {
+  if (this != &other) copy_from(other);
+  return *this;
+}
+
+ItemSet& ItemSet::operator=(ItemSet&& other) noexcept {
+  if (this == &other) return *this;
+  if (other.is_inline()) {
+    // Inline payloads are cheaper to copy than to juggle ownership for.
+    copy_from(other);
+  } else {
+    if (!is_inline()) delete[] rep_.heap.ptr;
+    universe_size_ = other.universe_size_;
+    num_words_ = other.num_words_;
+    rep_.heap = other.rep_.heap;
+    other.universe_size_ = 0;
+    other.num_words_ = 0;
+    other.rep_.inline_words[0] = 0;
+  }
+  return *this;
+}
+
+ItemSet::~ItemSet() {
+  if (!is_inline()) delete[] rep_.heap.ptr;
+}
+
 ItemSet ItemSet::full(int universe_size) {
   ItemSet s(universe_size);
-  for (auto& w : s.words_) w = ~0ULL;
+  std::uint64_t* w = s.words();
+  for (std::size_t i = 0; i < s.num_words_; ++i) w[i] = ~0ULL;
   // Clear the bits beyond universe_size in the last word.
   const int rem = universe_size % static_cast<int>(kWordBits);
-  if (rem != 0 && !s.words_.empty()) {
-    s.words_.back() &= (1ULL << rem) - 1;
+  if (rem != 0 && s.num_words_ > 0) {
+    w[s.num_words_ - 1] &= (1ULL << rem) - 1;
   }
   return s;
 }
 
+ItemSet ItemSet::from_mask(int universe_size, std::uint64_t mask) {
+  assert(0 <= universe_size &&
+         universe_size <= static_cast<int>(kWordBits));
+  assert(universe_size == static_cast<int>(kWordBits) ||
+         (mask >> universe_size) == 0);
+  ItemSet s(universe_size);
+  if (s.num_words_ > 0) s.words()[0] = mask;
+  return s;
+}
+
 int ItemSet::size() const {
+  const std::uint64_t* w = words();
   int total = 0;
-  for (auto w : words_) total += __builtin_popcountll(w);
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    total += __builtin_popcountll(w[i]);
+  }
   return total;
 }
 
 bool ItemSet::contains(int item) const {
   assert(0 <= item && item < universe_size_);
-  return (words_[static_cast<std::size_t>(item) / kWordBits] >>
+  return (words()[static_cast<std::size_t>(item) / kWordBits] >>
           (static_cast<std::size_t>(item) % kWordBits)) &
          1ULL;
 }
 
 void ItemSet::insert(int item) {
   assert(0 <= item && item < universe_size_);
-  words_[static_cast<std::size_t>(item) / kWordBits] |=
+  words()[static_cast<std::size_t>(item) / kWordBits] |=
       1ULL << (static_cast<std::size_t>(item) % kWordBits);
 }
 
 void ItemSet::erase(int item) {
   assert(0 <= item && item < universe_size_);
-  words_[static_cast<std::size_t>(item) / kWordBits] &=
+  words()[static_cast<std::size_t>(item) / kWordBits] &=
       ~(1ULL << (static_cast<std::size_t>(item) % kWordBits));
 }
 
 void ItemSet::clear() {
-  for (auto& w : words_) w = 0;
+  std::memset(words(), 0, num_words_ * sizeof(std::uint64_t));
 }
 
 ItemSet& ItemSet::operator|=(const ItemSet& other) {
   assert(universe_size_ == other.universe_size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < num_words_; ++i) w[i] |= o[i];
   return *this;
 }
 
 ItemSet& ItemSet::operator&=(const ItemSet& other) {
   assert(universe_size_ == other.universe_size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < num_words_; ++i) w[i] &= o[i];
   return *this;
 }
 
 ItemSet& ItemSet::operator-=(const ItemSet& other) {
   assert(universe_size_ == other.universe_size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < num_words_; ++i) w[i] &= ~o[i];
   return *this;
 }
 
@@ -118,24 +209,44 @@ ItemSet ItemSet::without(int item) const {
   return out;
 }
 
+void ItemSet::with_item(const ItemSet& base, int item) {
+  if (this != &base) copy_from(base);
+  insert(item);
+}
+
+void ItemSet::without_item(const ItemSet& base, int item) {
+  if (this != &base) copy_from(base);
+  erase(item);
+}
+
 bool ItemSet::is_subset_of(const ItemSet& other) const {
   assert(universe_size_ == other.universe_size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if (words_[i] & ~other.words_[i]) return false;
+  const std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    if (w[i] & ~o[i]) return false;
   }
   return true;
 }
 
 bool ItemSet::intersects(const ItemSet& other) const {
   assert(universe_size_ == other.universe_size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if (words_[i] & other.words_[i]) return true;
+  const std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    if (w[i] & o[i]) return true;
   }
   return false;
 }
 
 bool ItemSet::operator==(const ItemSet& other) const {
-  return universe_size_ == other.universe_size_ && words_ == other.words_;
+  if (universe_size_ != other.universe_size_) return false;
+  const std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    if (w[i] != o[i]) return false;
+  }
+  return true;
 }
 
 std::vector<int> ItemSet::to_vector() const {
@@ -159,8 +270,9 @@ std::string ItemSet::to_string() const {
 
 std::size_t ItemSet::hash() const {
   std::size_t h = static_cast<std::size_t>(universe_size_) * 0x9e3779b97f4a7c15ULL;
-  for (auto w : words_) {
-    h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  const std::uint64_t* w = words();
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    h ^= w[i] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }
   return h;
 }

@@ -3,8 +3,16 @@
 // This is the universal "set of items" currency across the library: ground
 // elements for submodular functions, time-slot/processor pairs in the
 // scheduling reduction, selected secretaries in the online algorithms.
+//
+// Storage is a small-buffer bitset: universes of up to kInlineWords * 64
+// elements (128, which covers every preset's default grid) live entirely
+// inside the object — construction, copies, and the with()/without()
+// marginal-gain idiom never touch the heap. Larger universes spill to a
+// heap buffer whose capacity is reused by assignment, so scratch-set loops
+// (see with_item/without_item) do zero steady-state allocation at any size.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -16,6 +24,9 @@ namespace ps::submodular {
 /// require both operands to share the same universe size.
 class ItemSet {
  public:
+  /// Universes of at most kInlineWords * 64 elements are stored inline.
+  static constexpr std::size_t kInlineWords = 2;
+
   /// Empty set over an empty universe.
   ItemSet() = default;
 
@@ -26,14 +37,36 @@ class ItemSet {
   ItemSet(int universe_size, std::initializer_list<int> items);
   ItemSet(int universe_size, const std::vector<int>& items);
 
+  ItemSet(const ItemSet& other);
+  ItemSet(ItemSet&& other) noexcept;
+  /// Assignment reuses an existing heap buffer when capacity allows: a
+  /// scratch set assigned in a loop allocates at most once.
+  ItemSet& operator=(const ItemSet& other);
+  ItemSet& operator=(ItemSet&& other) noexcept;
+  ~ItemSet();
+
   /// The full set {0, ..., universe_size-1}.
   static ItemSet full(int universe_size);
+
+  /// Bulk construction from a bitmask: bit i of `mask` decides item i.
+  /// Requires universe_size <= 64 and no bits at or above universe_size.
+  /// This is the mask-native bridge used by the exhaustive maximizer and
+  /// the small-n property verifiers.
+  static ItemSet from_mask(int universe_size, std::uint64_t mask);
 
   int universe_size() const { return universe_size_; }
 
   /// Number of elements currently in the set (popcount).
   int size() const;
-  bool empty() const { return size() == 0; }
+  /// True iff no element is set. Early-exits on the first nonzero word, so
+  /// it is cheap even for large universes.
+  bool empty() const {
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0; i < num_words_; ++i) {
+      if (w[i] != 0) return false;
+    }
+    return true;
+  }
 
   bool contains(int item) const;
   void insert(int item);
@@ -55,6 +88,13 @@ class ItemSet {
   ItemSet with(int item) const;
   ItemSet without(int item) const;
 
+  /// Scratch idioms for hot loops: *this becomes `base` ∪ {item} (resp.
+  /// `base` \ {item}) without allocating when this set's capacity already
+  /// covers base's universe — i.e. after the first iteration of a loop that
+  /// reuses one scratch set, never.
+  void with_item(const ItemSet& base, int item);
+  void without_item(const ItemSet& base, int item);
+
   bool is_subset_of(const ItemSet& other) const;
   bool intersects(const ItemSet& other) const;
 
@@ -67,11 +107,12 @@ class ItemSet {
   /// Calls fn(item) for each element in increasing order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t bits = words_[w];
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0; i < num_words_; ++i) {
+      std::uint64_t bits = w[i];
       while (bits) {
         const int bit = __builtin_ctzll(bits);
-        fn(static_cast<int>(w * 64) + bit);
+        fn(static_cast<int>(i * 64) + bit);
         bits &= bits - 1;
       }
     }
@@ -83,9 +124,35 @@ class ItemSet {
   /// Hash suitable for unordered containers.
   std::size_t hash() const;
 
+  /// Raw word access for mask-level kernels (coverage unions, incremental
+  /// oracles). words()[i] holds items [64i, 64i+64); exactly word_count()
+  /// words are meaningful and bits past universe_size() are always zero.
+  const std::uint64_t* words() const {
+    return num_words_ <= kInlineWords ? rep_.inline_words : rep_.heap.ptr;
+  }
+  std::size_t word_count() const { return num_words_; }
+
  private:
+  std::uint64_t* words() {
+    return num_words_ <= kInlineWords ? rep_.inline_words : rep_.heap.ptr;
+  }
+  bool is_inline() const { return num_words_ <= kInlineWords; }
+  /// Re-targets *this to an all-zero set over `universe_size`, reusing the
+  /// heap buffer when it is large enough.
+  void reset(int universe_size);
+  /// Same re-target, but leaves the words uninitialized for copy-fills.
+  void reset_uninit(int universe_size);
+  void copy_from(const ItemSet& other);
+
   int universe_size_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::uint32_t num_words_ = 0;
+  union Rep {
+    std::uint64_t inline_words[kInlineWords];
+    struct {
+      std::uint64_t* ptr;
+      std::size_t capacity;  // words allocated at ptr
+    } heap;
+  } rep_{{0, 0}};
 };
 
 struct ItemSetHash {

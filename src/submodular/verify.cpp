@@ -7,29 +7,24 @@ namespace ps::submodular {
 namespace {
 
 // Enumerates all pairs (A, B) with A ⊆ B ⊆ U by iterating over B's bitmask
-// and A over submasks of B. Only valid for n <= 20 or so; callers keep n
+// and A over submasks of B (the sospd-style submask walk). The callbacks
+// evaluate masks directly through SetFunction::value_mask — no per-pair set
+// construction; ItemSets are materialized (via ItemSet::from_mask) only to
+// describe a found violation. Only valid for n <= 20 or so; callers keep n
 // small. fn returns true to stop early.
 template <typename Fn>
 void for_each_nested_pair(int n, Fn&& fn) {
   assert(n <= 20);
-  const std::uint32_t limit = 1u << n;
-  for (std::uint32_t b = 0; b < limit; ++b) {
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
     // Iterate over submasks of b, including b itself and 0.
-    std::uint32_t a = b;
+    std::uint64_t a = b;
     for (;;) {
       if (fn(a, b)) return;
       if (a == 0) break;
       a = (a - 1) & b;
     }
   }
-}
-
-ItemSet mask_to_set(int n, std::uint32_t mask) {
-  ItemSet s(n);
-  for (int i = 0; i < n; ++i) {
-    if ((mask >> i) & 1u) s.insert(i);
-  }
-  return s;
 }
 
 // Random pair A ⊆ B over [0, n): each element goes to neither / B only /
@@ -65,13 +60,12 @@ std::optional<Violation> find_monotonicity_violation_exhaustive(
     const SetFunction& f, double tol) {
   const int n = f.ground_size();
   std::optional<Violation> found;
-  for_each_nested_pair(n, [&](std::uint32_t am, std::uint32_t bm) {
-    const ItemSet a = mask_to_set(n, am);
-    const ItemSet b = mask_to_set(n, bm);
-    const double fa = f.value(a);
-    const double fb = f.value(b);
+  for_each_nested_pair(n, [&](std::uint64_t am, std::uint64_t bm) {
+    const double fa = f.value_mask(am);
+    const double fb = f.value_mask(bm);
     if (fa > fb + tol) {
-      found = Violation{a, b, -1, fa, fb};
+      found = Violation{ItemSet::from_mask(n, am), ItemSet::from_mask(n, bm),
+                        -1, fa, fb};
       return true;
     }
     return false;
@@ -83,15 +77,15 @@ std::optional<Violation> find_submodularity_violation_exhaustive(
     const SetFunction& f, double tol) {
   const int n = f.ground_size();
   std::optional<Violation> found;
-  for_each_nested_pair(n, [&](std::uint32_t am, std::uint32_t bm) {
-    const ItemSet a = mask_to_set(n, am);
-    const ItemSet b = mask_to_set(n, bm);
+  for_each_nested_pair(n, [&](std::uint64_t am, std::uint64_t bm) {
     for (int z = 0; z < n; ++z) {
-      if (b.contains(z)) continue;
-      const double gain_a = f.value(a.with(z)) - f.value(a);
-      const double gain_b = f.value(b.with(z)) - f.value(b);
+      const std::uint64_t zbit = std::uint64_t{1} << z;
+      if (bm & zbit) continue;
+      const double gain_a = f.value_mask(am | zbit) - f.value_mask(am);
+      const double gain_b = f.value_mask(bm | zbit) - f.value_mask(bm);
       if (gain_a + tol < gain_b) {
-        found = Violation{a, b, z, gain_a, gain_b};
+        found = Violation{ItemSet::from_mask(n, am),
+                          ItemSet::from_mask(n, bm), z, gain_a, gain_b};
         return true;
       }
     }
@@ -104,14 +98,16 @@ std::optional<Violation> find_subadditivity_violation_exhaustive(
     const SetFunction& f, double tol) {
   const int n = f.ground_size();
   assert(n <= 14);
-  const std::uint32_t limit = 1u << n;
-  for (std::uint32_t am = 0; am < limit; ++am) {
-    for (std::uint32_t bm = 0; bm < limit; ++bm) {
-      const ItemSet a = mask_to_set(n, am);
-      const ItemSet b = mask_to_set(n, bm);
-      const double lhs = f.value(a) + f.value(b);
-      const double rhs = f.value(a.united(b));
-      if (lhs + tol < rhs) return Violation{a, b, -1, lhs, rhs};
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t am = 0; am < limit; ++am) {
+    const double fa = f.value_mask(am);
+    for (std::uint64_t bm = 0; bm < limit; ++bm) {
+      const double lhs = fa + f.value_mask(bm);
+      const double rhs = f.value_mask(am | bm);
+      if (lhs + tol < rhs) {
+        return Violation{ItemSet::from_mask(n, am),
+                         ItemSet::from_mask(n, bm), -1, lhs, rhs};
+      }
     }
   }
   return std::nullopt;

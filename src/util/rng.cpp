@@ -109,18 +109,92 @@ std::vector<int> Rng::permutation(int n) {
 }
 
 std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  std::vector<int> result;
+  sample_without_replacement(n, k, result);
+  return result;
+}
+
+namespace {
+
+// Persistent identity pool for the sample_without_replacement family: a
+// Fisher-Yates prefix shuffles it, the caller consumes pool[0..k), and the
+// swaps are undone (in reverse) so the identity invariant holds across
+// calls. Steady state does no O(n) re-initialization and no allocation.
+thread_local std::vector<int> t_sample_pool;
+thread_local std::vector<int> t_sample_swaps;
+
+void grow_sample_pool(int n) {
+  if (static_cast<int>(t_sample_pool.size()) < n) {
+    const int old_size = static_cast<int>(t_sample_pool.size());
+    t_sample_pool.resize(static_cast<std::size_t>(n));
+    std::iota(t_sample_pool.begin() + old_size, t_sample_pool.end(), old_size);
+  }
+}
+
+}  // namespace
+
+void Rng::sample_without_replacement(int n, int k, std::vector<int>& out) {
   assert(0 <= k && k <= n);
-  std::vector<int> pool(static_cast<std::size_t>(n));
-  std::iota(pool.begin(), pool.end(), 0);
+  // Draw sequence and sample identical to running the shuffle on a freshly
+  // iota'd pool of size n.
+  grow_sample_pool(n);
+  auto& pool = t_sample_pool;
+  auto& swapped_with = t_sample_swaps;
+  swapped_with.resize(static_cast<std::size_t>(k));
+  // Size the output before touching the pool so it is never left
+  // mid-shuffle if the allocation throws.
+  out.resize(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
     const auto j =
         i + static_cast<int>(uniform_u64(static_cast<std::uint64_t>(n - i)));
+    swapped_with[static_cast<std::size_t>(i)] = j;
     std::swap(pool[static_cast<std::size_t>(i)],
               pool[static_cast<std::size_t>(j)]);
   }
-  pool.resize(static_cast<std::size_t>(k));
-  std::sort(pool.begin(), pool.end());
-  return pool;
+  std::copy(pool.begin(), pool.begin() + k, out.begin());
+  for (int i = k - 1; i >= 0; --i) {
+    std::swap(pool[static_cast<std::size_t>(i)],
+              pool[static_cast<std::size_t>(swapped_with[i])]);
+  }
+  if (k <= 16) {
+    // Insertion sort beats the std::sort dispatch overhead at the sample
+    // sizes generation loops use.
+    for (int i = 1; i < k; ++i) {
+      const int v = out[static_cast<std::size_t>(i)];
+      int j = i - 1;
+      while (j >= 0 && out[static_cast<std::size_t>(j)] > v) {
+        out[static_cast<std::size_t>(j + 1)] = out[static_cast<std::size_t>(j)];
+        --j;
+      }
+      out[static_cast<std::size_t>(j + 1)] = v;
+    }
+  } else {
+    std::sort(out.begin(), out.end());
+  }
+}
+
+void Rng::sample_without_replacement_mask(int n, int k,
+                                          std::uint64_t* mask_words) {
+  assert(0 <= k && k <= n);
+  grow_sample_pool(n);
+  auto& pool = t_sample_pool;
+  auto& swapped_with = t_sample_swaps;
+  swapped_with.resize(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<int>(uniform_u64(static_cast<std::uint64_t>(n - i)));
+    swapped_with[static_cast<std::size_t>(i)] = j;
+    std::swap(pool[static_cast<std::size_t>(i)],
+              pool[static_cast<std::size_t>(j)]);
+  }
+  for (int i = 0; i < k; ++i) {
+    const auto e = static_cast<std::uint64_t>(pool[static_cast<std::size_t>(i)]);
+    mask_words[e / 64] |= std::uint64_t{1} << (e % 64);
+  }
+  for (int i = k - 1; i >= 0; --i) {
+    std::swap(pool[static_cast<std::size_t>(i)],
+              pool[static_cast<std::size_t>(swapped_with[i])]);
+  }
 }
 
 Rng Rng::split() { return Rng((*this)() ^ 0xa0761d6478bd642fULL); }

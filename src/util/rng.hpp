@@ -65,8 +65,24 @@ class Rng {
   std::vector<int> permutation(int n);
 
   /// A uniformly random k-subset of {0, ..., n-1}, in sorted order.
-  /// Requires 0 <= k <= n. Uses partial Fisher-Yates, O(n) time.
+  /// Requires 0 <= k <= n. Uses partial Fisher-Yates over a persistent
+  /// identity pool, O(k log k) amortized time and no allocation beyond the
+  /// returned vector.
   std::vector<int> sample_without_replacement(int n, int k);
+
+  /// As above, but writes the sample into `out` (resized to k), reusing its
+  /// capacity — the allocation-free form for generation loops. Draws the
+  /// same random sequence and produces the same sample as the returning
+  /// overload.
+  void sample_without_replacement(int n, int k, std::vector<int>& out);
+
+  /// ORs the sampled k-subset into the bitmask starting at `mask_words`
+  /// (bit e%64 of word e/64; the caller provides ceil(n/64) words). Draws
+  /// the same random sequence and selects the same subset as the vector
+  /// overloads, and skips their sorting and copying — the fastest form for
+  /// bitmask-based instance generators.
+  void sample_without_replacement_mask(int n, int k,
+                                       std::uint64_t* mask_words);
 
   /// Spawns an independent generator; used to give each worker thread its own
   /// stream so that parallel Monte-Carlo loops stay reproducible.

@@ -21,7 +21,7 @@ TEST(BenchPresets, CatalogueCoversEveryBench) {
   std::set<std::string> names;
   for (const auto& preset : presets) names.insert(preset.name);
   EXPECT_EQ(names.size(), presets.size()) << "duplicate preset names";
-  // One preset per bench translation unit: e1..e16, a1..a4, p_micro.
+  // One preset per bench family: e1..e16, a1..a4, p_micro, p_greedy.
   for (int i = 1; i <= 16; ++i) {
     EXPECT_EQ(names.count(std::string("e") + std::to_string(i)), 1u) << i;
   }
@@ -29,7 +29,8 @@ TEST(BenchPresets, CatalogueCoversEveryBench) {
     EXPECT_EQ(names.count(std::string("a") + std::to_string(i)), 1u) << i;
   }
   EXPECT_EQ(names.count("p_micro"), 1u);
-  EXPECT_EQ(presets.size(), 21u);
+  EXPECT_EQ(names.count("p_greedy"), 1u);
+  EXPECT_EQ(presets.size(), 22u);
 }
 
 TEST(BenchPresets, EveryPlanUsesRegisteredSolversAndExpands) {

@@ -1,0 +1,101 @@
+// Allocation-count assertions for the ItemSet hot-path idioms: the
+// small-buffer representation and the with_item/without_item scratch loops
+// must not allocate in steady state. This file replaces the global
+// operator new to count heap allocations; it builds into its own test
+// binary, so the replacement does not leak into other tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <utility>
+
+#include "submodular/item_set.hpp"
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ps::submodular {
+namespace {
+
+long allocations_during(const std::function<void()>& fn) {
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  fn();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(ItemSetAlloc, InlineUniversesNeverTouchTheHeap) {
+  for (int n : {1, 63, 64, 65, 127, 128}) {
+    const long allocs = allocations_during([&] {
+      ItemSet s(n);
+      for (int i = 0; i < n; i += 3) s.insert(i);
+      ItemSet copy = s;
+      copy.erase(0);
+      ItemSet scratch(n);
+      scratch.with_item(s, n - 1);
+      scratch.without_item(s, n - 1);
+      ItemSet moved = std::move(copy);
+      EXPECT_EQ(moved.universe_size(), n);
+    });
+    EXPECT_EQ(allocs, 0) << "n=" << n << " allocated on an inline universe";
+  }
+}
+
+TEST(ItemSetAlloc, WithItemScratchLoopIsAllocationFreePastSpill) {
+  // 129 spills to the heap: the scratch allocates once up front, then the
+  // probe loop reuses its capacity.
+  const int n = 129;
+  ItemSet base(n);
+  for (int i = 0; i < n; i += 2) base.insert(i);
+  ItemSet scratch(n);
+  scratch.with_item(base, 1);  // reach steady-state capacity
+  const long allocs = allocations_during([&] {
+    for (int round = 0; round < 100; ++round) {
+      for (int item = 0; item < n; ++item) {
+        scratch.with_item(base, item);
+        scratch.without_item(base, item);
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0) << "scratch probe loop allocated";
+}
+
+TEST(ItemSetAlloc, AssignmentReusesCapacity) {
+  const int n = 300;
+  ItemSet a(n), b(n);
+  for (int i = 0; i < n; i += 7) b.insert(i);
+  a = b;  // capacity now matches
+  const long allocs = allocations_during([&] {
+    for (int round = 0; round < 1000; ++round) {
+      a = b;
+      a.insert(1);
+    }
+  });
+  EXPECT_EQ(allocs, 0) << "same-capacity assignment allocated";
+}
+
+TEST(ItemSetAlloc, FromMaskStaysInline) {
+  const long allocs = allocations_during([&] {
+    for (std::uint64_t m = 0; m < 64; ++m) {
+      const ItemSet s = ItemSet::from_mask(64, m);
+      EXPECT_EQ(s.size(), __builtin_popcountll(m));
+    }
+  });
+  EXPECT_EQ(allocs, 0) << "from_mask allocated for n <= 64";
+}
+
+}  // namespace
+}  // namespace ps::submodular

@@ -148,5 +148,88 @@ TEST(ItemSet, CrossWordBoundaryOperations) {
   }
 }
 
+TEST(ItemSet, FromMaskMatchesInserts) {
+  for (int n : {1, 17, 63, 64}) {
+    util::Rng rng(static_cast<std::uint64_t>(n));
+    for (int t = 0; t < 50; ++t) {
+      std::uint64_t mask = rng();
+      if (n < 64) mask &= (std::uint64_t{1} << n) - 1;
+      ItemSet expect(n);
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) expect.insert(i);
+      }
+      EXPECT_EQ(ItemSet::from_mask(n, mask), expect) << "n=" << n;
+    }
+  }
+  EXPECT_TRUE(ItemSet::from_mask(8, 0).empty());
+}
+
+// Differential test against std::unordered_set semantics at the word and
+// inline-buffer boundaries — 64 (one word), 128 (the small-buffer capacity),
+// and their neighbours, where the representation switches between inline
+// words and the heap spill.
+TEST(ItemSet, RandomizedDifferentialAtBoundarySizes) {
+  for (int n : {63, 64, 65, 127, 128, 129}) {
+    util::Rng rng(static_cast<std::uint64_t>(1000 + n));
+    ItemSet s(n);
+    std::unordered_set<int> ref;
+    for (int step = 0; step < 2000; ++step) {
+      const int item = rng.uniform_int(0, n - 1);
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          s.insert(item);
+          ref.insert(item);
+          break;
+        case 1:
+          s.erase(item);
+          ref.erase(item);
+          break;
+        case 2: {
+          const ItemSet w = s.with(item);
+          EXPECT_EQ(w.size(), static_cast<int>(ref.size()) +
+                                  (ref.count(item) ? 0 : 1));
+          EXPECT_TRUE(w.contains(item));
+          break;
+        }
+        default:
+          EXPECT_EQ(s.contains(item), ref.count(item) == 1);
+          break;
+      }
+      EXPECT_EQ(s.size(), static_cast<int>(ref.size())) << "n=" << n;
+      EXPECT_EQ(s.empty(), ref.empty());
+    }
+    // Full sweep at the end: every element agrees.
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(s.contains(i), ref.count(i) == 1) << "n=" << n << " i=" << i;
+    }
+    // Round-trip through copy and move across the inline/heap boundary.
+    ItemSet copy = s;
+    EXPECT_EQ(copy, s);
+    ItemSet moved = std::move(copy);
+    EXPECT_EQ(moved, s);
+  }
+}
+
+TEST(ItemSet, WithItemWithoutItemScratchSemantics) {
+  for (int n : {63, 64, 65, 127, 128, 129}) {
+    util::Rng rng(static_cast<std::uint64_t>(2000 + n));
+    ItemSet base(n);
+    for (int i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.4)) base.insert(i);
+    }
+    ItemSet scratch(n);
+    for (int item = 0; item < n; ++item) {
+      scratch.with_item(base, item);
+      EXPECT_EQ(scratch, base.with(item)) << "n=" << n << " item=" << item;
+      scratch.without_item(base, item);
+      EXPECT_EQ(scratch, base.without(item)) << "n=" << n << " item=" << item;
+    }
+    // Self-referential form: with_item(scratch, i) must also work.
+    scratch = base;
+    scratch.with_item(scratch, 0);
+    EXPECT_EQ(scratch, base.with(0));
+  }
+}
+
 }  // namespace
 }  // namespace ps::submodular

@@ -2,8 +2,10 @@
 // statistics accumulators, table and CSV formatting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -137,6 +139,40 @@ TEST(Rng, SampleFullRange) {
   Rng rng(41);
   const auto s = rng.sample_without_replacement(5, 5);
   EXPECT_EQ(s, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleOverloadsSelectIdenticalSamples) {
+  // The out-param and mask overloads reuse a persistent identity pool; they
+  // must select the same elements and consume the same number of draws as
+  // the allocating overload, for any interleaving of (n, k).
+  const int cases[][2] = {{10, 3}, {64, 64}, {65, 1}, {300, 17}, {7, 0},
+                          {128, 40}, {300, 17}, {10, 10}};
+  for (const auto& c : cases) {
+    const int n = c[0], k = c[1];
+    util::Rng a(99), b(99), m(99);
+    // Burn a few draws so each case starts mid-stream.
+    for (int i = 0; i < n % 5; ++i) {
+      (void)a();
+      (void)b();
+      (void)m();
+    }
+    const auto sorted = a.sample_without_replacement(n, k);
+    std::vector<int> out;
+    b.sample_without_replacement(n, k, out);
+    std::sort(out.begin(), out.end());
+    EXPECT_EQ(out, sorted) << "n=" << n << " k=" << k;
+    std::vector<std::uint64_t> words((n + 63) / 64, 0);
+    m.sample_without_replacement_mask(n, k, words.data());
+    std::vector<int> from_mask;
+    for (int i = 0; i < n; ++i) {
+      if ((words[i / 64] >> (i % 64)) & 1) from_mask.push_back(i);
+    }
+    EXPECT_EQ(from_mask, sorted) << "n=" << n << " k=" << k;
+    // All three consumed identical draws: the streams stay in lockstep.
+    const auto next = a();
+    EXPECT_EQ(next, b()) << "n=" << n << " k=" << k;
+    EXPECT_EQ(next, m()) << "n=" << n << " k=" << k;
+  }
 }
 
 TEST(Rng, SplitProducesIndependentStream) {
