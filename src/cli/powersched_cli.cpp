@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -20,10 +21,14 @@
 #include "engine/result_sink.hpp"
 #include "engine/scenario.hpp"
 #include "engine/session.hpp"
+#include "engine/solve_service.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/csv_table.hpp"
 #include "report/report_builder.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "util/status.hpp"
 
 namespace ps::cli {
@@ -209,6 +214,125 @@ const std::vector<CommandSpec>& commands() {
         PS_OBS_OPTIONS},
        "[OLD NEW]",
        "the two snapshot files --compare diffs (old baseline first)"},
+
+      {"solve",
+       "answer one scheduling request via the SolveService request path",
+       "The one-shot twin of `powersched serve`: builds a single "
+       "\"powersched-serve v1\" request from the flags, answers it in "
+       "process through the same ps::engine::SolveService the daemon uses, "
+       "and prints the response line to stdout. Generator requests (no "
+       "--instance) aggregate over the engine's deterministic instance "
+       "streams and are bit-identical to the corresponding sweep scenario; "
+       "--instance requests run one of the scheduling solvers "
+       "(power.greedy, power.always_on, power.per_job, budget.value) on an "
+       "explicit `powersched-instance v1` file. Output is byte-stable "
+       "unless --timing adds the solve_ns field.",
+       {"solve --solver NAME [--param NAME=VALUE]... [--trials N] "
+        "[--seed S]",
+        "solve --solver NAME --instance FILE [--param NAME=VALUE]... "
+        "[--want-schedule]"},
+       {{"--solver", "NAME",
+         "registered solver key to run (see `list-solvers`); with "
+         "--instance one of the scheduling solvers"},
+        {"--param", "NAME=VALUE",
+         "request parameter (repeatable); with --instance only alpha, "
+         "vs_opt (power.*) or alpha, budget (budget.value) are accepted"},
+        {"--algo-param", "NAME",
+         "mark a parameter as algorithm-only (generator requests; see "
+         "`sweep`)"},
+        {"--trials", "N",
+         "trials to aggregate (generator requests; default 1)"},
+        {"--seed", "S",
+         "base seed of the deterministic instance/algorithm streams "
+         "(default 20100601)"},
+        {"--instance", "FILE",
+         "explicit instance in the `powersched-instance v1` text format"},
+        {"--id", "ID", "request id echoed in the response (default 'cli')"},
+        {"--want-schedule", nullptr,
+         "include the job -> (processor, time) assignments in the response "
+         "(--instance only)"},
+        {"--timing", nullptr,
+         "include the (non-deterministic) solve_ns field in the response"},
+        PS_OBS_OPTIONS}},
+
+      {"serve",
+       "run the TCP scheduling daemon (line-delimited JSON requests)",
+       "Long-running request/response service: listens on --host:--port, "
+       "speaks one \"powersched-serve v1\" JSON request per line "
+       "(docs/serve-protocol.md), runs solves on a --threads worker pool "
+       "through the same SolveService as `solve`, and answers every "
+       "request — malformed lines get usage-class errors, requests past "
+       "--queue-limit get explicit `overloaded` errors (backpressure, "
+       "never a silent drop), and expired deadlines get `deadline` "
+       "errors. SIGTERM/SIGINT drain gracefully: admitted requests finish "
+       "and flush their responses before exit. The bound address is "
+       "printed to stdout at startup (--port 0 picks an ephemeral port).",
+       {"serve [--host H] [--port P] [--threads N] [--queue-limit Q] "
+        "[--no-timing] [--verbose]"},
+       {{"--host", "H", "address to bind (default 127.0.0.1)"},
+        {"--port", "P",
+         "TCP port; 0 = ephemeral, printed at startup (default 0)"},
+        {"--threads", "N",
+         "solver worker threads; 0 = hardware concurrency (default 2)"},
+        {"--queue-limit", "Q",
+         "max requests in flight before new ones are refused with an "
+         "`overloaded` error (default 64)"},
+        {"--no-timing", nullptr,
+         "omit the (non-deterministic) solve_ns field from responses"},
+        {"--verbose", nullptr,
+         "log connections and answered requests to stderr"},
+        PS_OBS_OPTIONS,
+        {"--debug-delay-ms", "MS",
+         "test hook: delay every worker this long before the deadline "
+         "check", /*hidden=*/true}}},
+
+      {"loadgen",
+       "replay or synthesize request load against a serve daemon",
+       "The measurement client of the serve story: replays a request trace "
+       "(one \"powersched-serve v1\" request line per line, '#' comments "
+       "allowed) or sends --requests identical synthetic requests for "
+       "--solver, over --connections closed-loop connections, optionally "
+       "paced to --rate requests/sec. Prints throughput and p50/p95/p99 "
+       "latency, writes the per-request latency CSV and the one-row "
+       "summary CSV, and renders the latency figure through the standard "
+       "report pipeline. Strict by default: any failed request exits 1 "
+       "(after the artifacts are written).",
+       {"loadgen --port P [--host H] (--trace FILE | --solver NAME "
+        "[--param NAME=VALUE]... [--trials N] [--seed S] [--requests N] "
+        "[--deadline-ms MS]) [--connections C] [--rate R] "
+        "[--latency-csv PATH] [--summary-csv PATH] [--latency-svg PATH] "
+        "[--allow-errors]"},
+       {{"--host", "H", "daemon address (default 127.0.0.1)"},
+        {"--port", "P", "daemon port (required)"},
+        {"--trace", "FILE",
+         "replay this request trace (validated fail-closed before anything "
+         "is sent); mutually exclusive with the synthetic-mode flags"},
+        {"--solver", "NAME",
+         "synthetic mode: solver key of the generated requests (default "
+         "power.greedy)"},
+        {"--param", "NAME=VALUE",
+         "synthetic mode: request parameter (repeatable)"},
+        {"--trials", "N", "synthetic mode: trials per request (default 1)"},
+        {"--seed", "S", "synthetic mode: base seed (default 20100601)"},
+        {"--requests", "N",
+         "synthetic mode: number of requests (default 100)"},
+        {"--deadline-ms", "MS",
+         "synthetic mode: per-request deadline (default 0 = none)"},
+        {"--connections", "C",
+         "concurrent closed-loop connections (default 1)"},
+        {"--rate", "R",
+         "target aggregate arrival rate in requests/sec; 0 = as fast as "
+         "the closed loops go (default 0)"},
+        {"--latency-csv", "PATH", "write the per-request latency CSV"},
+        {"--summary-csv", "PATH",
+         "write the one-row summary CSV (requests,ok,failed,duration_s,"
+         "throughput_rps,p50_ms,p95_ms,p99_ms)"},
+        {"--latency-svg", "PATH",
+         "render the per-request latency figure from the latency CSV "
+         "through the report pipeline"},
+        {"--allow-errors", nullptr,
+         "tolerate failed requests (still counted in the summary) instead "
+         "of exiting 1"}}},
 
       {"list-presets",
        "print the bench preset catalogue",
@@ -505,7 +629,7 @@ std::string command_help_text(const CommandSpec& spec) {
   bool any_hidden = false;
   for (const auto& option : spec.options) any_hidden |= option.hidden;
   if (any_hidden) {
-    out += "\ndeprecated aliases (legacy powersched_sweep compatibility):\n";
+    out += "\nhidden options (compatibility aliases and test hooks):\n";
     for (const auto& option : spec.options) {
       if (!option.hidden) continue;
       std::string head = option.name;
@@ -1135,6 +1259,307 @@ int cmd_bench(const CommandSpec& spec, const std::vector<std::string>& args) {
 }
 
 // ---------------------------------------------------------------------------
+// solve / serve / loadgen — the request/response path. `solve` answers one
+// request in process, `serve` is the daemon, `loadgen` the measurement
+// client; all three speak the same "powersched-serve v1" schema.
+
+Status parse_port(const std::string& text, const char* flag, bool allow_zero,
+                  int& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_decimal_u64(text, parsed) || parsed > 65535 ||
+      (parsed == 0 && !allow_zero)) {
+    return Status::usage(std::string(flag) + " must be a TCP port in [" +
+                         (allow_zero ? "0" : "1") + ", 65535] (got '" + text +
+                         "')");
+  }
+  value = static_cast<int>(parsed);
+  return Status();
+}
+
+/// One "--param NAME=VALUE" setting. Reuses the axis grammar but insists on
+/// a single value — value lists belong to sweep axes, not requests.
+Status parse_param_setting(const std::string& text, engine::ParamMap& params) {
+  engine::ParamAxis axis;
+  if (Status status = parse_axis_spec(text, "--param", axis); !status.ok()) {
+    return status;
+  }
+  if (axis.values.size() != 1) {
+    return Status::usage("bad --param '" + text +
+                         "' (want a single NAME=VALUE; value lists belong "
+                         "to `sweep`)");
+  }
+  params.set(axis.name, axis.values[0]);
+  return Status();
+}
+
+Status parse_deadline_ms(const std::string& text, std::int64_t& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_decimal_u64(text, parsed) || parsed > 86400000) {
+    return Status::usage("bad --deadline-ms '" + text +
+                         "' (want an integer in [0, 86400000])");
+  }
+  value = static_cast<std::int64_t>(parsed);
+  return Status();
+}
+
+int cmd_solve(const CommandSpec& spec, const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+
+  engine::SolveRequest request;
+  request.id = "cli";
+  if (const std::string* id = parsed.value("--id")) {
+    if (id->empty()) {
+      return finish_status(&spec,
+                           Status::usage("--id needs a non-empty value"));
+    }
+    request.id = *id;
+  }
+  const std::string* solver = parsed.value("--solver");
+  if (solver == nullptr || solver->empty()) {
+    return finish_status(&spec, Status::usage("solve needs --solver NAME"));
+  }
+  request.solver = *solver;
+  for (const auto& text : parsed.values("--param")) {
+    if (Status status = parse_param_setting(text, request.params);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  for (const auto& name : parsed.values("--algo-param")) {
+    if (name.empty()) {
+      return finish_status(
+          &spec, Status::usage("--algo-param needs a parameter name"));
+    }
+    request.algo_params.push_back(name);
+  }
+  if (const std::string* text = parsed.value("--trials")) {
+    if (Status status = parse_positive_int(*text, "--trials", request.trials);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* text = parsed.value("--seed")) {
+    if (Status status = parse_seed(*text, request.seed); !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* path = parsed.value("--instance")) {
+    if (path->empty()) {
+      return finish_status(&spec,
+                           Status::usage("--instance needs a file path"));
+    }
+    request.instance_file = *path;
+  }
+  request.want_schedule = parsed.has("--want-schedule");
+
+  const ObsRequest obs_request = activate_obs(parsed);
+  const engine::SolveService service;
+  engine::SolveResponse response;
+  if (Status status = service.solve(request, response); !status.ok()) {
+    return emit_obs(obs_request, finish_status(&spec, status));
+  }
+  std::puts(
+      serve::render_ok_response(response, parsed.has("--timing")).c_str());
+  return emit_obs(obs_request, 0);
+}
+
+/// The serving Server, published for the signal handlers below.
+/// request_stop() is async-signal-safe (a single pipe write), so SIGTERM and
+/// SIGINT can trigger the graceful drain directly.
+serve::Server* volatile g_signal_server = nullptr;
+
+void handle_stop_signal(int) {
+  serve::Server* server = g_signal_server;
+  if (server != nullptr) server->request_stop();
+}
+
+int cmd_serve(const CommandSpec& spec, const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+
+  serve::ServeOptions options;
+  if (const std::string* host = parsed.value("--host")) {
+    if (host->empty()) {
+      return finish_status(
+          &spec, Status::usage("--host needs a non-empty address"));
+    }
+    options.host = *host;
+  }
+  if (const std::string* text = parsed.value("--port")) {
+    if (Status status =
+            parse_port(*text, "--port", /*allow_zero=*/true, options.port);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* text = parsed.value("--threads")) {
+    int threads = 0;
+    if (Status status = parse_threads(*text, threads); !status.ok()) {
+      return finish_status(&spec, status);
+    }
+    options.threads = static_cast<std::size_t>(threads);
+  }
+  if (const std::string* text = parsed.value("--queue-limit")) {
+    int limit = 0;
+    if (Status status = parse_positive_int(*text, "--queue-limit", limit);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+    options.queue_limit = static_cast<std::size_t>(limit);
+  }
+  if (const std::string* text = parsed.value("--debug-delay-ms")) {
+    std::uint64_t delay = 0;
+    if (!parse_decimal_u64(*text, delay) || delay > 60000) {
+      return finish_status(
+          &spec, Status::usage("bad --debug-delay-ms '" + *text +
+                               "' (want an integer in [0, 60000])"));
+    }
+    options.debug_delay_ms = static_cast<std::int64_t>(delay);
+  }
+  options.include_timing = !parsed.has("--no-timing");
+  options.verbose = parsed.has("--verbose");
+
+  const ObsRequest obs_request = activate_obs(parsed);
+  serve::Server server(options);
+  if (Status status = server.start(); !status.ok()) {
+    return emit_obs(obs_request, finish_status(&spec, status));
+  }
+  // The readiness line: scripts (and the CI smoke job) wait for it and read
+  // the bound port off it, so --port 0 works end to end.
+  std::printf("powersched serve: listening on %s:%d\n", options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  g_signal_server = &server;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+  server.wait();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_signal_server = nullptr;
+  std::fprintf(stderr, "powersched serve: drained and stopped\n");
+  return emit_obs(obs_request, 0);
+}
+
+int cmd_loadgen(const CommandSpec& spec,
+                const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+
+  serve::LoadgenOptions options;
+  if (const std::string* host = parsed.value("--host")) {
+    if (host->empty()) {
+      return finish_status(
+          &spec, Status::usage("--host needs a non-empty address"));
+    }
+    options.host = *host;
+  }
+  const std::string* port_text = parsed.value("--port");
+  if (port_text == nullptr) {
+    return finish_status(
+        &spec, Status::usage("loadgen needs --port P (the daemon's port)"));
+  }
+  if (Status status = parse_port(*port_text, "--port", /*allow_zero=*/false,
+                                 options.port);
+      !status.ok()) {
+    return finish_status(&spec, status);
+  }
+
+  if (const std::string* trace = parsed.value("--trace")) {
+    if (trace->empty()) {
+      return finish_status(&spec,
+                           Status::usage("--trace needs a file path"));
+    }
+    for (const char* flag : {"--solver", "--param", "--trials", "--seed",
+                             "--requests", "--deadline-ms"}) {
+      if (parsed.has(flag)) {
+        return finish_status(
+            &spec, Status::usage(std::string(flag) +
+                                 " is a synthetic-mode flag and does not "
+                                 "combine with --trace"));
+      }
+    }
+    options.trace_path = *trace;
+  }
+  if (const std::string* solver = parsed.value("--solver")) {
+    if (solver->empty()) {
+      return finish_status(&spec,
+                           Status::usage("--solver needs a solver name"));
+    }
+    options.solver = *solver;
+  }
+  for (const auto& text : parsed.values("--param")) {
+    if (Status status = parse_param_setting(text, options.params);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* text = parsed.value("--trials")) {
+    if (Status status = parse_positive_int(*text, "--trials", options.trials);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* text = parsed.value("--seed")) {
+    if (Status status = parse_seed(*text, options.seed); !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* text = parsed.value("--requests")) {
+    if (Status status =
+            parse_positive_int(*text, "--requests", options.requests);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* text = parsed.value("--deadline-ms")) {
+    if (Status status = parse_deadline_ms(*text, options.deadline_ms);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* text = parsed.value("--connections")) {
+    int connections = 0;
+    if (Status status =
+            parse_positive_int(*text, "--connections", connections);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+    options.connections = static_cast<std::size_t>(connections);
+  }
+  if (const std::string* text = parsed.value("--rate")) {
+    char* end = nullptr;
+    options.rate_rps = std::strtod(text->c_str(), &end);
+    if (text->empty() || end != text->c_str() + text->size() ||
+        options.rate_rps < 0.0) {
+      return finish_status(
+          &spec, Status::usage("bad --rate '" + *text +
+                               "' (want requests/sec >= 0; 0 = unpaced)"));
+    }
+  }
+  if (const std::string* path = parsed.value("--latency-csv")) {
+    options.latency_csv = *path;
+  }
+  if (const std::string* path = parsed.value("--summary-csv")) {
+    options.summary_csv = *path;
+  }
+  if (const std::string* path = parsed.value("--latency-svg")) {
+    options.latency_svg = *path;
+  }
+  options.allow_errors = parsed.has("--allow-errors");
+
+  serve::LoadgenReport report;
+  return finish_status(&spec, serve::run_loadgen(options, &report));
+}
+
+// ---------------------------------------------------------------------------
 // help + dispatch
 
 int cmd_help(const CommandSpec& spec, const std::vector<std::string>& args) {
@@ -1188,6 +1613,9 @@ int run(const std::vector<std::string>& args) {
   if (command == std::string("merge")) return cmd_merge(*spec, rest);
   if (command == std::string("report")) return cmd_report(*spec, rest);
   if (command == std::string("bench")) return cmd_bench(*spec, rest);
+  if (command == std::string("solve")) return cmd_solve(*spec, rest);
+  if (command == std::string("serve")) return cmd_serve(*spec, rest);
+  if (command == std::string("loadgen")) return cmd_loadgen(*spec, rest);
   if (command == std::string("list-presets")) {
     ParsedArgs parsed;
     if (Status status = parse_args(*spec, rest, parsed); !status.ok()) {

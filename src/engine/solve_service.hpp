@@ -1,0 +1,163 @@
+// ps::engine::SolveService — the request/response front door of the engine.
+//
+// PR 5 gave the repo one *batch* front door (Session: a declarative sweep in,
+// tables/CSV/figures out). A long-running scheduling service needs the other
+// shape: one request in — "run THIS solver on THESE parameters (or on THIS
+// explicit instance) and give me the schedule and objective" — one typed
+// response out, with everything that makes the daemon fast (solver registry,
+// scenario cache, reference cache) warm across requests. SolveService is
+// that API. The `powersched serve` daemon and the `powersched solve`
+// one-shot CLI verb are both thin callers of SolveService::solve, so the
+// whole request path is testable without opening a socket.
+//
+// Two request shapes share the one entry point:
+//
+//   * Generator requests (instance_text/instance_file empty): the solver —
+//     any registered key — draws its instances from the engine's
+//     deterministic per-(params, trial) streams, exactly as one scenario of
+//     a sweep would. The aggregated response is bit-identical to the
+//     corresponding sweep scenario for any daemon thread count, and
+//     repeated identical requests are served from the warm scenario cache.
+//
+//   * Instance requests (an explicit `powersched-instance v1` text, inline
+//     or via file path): the request names one of the scheduling solvers
+//     that accept a concrete instance — power.greedy / power.always_on /
+//     power.per_job / budget.value — and the response carries the objective
+//     (energy cost, or value under budget) plus, on demand, the schedule
+//     itself (job -> processor/time assignments). vs_opt=1 prices the
+//     brute-force optimum in as the reference through the warm
+//     reference cache.
+//
+// Error contract: ps::Status on the established 0/1/2 mapping — usage for a
+// malformed request (unknown solver, bad trials, instance text that does not
+// parse), runtime for environmental failures (unreadable instance file).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+#include "util/status.hpp"
+
+namespace ps::engine {
+
+/// One scheduling request. The wire protocol (docs/serve-protocol.md) and
+/// the `powersched solve` flags both deserialize into exactly this struct.
+struct SolveRequest {
+  /// Client-chosen request id, echoed verbatim in the response. Required,
+  /// non-empty.
+  std::string id;
+
+  /// Registry key of the solver to run. Any registered solver for generator
+  /// requests; one of the instance-capable scheduling solvers when an
+  /// instance is supplied.
+  std::string solver;
+
+  /// Generator / algorithm parameters. For instance requests only `alpha`,
+  /// `budget`, and `vs_opt` are meaningful and anything else is rejected
+  /// (fail closed — a typo must not silently change nothing).
+  ParamMap params;
+
+  /// Parameter names excluded from the instance-stream seed (see
+  /// ScenarioSpec::algo_params). Generator requests only; every name must
+  /// appear in `params`.
+  std::vector<std::string> algo_params;
+
+  /// Independent trials to aggregate (generator requests; instance requests
+  /// are deterministic and require trials == 1).
+  int trials = 1;
+
+  /// Base seed of the deterministic instance/algorithm streams.
+  std::uint64_t seed = 20100601;
+
+  /// Explicit instance, serialized in the `powersched-instance v1` text
+  /// format. Mutually exclusive with instance_file; empty = generator
+  /// request.
+  std::string instance_text;
+
+  /// Path to an instance file to read instead of inline text. The service
+  /// reads it on the serving host — meant for local/trusted callers.
+  std::string instance_file;
+
+  /// Response deadline in milliseconds, 0 = none. SolveService itself does
+  /// not enforce it (a deterministic library call has no business racing a
+  /// clock); the serve daemon checks it before and after the solve and
+  /// converts an expired request into a `deadline` error response.
+  std::int64_t deadline_ms = 0;
+
+  /// Instance requests: include the job -> (processor, time) assignments in
+  /// the response.
+  bool want_schedule = false;
+};
+
+/// The typed answer. Statistics are means over the feasible trials (one
+/// trial = the value itself, bit-identical to the direct solver call);
+/// `has_objective` is false when every trial was infeasible, mirroring the
+/// empty-cell contract of the sweep CSV.
+struct SolveResponse {
+  std::string id;
+  int trials = 0;
+  std::size_t infeasible = 0;
+  bool has_objective = false;
+  double objective = 0.0;
+  /// objective / reference mean, present only when a reference existed.
+  bool has_ratio = false;
+  double ratio = 0.0;
+  double cost = 0.0;
+  double oracle_calls = 0.0;
+  /// Mean per named metric, sorted by name.
+  std::vector<std::pair<std::string, double>> metrics;
+  /// (job, processor, time) triples of the scheduled jobs, ascending by
+  /// job id — only filled for instance requests with want_schedule.
+  bool has_schedule = false;
+  std::vector<std::array<int, 3>> schedule;
+  /// Wall time of the solve itself (cache hits are ~0). The one
+  /// non-deterministic field; renderers that need byte-stable output
+  /// (the `powersched solve` default) omit it.
+  std::uint64_t solve_ns = 0;
+};
+
+/// Long-lived request-path facade: owns the solver registry and a warm
+/// scenario cache, shares the process-global reference cache. solve() is
+/// safe to call concurrently from many threads (the daemon's worker pool
+/// does), and its numeric results are independent of that concurrency.
+class SolveService {
+ public:
+  SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Answers one request. On a non-ok Status the response carries only the
+  /// echoed id; the Status message is the client-facing diagnostic.
+  Status solve(const SolveRequest& request, SolveResponse& response) const;
+
+  const SolverRegistry& registry() const { return registry_; }
+
+  /// Warm-cache telemetry (generator requests served without recompute).
+  ScenarioCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// The instance-capable solver keys, sorted — the names an instance
+  /// request may use (also the list quoted in error messages).
+  static std::vector<std::string> instance_solvers();
+
+ private:
+  Status solve_generator(const SolveRequest& request,
+                         SolveResponse& response) const;
+  Status solve_instance(const SolveRequest& request,
+                        SolveResponse& response) const;
+
+  SolverRegistry registry_;
+  /// Scenario-level memo keyed by scenario_cache_key: identical requests
+  /// (solver, params, algo_params, seed, trials) are served without
+  /// recomputation. Private to the service — the daemon's cache lifetime is
+  /// the daemon's, never the process-global sweep cache.
+  mutable ScenarioCache cache_;
+};
+
+}  // namespace ps::engine

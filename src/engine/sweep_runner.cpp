@@ -138,6 +138,49 @@ void ScenarioCache::clear() {
   stats_ = {};
 }
 
+ScenarioResult run_scenario_inline(const SolverRegistry& registry,
+                                   const ScenarioSpec& spec) {
+  const Solver* solver = registry.find(spec.solver);
+  if (solver == nullptr) {
+    std::fprintf(stderr, "solve: unknown solver '%s' (registered: %s)\n",
+                 spec.solver.c_str(), registry.names_joined().c_str());
+    std::abort();
+  }
+  const int trials = spec.trials > 0 ? spec.trials : 0;
+  std::vector<TrialSlot> slots(static_cast<std::size_t>(trials));
+  const bool metrics_on = obs::enabled();
+  obs::Counter* trials_counter = nullptr;
+  obs::LatencyHistogram* trial_wall = nullptr;
+  obs::LatencyHistogram* trial_cpu = nullptr;
+  if (metrics_on) {
+    auto& registry_obs = obs::Registry::global();
+    trials_counter = &registry_obs.counter("sweep.trials.run");
+    trial_wall = &registry_obs.histogram("sweep.trial.wall_ns");
+    trial_cpu = &registry_obs.histogram("sweep.trial.cpu_ns");
+  }
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  const bool tracing = recorder.active();
+  for (int t = 0; t < trials; ++t) {
+    util::Rng instance_rng(spec.instance_seed(t));
+    util::Rng algo_rng(spec.algo_seed(t));
+    TrialSlot& slot = slots[static_cast<std::size_t>(t)];
+    const std::uint64_t cpu_start = metrics_on ? obs::thread_cpu_ns() : 0;
+    const std::uint64_t start_ns = obs::now_ns();
+    slot.result = solver->run_trial(spec.params, instance_rng, algo_rng);
+    const std::uint64_t wall_ns = obs::now_ns() - start_ns;
+    slot.wall_ms = static_cast<double>(wall_ns) / 1e6;
+    if (metrics_on) {
+      trials_counter->add(1);
+      trial_wall->record(wall_ns);
+      trial_cpu->record(obs::thread_cpu_ns() - cpu_start);
+    }
+    if (tracing) {
+      recorder.add_complete(spec.label(), "trial", start_ns, wall_ns);
+    }
+  }
+  return aggregate(spec, slots);
+}
+
 std::vector<ScenarioResult> SweepRunner::run(
     const SolverRegistry& registry,
     const std::vector<ScenarioSpec>& scenarios) const {

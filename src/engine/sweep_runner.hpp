@@ -139,6 +139,18 @@ class SweepRunner {
   SweepOptions options_;
 };
 
+/// Runs one scenario's trials serially on the calling thread and aggregates
+/// exactly the way SweepRunner::run does — same seed derivation, same
+/// accumulator order — so the returned ScenarioResult is bit-identical to
+/// the corresponding entry of a sweep over the same spec, for any sweep
+/// thread count. This is the request path's engine primitive: SolveService
+/// answers one scheduling request with one inline scenario, no thread pool
+/// spin-up. The solver must exist in `registry` (callers validate; an
+/// unknown name aborts like SweepRunner::run). Instrumented with the same
+/// sweep.trials.run / sweep.trial.*_ns instruments, gated on obs::enabled().
+ScenarioResult run_scenario_inline(const SolverRegistry& registry,
+                                   const ScenarioSpec& spec);
+
 /// Assembles the results of `scenarios` — the full plan, in plan order —
 /// entirely from `cache`, without running a single trial. This is the
 /// shard-merge path: per-shard processes each compute a disjoint subset of

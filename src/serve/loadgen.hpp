@@ -1,0 +1,81 @@
+// `powersched loadgen` — the load-generator client for the serve daemon.
+// Replays a committed request trace (one "powersched-serve v1" request line
+// per trace line) or synthesizes identical requests for one solver, over
+// one or more closed-loop connections, optionally paced to a target
+// arrival rate. Outputs are artifacts, not log noise: a per-request
+// latency CSV and a one-row summary CSV (throughput, p50/p95/p99), with an
+// optional SVG rendered by feeding the latency CSV back through the report
+// pipeline (CsvTable -> render_svg_plot) — the same path every sweep
+// figure takes.
+//
+// Strict by default: any non-ok response fails the run (runtime Status)
+// after the CSVs are written, so a CI smoke job is one loadgen exit code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.hpp"
+#include "util/status.hpp"
+
+namespace ps::serve {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  /// Required (> 0).
+  int port = 0;
+  /// Trace file of request lines ('#' comments and blank lines skipped);
+  /// empty = synthetic mode.
+  std::string trace_path;
+
+  // Synthetic mode: `requests` identical generator requests with ids
+  // r000001, r000002, ... (identical on purpose — the service's warm cache
+  // makes this the steady-state hot path, and every response must agree).
+  std::string solver = "power.greedy";
+  engine::ParamMap params;
+  int trials = 1;
+  std::uint64_t seed = 20100601;
+  int requests = 100;
+  std::int64_t deadline_ms = 0;
+
+  /// Concurrent connections; request i is sent on connection i mod C,
+  /// closed-loop per connection (next request waits for the response).
+  std::size_t connections = 1;
+  /// Target aggregate arrival rate in requests/sec; 0 = as fast as the
+  /// closed loops go.
+  double rate_rps = 0.0;
+
+  /// Per-request CSV (request,id,ok,error,latency_ms,objective); empty =
+  /// not written.
+  std::string latency_csv;
+  /// One-row summary CSV (requests,ok,failed,duration_s,throughput_rps,
+  /// p50_ms,p95_ms,p99_ms); empty = not written.
+  std::string summary_csv;
+  /// Per-request latency figure, rendered through the report pipeline from
+  /// the latency CSV text; empty = not written.
+  std::string latency_svg;
+  /// Accept non-ok responses (still counted as failed in the summary)
+  /// instead of failing the run.
+  bool allow_errors = false;
+};
+
+struct LoadgenReport {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  double duration_s = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Runs the load, writes the requested artifacts, prints the summary row
+/// to stdout, and fills `report` when non-null. Usage Status for bad
+/// options or a malformed trace; runtime Status for connection failures or
+/// (without allow_errors) any failed request.
+Status run_loadgen(const LoadgenOptions& options,
+                   LoadgenReport* report = nullptr);
+
+}  // namespace ps::serve

@@ -1,0 +1,130 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ps::serve {
+namespace {
+
+bool fill_addr(const std::string& host, int port, sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string target = host.empty() ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "serve: cannot parse host address '%s'\n",
+                 target.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int listen_on(const std::string& host, int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "serve: port must be in [0, 65535], got %d\n", port);
+    return -1;
+  }
+  sockaddr_in addr;
+  if (!fill_addr(host, port, addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("serve: socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "serve: bind %s:%d: %s\n", host.c_str(), port,
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) < 0) {
+    std::perror("serve: listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int bound_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    std::perror("serve: getsockname");
+    return -1;
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+int connect_to(const std::string& host, int port) {
+  sockaddr_in addr;
+  if (!fill_addr(host, port, addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("serve: socket");
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    std::fprintf(stderr, "serve: connect %s:%d: %s\n", host.c_str(), port,
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  // The protocol is one small line per message; latency matters more than
+  // segment coalescing.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(buffer_, 0, pos);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer_.erase(0, pos + 1);
+      return true;
+    }
+    if (eof_) return false;
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      eof_ = true;
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace ps::serve

@@ -1,0 +1,44 @@
+// Thin POSIX TCP helpers shared by the serve daemon and the loadgen client.
+// Deliberately minimal — blocking sockets, '\n'-framed lines — because the
+// protocol layer (protocol.hpp) is line-delimited JSON and the daemon's
+// event loop does its own poll()ing. All functions report failures with a
+// stderr diagnostic and a sentinel return; none throw.
+#pragma once
+
+#include <string>
+
+namespace ps::serve {
+
+/// Creates a listening TCP socket bound to host:port (port 0 = ephemeral,
+/// resolve the real port with bound_port). SO_REUSEADDR is set so restart
+/// races in tests and CI do not hit TIME_WAIT. Returns the fd, or -1.
+int listen_on(const std::string& host, int port, int backlog = 64);
+
+/// The local port `fd` is actually bound to, or -1.
+int bound_port(int fd);
+
+/// Blocking TCP connect; the fd, or -1.
+int connect_to(const std::string& host, int port);
+
+/// Writes all of `data`, riding out partial writes and EINTR; SIGPIPE is
+/// suppressed (MSG_NOSIGNAL) so a peer hangup surfaces as a false return,
+/// never a process kill.
+bool send_all(int fd, const std::string& data);
+
+/// Buffered '\n'-framed reader over a blocking socket. read_line blocks for
+/// the next full line (returned without the terminator; a trailing '\r' is
+/// stripped) and returns false on EOF or error. Data after the last
+/// newline at EOF is discarded — a half line is not a request.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool read_line(std::string& line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace ps::serve

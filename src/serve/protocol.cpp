@@ -1,0 +1,342 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "engine/scenario.hpp"
+#include "obs/json.hpp"
+
+namespace ps::serve {
+namespace {
+
+using obs::Json;
+using obs::json_escape;
+
+std::string quoted(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  out += json_escape(text);
+  out += '"';
+  return out;
+}
+
+std::string u64_text(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// Reads an integral JSON number in [lo, hi] into `out`; complains to
+/// `error` otherwise. JSON numbers are doubles, so integers are exact up to
+/// 2^53 — far beyond any field this protocol carries.
+bool integral_member(const Json& value, const char* name, double lo,
+                     double hi, double& out, std::string& error) {
+  if (!value.is_number()) {
+    error = "member '" + std::string(name) + "' must be a number";
+    return false;
+  }
+  const double v = value.number_value;
+  if (std::floor(v) != v) {
+    error = "member '" + std::string(name) + "' must be an integer";
+    return false;
+  }
+  if (v < lo || v > hi) {
+    error = "member '" + std::string(name) + "' out of range";
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+Status schema_error(const std::string& detail) {
+  return Status::usage("serve-protocol: " + detail);
+}
+
+}  // namespace
+
+Status parse_request_line(const std::string& line, engine::SolveRequest& out) {
+  out = engine::SolveRequest{};
+  Json doc;
+  std::string json_error;
+  if (!Json::parse(line, doc, &json_error)) {
+    return schema_error("request is not valid JSON: " + json_error);
+  }
+  if (!doc.is_object()) {
+    return schema_error("request must be a JSON object");
+  }
+  // Salvage the id first so even a rejected request gets its id echoed in
+  // the error response.
+  if (const Json* id = doc.find("id"); id != nullptr && id->is_string()) {
+    out.id = id->string_value;
+  }
+
+  std::set<std::string> seen;
+  for (const auto& [key, value] : doc.object_members) {
+    if (!seen.insert(key).second) {
+      return schema_error("duplicate member '" + key + "'");
+    }
+    std::string detail;
+    if (key == "proto") {
+      if (!value.is_string() || value.string_value != kProtocolHeader) {
+        return schema_error(std::string("member 'proto' must be \"") +
+                            kProtocolHeader + "\"");
+      }
+    } else if (key == "id") {
+      if (!value.is_string() || value.string_value.empty()) {
+        return schema_error("member 'id' must be a non-empty string");
+      }
+      out.id = value.string_value;
+    } else if (key == "solver") {
+      if (!value.is_string() || value.string_value.empty()) {
+        return schema_error("member 'solver' must be a non-empty string");
+      }
+      out.solver = value.string_value;
+    } else if (key == "params") {
+      if (!value.is_object()) {
+        return schema_error("member 'params' must be an object");
+      }
+      std::set<std::string> param_names;
+      for (const auto& [name, param] : value.object_members) {
+        if (name.empty()) {
+          return schema_error("params member names must be non-empty");
+        }
+        if (!param_names.insert(name).second) {
+          return schema_error("duplicate params member '" + name + "'");
+        }
+        if (!param.is_number()) {
+          return schema_error("params member '" + name +
+                              "' must be a number");
+        }
+        out.params.set(name, param.number_value);
+      }
+    } else if (key == "algo_params") {
+      if (!value.is_array()) {
+        return schema_error("member 'algo_params' must be an array");
+      }
+      for (const Json& item : value.array_items) {
+        if (!item.is_string() || item.string_value.empty()) {
+          return schema_error(
+              "algo_params entries must be non-empty strings");
+        }
+        out.algo_params.push_back(item.string_value);
+      }
+    } else if (key == "trials") {
+      double v = 0.0;
+      if (!integral_member(value, "trials", 1.0, 2147483647.0, v, detail)) {
+        return schema_error(detail);
+      }
+      out.trials = static_cast<int>(v);
+    } else if (key == "seed") {
+      double v = 0.0;
+      // 2^53: the largest contiguous integer range a JSON double carries.
+      if (!integral_member(value, "seed", 0.0, 9007199254740992.0, v,
+                           detail)) {
+        return schema_error(detail);
+      }
+      out.seed = static_cast<std::uint64_t>(v);
+    } else if (key == "instance") {
+      if (!value.is_string()) {
+        return schema_error("member 'instance' must be a string");
+      }
+      out.instance_text = value.string_value;
+    } else if (key == "instance_file") {
+      if (!value.is_string()) {
+        return schema_error("member 'instance_file' must be a string");
+      }
+      out.instance_file = value.string_value;
+    } else if (key == "deadline_ms") {
+      double v = 0.0;
+      if (!integral_member(value, "deadline_ms", 0.0, 86400000.0, v,
+                           detail)) {
+        return schema_error(detail);
+      }
+      out.deadline_ms = static_cast<std::int64_t>(v);
+    } else if (key == "want_schedule") {
+      if (value.type != Json::Type::kBool) {
+        return schema_error("member 'want_schedule' must be a boolean");
+      }
+      out.want_schedule = value.bool_value;
+    } else {
+      return schema_error("unknown member '" + key + "'");
+    }
+  }
+  if (seen.count("proto") == 0) {
+    return schema_error(std::string("request must carry {\"proto\":\"") +
+                        kProtocolHeader + "\"}");
+  }
+  if (out.id.empty()) {
+    return schema_error("request must carry a non-empty 'id'");
+  }
+  if (out.solver.empty()) {
+    return schema_error("request must carry a non-empty 'solver'");
+  }
+  return Status();
+}
+
+std::string render_request_line(const engine::SolveRequest& request) {
+  std::string out = "{\"proto\":";
+  out += quoted(kProtocolHeader);
+  out += ",\"id\":" + quoted(request.id);
+  out += ",\"solver\":" + quoted(request.solver);
+  if (!request.params.values().empty()) {
+    out += ",\"params\":{";
+    bool first = true;
+    for (const auto& [name, value] : request.params.values()) {
+      if (!first) out += ",";
+      first = false;
+      out += quoted(name) + ":" + engine::format_param(value);
+    }
+    out += "}";
+  }
+  if (!request.algo_params.empty()) {
+    out += ",\"algo_params\":[";
+    for (std::size_t i = 0; i < request.algo_params.size(); ++i) {
+      if (i > 0) out += ",";
+      out += quoted(request.algo_params[i]);
+    }
+    out += "]";
+  }
+  out += ",\"trials\":" + std::to_string(request.trials);
+  out += ",\"seed\":" + u64_text(request.seed);
+  if (!request.instance_text.empty()) {
+    out += ",\"instance\":" + quoted(request.instance_text);
+  }
+  if (!request.instance_file.empty()) {
+    out += ",\"instance_file\":" + quoted(request.instance_file);
+  }
+  if (request.deadline_ms > 0) {
+    out += ",\"deadline_ms\":" + std::to_string(request.deadline_ms);
+  }
+  if (request.want_schedule) {
+    out += ",\"want_schedule\":true";
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_ok_response(const engine::SolveResponse& response,
+                               bool include_timing) {
+  std::string out = "{\"proto\":";
+  out += quoted(kProtocolHeader);
+  out += ",\"id\":" + quoted(response.id);
+  out += ",\"ok\":true";
+  out += ",\"trials\":" + std::to_string(response.trials);
+  out += ",\"infeasible\":" + std::to_string(response.infeasible);
+  if (response.has_objective) {
+    out += ",\"objective\":" + engine::format_param(response.objective);
+  }
+  if (response.has_ratio) {
+    out += ",\"ratio\":" + engine::format_param(response.ratio);
+  }
+  out += ",\"cost\":" + engine::format_param(response.cost);
+  out += ",\"oracle_calls\":" + engine::format_param(response.oracle_calls);
+  out += ",\"metrics\":{";
+  for (std::size_t i = 0; i < response.metrics.size(); ++i) {
+    if (i > 0) out += ",";
+    out += quoted(response.metrics[i].first) + ":" +
+           engine::format_param(response.metrics[i].second);
+  }
+  out += "}";
+  if (response.has_schedule) {
+    out += ",\"schedule\":[";
+    for (std::size_t i = 0; i < response.schedule.size(); ++i) {
+      if (i > 0) out += ",";
+      const auto& entry = response.schedule[i];
+      out += '[';
+      out += std::to_string(entry[0]);
+      out += ',';
+      out += std::to_string(entry[1]);
+      out += ',';
+      out += std::to_string(entry[2]);
+      out += ']';
+    }
+    out += "]";
+  }
+  if (include_timing) {
+    out += ",\"solve_ns\":" + u64_text(response.solve_ns);
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_error_response(const std::string& id,
+                                  const std::string& error_class,
+                                  const std::string& message) {
+  std::string out = "{\"proto\":";
+  out += quoted(kProtocolHeader);
+  out += ",\"id\":" + quoted(id);
+  out += ",\"ok\":false";
+  out += ",\"error\":" + quoted(error_class);
+  out += ",\"message\":" + quoted(message);
+  out += "}";
+  return out;
+}
+
+bool parse_response_line(const std::string& line, WireResponse& out,
+                         std::string* error) {
+  out = WireResponse{};
+  Json doc;
+  std::string json_error;
+  const auto fail = [&](const std::string& detail) {
+    if (error != nullptr) *error = "serve-protocol: " + detail;
+    return false;
+  };
+  if (!Json::parse(line, doc, &json_error)) {
+    return fail("response is not valid JSON: " + json_error);
+  }
+  if (!doc.is_object()) return fail("response must be a JSON object");
+  const Json* proto = doc.find("proto");
+  if (proto == nullptr || !proto->is_string() ||
+      proto->string_value != kProtocolHeader) {
+    return fail(std::string("response must carry {\"proto\":\"") +
+                kProtocolHeader + "\"}");
+  }
+  const Json* id = doc.find("id");
+  if (id == nullptr || !id->is_string()) {
+    return fail("response must carry a string 'id'");
+  }
+  out.id = id->string_value;
+  const Json* ok = doc.find("ok");
+  if (ok == nullptr || ok->type != Json::Type::kBool) {
+    return fail("response must carry a boolean 'ok'");
+  }
+  out.ok = ok->bool_value;
+  if (!out.ok) {
+    const Json* cls = doc.find("error");
+    const Json* message = doc.find("message");
+    if (cls == nullptr || !cls->is_string()) {
+      return fail("error response must carry a string 'error' class");
+    }
+    out.error = cls->string_value;
+    if (message != nullptr) out.message = message->string_or("");
+    return true;
+  }
+  if (const Json* trials = doc.find("trials"); trials != nullptr) {
+    out.trials = static_cast<int>(trials->number_or(0.0));
+  }
+  if (const Json* infeasible = doc.find("infeasible");
+      infeasible != nullptr) {
+    out.infeasible = static_cast<std::size_t>(infeasible->number_or(0.0));
+  }
+  if (const Json* objective = doc.find("objective");
+      objective != nullptr && objective->is_number()) {
+    out.has_objective = true;
+    out.objective = objective->number_value;
+  }
+  if (const Json* ratio = doc.find("ratio");
+      ratio != nullptr && ratio->is_number()) {
+    out.has_ratio = true;
+    out.ratio = ratio->number_value;
+  }
+  if (const Json* solve_ns = doc.find("solve_ns");
+      solve_ns != nullptr && solve_ns->is_number()) {
+    out.solve_ns = static_cast<std::uint64_t>(solve_ns->number_value);
+  }
+  return true;
+}
+
+}  // namespace ps::serve

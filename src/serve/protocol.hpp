@@ -1,0 +1,84 @@
+// The "powersched-serve v1" wire schema — defined HERE and in
+// docs/serve-protocol.md, nowhere else. One request per line, one response
+// per line, both JSON objects whose first member is the versioned header
+//
+//   {"proto":"powersched-serve v1", ...}
+//
+// Parsing is fail-closed, the same discipline as the cache store's version
+// gate: a missing or mismatched header, an unknown member, a duplicate
+// member, or a type mismatch is a usage error naming the offender — never a
+// silently ignored field (a misspelled "deadline_ms" that parses as
+// "best-effort forever" is the bug this rule exists to prevent).
+//
+// Responses are matched to requests by `id`; the daemon may answer
+// pipelined requests on one connection out of order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/solve_service.hpp"
+#include "util/status.hpp"
+
+namespace ps::serve {
+
+/// The versioned header carried in every line's "proto" member. Bump ONLY
+/// with a schema change, and keep docs/serve-protocol.md in step.
+inline constexpr const char kProtocolHeader[] = "powersched-serve v1";
+
+/// Error classes of `"ok":false` responses.
+inline constexpr const char kErrorUsage[] = "usage";
+inline constexpr const char kErrorRuntime[] = "runtime";
+inline constexpr const char kErrorOverloaded[] = "overloaded";
+inline constexpr const char kErrorDeadline[] = "deadline";
+
+/// Parses one request line into a SolveRequest. Returns a usage Status on
+/// any schema violation; semantic validation (solver exists, trials range,
+/// instance parses, ...) stays with SolveService. On failure `out.id` still
+/// carries the request id when one could be salvaged, so the error response
+/// can echo it.
+Status parse_request_line(const std::string& line,
+                          engine::SolveRequest& out);
+
+/// Serializes a request as one line (no trailing newline), in the fixed
+/// member order the protocol doc specifies. Round-trips through
+/// parse_request_line. Deterministic: %.17g numbers, sorted params.
+std::string render_request_line(const engine::SolveRequest& request);
+
+/// Serializes a success response as one line (no trailing newline).
+/// `include_timing` controls the solve_ns member — the only
+/// non-deterministic field — so `powersched solve` can emit byte-stable
+/// output by default while the daemon reports timings.
+std::string render_ok_response(const engine::SolveResponse& response,
+                               bool include_timing);
+
+/// Serializes an `"ok":false` response: echoed id (may be empty when the
+/// request was too malformed to carry one), an error class (kError*
+/// above), and the human-readable message.
+std::string render_error_response(const std::string& id,
+                                  const std::string& error_class,
+                                  const std::string& message);
+
+/// Client-side view of a response line — what loadgen and the tests need
+/// to check outcomes without re-implementing the solver result model.
+struct WireResponse {
+  std::string id;
+  bool ok = false;
+  std::string error;    // error class when !ok
+  std::string message;  // diagnostic when !ok
+  int trials = 0;
+  std::size_t infeasible = 0;
+  bool has_objective = false;
+  double objective = 0.0;
+  bool has_ratio = false;
+  double ratio = 0.0;
+  std::uint64_t solve_ns = 0;
+};
+
+/// Parses a response line (header-checked, fail closed like requests).
+/// Returns false with a diagnostic in `error` (when non-null) on any
+/// violation.
+bool parse_response_line(const std::string& line, WireResponse& out,
+                         std::string* error = nullptr);
+
+}  // namespace ps::serve

@@ -1,0 +1,388 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/solve_service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/time.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ps::serve {
+namespace {
+
+/// One client connection. The event loop owns fd registration and the read
+/// buffer; workers share only the write side (mutex) and the pending count.
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+
+  const int fd;
+  std::string inbuf;  // event-loop-only
+  std::mutex write_mutex;
+  bool write_failed = false;  // guarded by write_mutex
+  std::atomic<int> pending{0};
+  std::atomic<bool> peer_closed{false};
+};
+
+bool make_pipe(int fds[2]) {
+  if (::pipe(fds) < 0) {
+    std::perror("serve: pipe");
+    return false;
+  }
+  for (int i = 0; i < 2; ++i) {
+    const int flags = ::fcntl(fds[i], F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fds[i], F_SETFL, flags | O_NONBLOCK);
+  }
+  return true;
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServeOptions options_in) : options(std::move(options_in)) {}
+
+  ServeOptions options;
+  engine::SolveService service;
+  std::unique_ptr<util::ThreadPool> pool;
+
+  int listen_fd = -1;
+  int bound = -1;
+  int stop_pipe[2] = {-1, -1};
+  int wake_pipe[2] = {-1, -1};
+  std::thread loop_thread;
+  bool started = false;
+  bool stop_signalled = false;  // request_stop() already wrote the pipe
+
+  /// Admitted-but-unanswered requests. Admission happens only on the event
+  /// loop thread, so the queue_limit comparison is race-free; workers only
+  /// decrement (transient under-admission, never over-admission).
+  std::atomic<std::size_t> in_flight{0};
+
+  // Event-loop-owned connection table.
+  std::map<int, std::shared_ptr<Connection>> connections;
+
+  // Instruments, resolved once at start when obs is enabled; the
+  // per-request cost with metrics on is a handful of relaxed atomics, and
+  // with metrics off it is a few null checks.
+  obs::Counter* accepted = nullptr;
+  obs::Counter* served = nullptr;
+  obs::Counter* rejected = nullptr;
+  obs::Counter* overloaded = nullptr;
+  obs::Counter* timed_out = nullptr;
+  obs::LatencyHistogram* e2e_hist = nullptr;
+  obs::LatencyHistogram* solve_hist = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+
+  void wake() {
+    const char byte = 'w';
+    // A full pipe is fine: the loop is already guaranteed to wake.
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe[1], &byte, 1);
+  }
+
+  static void drain_pipe(int fd) {
+    char sink[256];
+    while (::read(fd, sink, sizeof(sink)) > 0) {
+    }
+  }
+
+  void write_response(const std::shared_ptr<Connection>& conn,
+                      const std::string& line) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->write_failed) return;
+    if (!send_all(conn->fd, line + "\n")) conn->write_failed = true;
+  }
+
+  /// Worker-side request execution: optional test delay, deadline gate,
+  /// solve, respond. Runs on the pool.
+  void process(const std::shared_ptr<Connection>& conn,
+               const engine::SolveRequest& request,
+               std::uint64_t enqueue_ns) {
+    if (options.debug_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.debug_delay_ms));
+    }
+    const auto deadline_expired = [&] {
+      return request.deadline_ms > 0 &&
+             obs::now_ns() - enqueue_ns >
+                 static_cast<std::uint64_t>(request.deadline_ms) * 1000000ull;
+    };
+    std::string line;
+    bool expired = deadline_expired();
+    if (!expired) {
+      engine::SolveResponse response;
+      const Status status = service.solve(request, response);
+      if (status.ok()) {
+        // Re-check: an answer the client said it cannot use by now is a
+        // deadline error, not a late success.
+        expired = deadline_expired();
+        if (!expired) {
+          line = render_ok_response(response, options.include_timing);
+          if (served != nullptr) served->add(1);
+          if (solve_hist != nullptr) solve_hist->record(response.solve_ns);
+        }
+      } else {
+        line = render_error_response(
+            request.id,
+            status.code() == Status::Code::kUsage ? kErrorUsage
+                                                  : kErrorRuntime,
+            status.message());
+        if (rejected != nullptr) rejected->add(1);
+      }
+    }
+    if (expired) {
+      line = render_error_response(
+          request.id, kErrorDeadline,
+          "deadline of " + std::to_string(request.deadline_ms) +
+              " ms expired before the response was ready");
+      if (timed_out != nullptr) timed_out->add(1);
+    }
+    write_response(conn, line);
+    if (e2e_hist != nullptr) e2e_hist->record(obs::now_ns() - enqueue_ns);
+    if (options.verbose) {
+      std::fprintf(stderr, "serve: request '%s' answered\n",
+                   request.id.c_str());
+    }
+    conn->pending.fetch_sub(1, std::memory_order_acq_rel);
+    const std::size_t now_in_flight =
+        in_flight.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (queue_depth != nullptr) {
+      queue_depth->set(static_cast<double>(now_in_flight));
+    }
+    wake();
+  }
+
+  /// Event-loop-side handling of one complete request line: schema parse,
+  /// backpressure gate, admission into the worker pool. Every path writes
+  /// a response — never a silent drop.
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line) {
+    engine::SolveRequest request;
+    const Status parsed = parse_request_line(line, request);
+    if (!parsed.ok()) {
+      if (rejected != nullptr) rejected->add(1);
+      write_response(conn, render_error_response(request.id, kErrorUsage,
+                                                 parsed.message()));
+      return;
+    }
+    if (in_flight.load(std::memory_order_relaxed) >= options.queue_limit) {
+      if (overloaded != nullptr) overloaded->add(1);
+      write_response(
+          conn,
+          render_error_response(
+              request.id, kErrorOverloaded,
+              "server at capacity (" + std::to_string(options.queue_limit) +
+                  " requests in flight); retry later"));
+      return;
+    }
+    if (accepted != nullptr) accepted->add(1);
+    const std::size_t depth =
+        in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (queue_depth != nullptr) {
+      queue_depth->set(static_cast<double>(depth));
+    }
+    conn->pending.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t enqueue_ns = obs::now_ns();
+    pool->submit([this, conn, request, enqueue_ns] {
+      process(conn, request, enqueue_ns);
+    });
+  }
+
+  /// Drains readable bytes (non-blocking) and dispatches complete lines.
+  void read_connection(const std::shared_ptr<Connection>& conn) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        conn->inbuf.append(chunk, static_cast<std::size_t>(n));
+        if (n < static_cast<ssize_t>(sizeof(chunk))) break;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      conn->peer_closed.store(true, std::memory_order_release);
+      break;
+    }
+    std::size_t pos;
+    while ((pos = conn->inbuf.find('\n')) != std::string::npos) {
+      std::string line = conn->inbuf.substr(0, pos);
+      conn->inbuf.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(conn, line);
+    }
+  }
+
+  void accept_connection() {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections.emplace(fd, std::make_shared<Connection>(fd));
+    if (options.verbose) {
+      std::fprintf(stderr, "serve: connection accepted (fd %d)\n", fd);
+    }
+  }
+
+  /// Closes connections whose peer hung up once their admitted requests
+  /// have all been answered (a worker may still be writing to a closed
+  /// peer's fd — the write fails and is marked, nothing crashes).
+  void reap_connections() {
+    for (auto it = connections.begin(); it != connections.end();) {
+      const auto& conn = it->second;
+      if (conn->peer_closed.load(std::memory_order_acquire) &&
+          conn->pending.load(std::memory_order_acquire) == 0) {
+        ::close(conn->fd);
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void run() {
+    bool stopping = false;
+    for (;;) {
+      std::vector<pollfd> fds;
+      fds.push_back({stop_pipe[0], POLLIN, 0});
+      fds.push_back({wake_pipe[0], POLLIN, 0});
+      std::size_t listen_index = 0;  // 0 = not polled
+      if (!stopping) {
+        listen_index = fds.size();
+        fds.push_back({listen_fd, POLLIN, 0});
+      }
+      std::vector<std::shared_ptr<Connection>> polled;
+      const std::size_t conn_base = fds.size();
+      if (!stopping) {
+        for (const auto& [fd, conn] : connections) {
+          if (conn->peer_closed.load(std::memory_order_acquire)) continue;
+          fds.push_back({fd, POLLIN, 0});
+          polled.push_back(conn);
+        }
+      }
+      int rc;
+      do {
+        rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) {
+        std::perror("serve: poll");
+        break;
+      }
+      if (fds[0].revents != 0) {
+        drain_pipe(stop_pipe[0]);
+        stopping = true;
+      }
+      if (fds[1].revents != 0) drain_pipe(wake_pipe[0]);
+      if (!stopping && listen_index != 0 &&
+          (fds[listen_index].revents & POLLIN) != 0) {
+        accept_connection();
+      }
+      for (std::size_t i = 0; i < polled.size(); ++i) {
+        const short revents = fds[conn_base + i].revents;
+        if (revents == 0) continue;
+        if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          read_connection(polled[i]);
+        }
+      }
+      reap_connections();
+      if (stopping &&
+          in_flight.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+    }
+    // Drained: every admitted request has written its response. Close
+    // everything; unread pipelined bytes are connection teardown, exactly
+    // like a process exit, and the client sees EOF rather than silence on
+    // a request it was promised an answer for.
+    for (const auto& [fd, conn] : connections) {
+      (void)conn;
+      ::close(fd);
+    }
+    connections.clear();
+    close_if_open(listen_fd);
+    if (options.verbose) std::fprintf(stderr, "serve: drained, exiting\n");
+  }
+};
+
+Server::Server(ServeOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() {
+  if (impl_->started) {
+    request_stop();
+    wait();
+  }
+  close_if_open(impl_->stop_pipe[0]);
+  close_if_open(impl_->stop_pipe[1]);
+  close_if_open(impl_->wake_pipe[0]);
+  close_if_open(impl_->wake_pipe[1]);
+  close_if_open(impl_->listen_fd);
+}
+
+Status Server::start() {
+  Impl& impl = *impl_;
+  if (impl.started) return Status::runtime("serve: server already started");
+  impl.listen_fd = listen_on(impl.options.host, impl.options.port);
+  if (impl.listen_fd < 0) {
+    return Status::runtime("serve: cannot listen on " + impl.options.host +
+                           ":" + std::to_string(impl.options.port));
+  }
+  impl.bound = bound_port(impl.listen_fd);
+  if (!make_pipe(impl.stop_pipe) || !make_pipe(impl.wake_pipe)) {
+    close_if_open(impl.listen_fd);
+    return Status::runtime("serve: cannot create control pipes");
+  }
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    impl.accepted = &registry.counter("serve.requests.accepted");
+    impl.served = &registry.counter("serve.requests.served");
+    impl.rejected = &registry.counter("serve.requests.rejected");
+    impl.overloaded = &registry.counter("serve.requests.overloaded");
+    impl.timed_out = &registry.counter("serve.requests.timed_out");
+    impl.e2e_hist = &registry.histogram("serve.request.e2e_ns");
+    impl.solve_hist = &registry.histogram("serve.request.solve_ns");
+    impl.queue_depth = &registry.gauge("serve.queue.depth");
+  }
+  impl.pool = std::make_unique<util::ThreadPool>(impl.options.threads);
+  impl.loop_thread = std::thread([&impl] { impl.run(); });
+  impl.started = true;
+  return Status();
+}
+
+int Server::port() const { return impl_->bound; }
+
+void Server::request_stop() {
+  // One write to a non-blocking pipe: async-signal-safe by POSIX, so the
+  // CLI's SIGTERM handler calls this directly.
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(impl_->stop_pipe[1], &byte, 1);
+}
+
+void Server::wait() {
+  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+  if (impl_->pool != nullptr) impl_->pool->wait_idle();
+}
+
+}  // namespace ps::serve

@@ -1,0 +1,88 @@
+// The `powersched serve` daemon: a dependency-free TCP request/response
+// scheduler on top of SolveService.
+//
+// Threading model — one event-loop thread plus a util::ThreadPool of solver
+// workers:
+//
+//   * The event loop owns every fd. It poll()s the listen socket, a
+//     self-pipe, and all client connections; reads lines; parses requests;
+//     and ADMITS them — admission is single-threaded, so the bounded-queue
+//     check (in-flight count vs queue_limit) is race-free. An admitted
+//     request is submitted to the pool; a request over the limit gets an
+//     explicit `overloaded` error response immediately. Nothing is ever
+//     dropped without a response short of the peer hanging up first.
+//
+//   * Workers run SolveService::solve and write the response line under
+//     the connection's write mutex (responses to pipelined requests may
+//     therefore interleave out of request order; the protocol matches by
+//     id). Deadlines are enforced at the worker: expired on dequeue — or
+//     expired by the time the solve finished — yields a `deadline` error.
+//
+//   * Shutdown (request_stop(), signal-safe; the CLI points SIGTERM/SIGINT
+//     here) drains gracefully: stop accepting and reading, let every
+//     admitted request finish and flush its response, then close.
+//
+// Observability, gated on obs::enabled() (instruments resolved once at
+// start, so the per-request cost is relaxed atomics):
+//   counters   serve.requests.accepted / served / rejected / overloaded /
+//              timed_out
+//   histograms serve.request.e2e_ns (admission -> response written) and
+//              serve.request.solve_ns (solver time only)
+//   gauge      serve.queue.depth (admitted-but-unanswered requests)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace ps::serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; resolve the real port with Server::port().
+  int port = 0;
+  /// Solver worker threads; 0 = hardware concurrency.
+  std::size_t threads = 2;
+  /// Max requests admitted but not yet answered before new requests are
+  /// refused with an `overloaded` error (backpressure, never silence).
+  std::size_t queue_limit = 64;
+  /// Include solve_ns in success responses.
+  bool include_timing = true;
+  /// Log one stderr line per connection and per served request.
+  bool verbose = false;
+  /// Test hook: every worker sleeps this long before the deadline check,
+  /// making deadline-expiry and queue-full tests deterministic. Not exposed
+  /// on the CLI.
+  std::int64_t debug_delay_ms = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, spins up the worker pool and the event-loop thread. Runtime
+  /// Status when the socket cannot be bound.
+  Status start();
+
+  /// The bound port (valid after start()).
+  int port() const;
+
+  /// Initiates graceful drain. Async-signal-safe (one write to a pipe), so
+  /// a SIGTERM handler may call it directly. Idempotent.
+  void request_stop();
+
+  /// Blocks until the drain completes and the event loop exits.
+  void wait();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ps::serve

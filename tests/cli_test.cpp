@@ -187,21 +187,74 @@ TEST(Cli, MarkdownReferenceCoversEveryCommand) {
   for (const char* heading :
        {"# powersched CLI reference", "## powersched sweep",
         "## powersched merge", "## powersched report",
-        "## powersched bench", "## powersched list-presets",
-        "## powersched list-solvers", "## powersched help"}) {
+        "## powersched bench", "## powersched solve",
+        "## powersched serve", "## powersched loadgen",
+        "## powersched list-presets", "## powersched list-solvers",
+        "## powersched help"}) {
     EXPECT_NE(markdown.find(heading), std::string::npos) << heading;
   }
   // The exit-code contract and the key option surface are documented.
   EXPECT_NE(markdown.find("Exit codes"), std::string::npos);
-  for (const char* option : {"--shard", "--cache-file", "--csv", "--report",
-                             "--algo-param", "--inputs", "--out", "--metrics",
-                             "--metrics-json", "--trace", "--progress",
-                             "--compare", "--threshold"}) {
+  for (const char* option :
+       {"--shard", "--cache-file", "--csv", "--report", "--algo-param",
+        "--inputs", "--out", "--metrics", "--metrics-json", "--trace",
+        "--progress", "--compare", "--threshold", "--port", "--queue-limit",
+        "--instance", "--want-schedule", "--deadline-ms", "--latency-csv",
+        "--summary-csv", "--latency-svg", "--allow-errors"}) {
     EXPECT_NE(markdown.find(option), std::string::npos) << option;
   }
-  // Deprecated aliases stay out of the documented surface.
+  // Deprecated aliases and test hooks stay out of the documented surface.
   EXPECT_EQ(markdown.find("`--merge`"), std::string::npos);
   EXPECT_EQ(markdown.find("`--list`"), std::string::npos);
+  EXPECT_EQ(markdown.find("--debug-delay-ms"), std::string::npos);
+}
+
+TEST(Cli, SolveUsageErrorsAndEndToEnd) {
+  EXPECT_EQ(run_cli({"help", "solve"}), 0);
+  EXPECT_EQ(run_cli({"solve"}), 2);  // needs --solver
+  EXPECT_EQ(run_cli({"solve", "--solver", "no.such"}), 2);
+  EXPECT_EQ(run_cli({"solve", "--solver", "power.greedy", "--trials", "0"}),
+            2);
+  EXPECT_EQ(run_cli({"solve", "--solver", "power.greedy", "--trials", "2x"}),
+            2);
+  EXPECT_EQ(run_cli({"solve", "--solver", "power.greedy", "--param",
+                     "alpha=1,2"}),
+            2);  // value lists belong to sweep
+  EXPECT_EQ(run_cli({"solve", "--solver", "power.greedy", "--param",
+                     "alpha"}),
+            2);
+  EXPECT_EQ(run_cli({"solve", "--solver", "power.greedy", "--id", ""}), 2);
+  // want_schedule needs an explicit instance.
+  EXPECT_EQ(run_cli({"solve", "--solver", "power.greedy", "--want-schedule"}),
+            2);
+  // A missing instance file is a runtime failure, not usage.
+  EXPECT_EQ(run_cli({"solve", "--solver", "power.greedy", "--instance",
+                     "cli_test_does_not_exist.instance"}),
+            1);
+  // The happy path answers on stdout and exits 0.
+  EXPECT_EQ(run_cli({"solve", "--solver", "power.greedy", "--trials", "2"}),
+            0);
+}
+
+TEST(Cli, ServeAndLoadgenUsageErrors) {
+  EXPECT_EQ(run_cli({"help", "serve"}), 0);
+  EXPECT_EQ(run_cli({"help", "loadgen"}), 0);
+  EXPECT_EQ(run_cli({"serve", "--port", "70000"}), 2);
+  EXPECT_EQ(run_cli({"serve", "--port", "-1"}), 2);
+  EXPECT_EQ(run_cli({"serve", "--queue-limit", "0"}), 2);
+  EXPECT_EQ(run_cli({"serve", "--threads", "zoom"}), 2);
+  EXPECT_EQ(run_cli({"serve", "--host", ""}), 2);
+  EXPECT_EQ(run_cli({"loadgen"}), 2);  // needs --port
+  EXPECT_EQ(run_cli({"loadgen", "--port", "0"}), 2);
+  EXPECT_EQ(run_cli({"loadgen", "--port", "1024", "--rate", "-3"}), 2);
+  EXPECT_EQ(run_cli({"loadgen", "--port", "1024", "--requests", "0"}), 2);
+  EXPECT_EQ(run_cli({"loadgen", "--port", "1024", "--deadline-ms", "x"}), 2);
+  // Trace mode and synthetic-mode flags do not combine.
+  EXPECT_EQ(run_cli({"loadgen", "--port", "1024", "--trace", "t.jsonl",
+                     "--requests", "5"}),
+            2);
+  // A connection refusal is a runtime failure (port 1 is never listening).
+  EXPECT_EQ(run_cli({"loadgen", "--port", "1", "--requests", "1"}), 1);
 }
 
 }  // namespace

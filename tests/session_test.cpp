@@ -5,6 +5,7 @@
 // malformed request or failing sink surfaces as a typed ps::Status with
 // the documented usage/runtime split.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -18,11 +19,15 @@
 #include "engine/registry.hpp"
 #include "engine/result_sink.hpp"
 #include "engine/session.hpp"
+#include "engine/solve_service.hpp"
 #include "engine/sweep_runner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/csv_table.hpp"
 #include "report/report_builder.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 
 namespace ps::engine {
 namespace {
@@ -219,14 +224,37 @@ TEST(Session, MetricsDoNotPerturbOutputs) {
 
   obs::set_enabled(true);
   obs::TraceRecorder::global().set_active(true);
+  // An instrumented serve daemon answers requests while the instrumented
+  // sweep runs: the daemon shares the process-global registry and caches,
+  // and must be just as invisible to the primary outputs.
+  serve::Server server({});
+  ASSERT_TRUE(server.start().ok());
+  const int client_fd = serve::connect_to("127.0.0.1", server.port());
+  ASSERT_GE(client_fd, 0);
+  {
+    SolveRequest request;
+    request.id = "purity";
+    request.solver = "power.greedy";
+    request.trials = 2;
+    ASSERT_TRUE(serve::send_all(
+        client_fd, serve::render_request_line(request) + "\n"));
+  }
   std::string instrumented_tables;
   const Status status = run_e15("instrumented", instrumented_tables);
+  serve::LineReader reader(client_fd);
+  std::string response_line;
+  EXPECT_TRUE(reader.read_line(response_line));
+  ::close(client_fd);
+  server.request_stop();
+  server.wait();
   obs::TraceRecorder::global().set_active(false);
   obs::set_enabled(false);
   ASSERT_TRUE(status.ok()) << status.message();
 
-  // The instrumentation did observe the run...
+  // The instrumentation did observe the run — the sweep and the daemon...
   EXPECT_GT(obs::Registry::global().counter("sweep.trials.run").value(), 0u);
+  EXPECT_EQ(obs::Registry::global().counter("serve.requests.served").value(),
+            1u);
   EXPECT_GT(obs::TraceRecorder::global().size(), 0u);
   obs::TraceRecorder::global().clear();
   obs::Registry::global().reset();
