@@ -6,20 +6,35 @@
 #   ./scripts/check.sh --sanitize  # same suite under ASan+UBSan — the
 #                                  # sanitizer CI leg and local devs run the
 #                                  # identical script
+#   ./scripts/check.sh --label unit   # only tests carrying that ctest label
+#                                     # (unit | e2e) — lets a CI matrix shard
+#                                     # the suite and gives devs a fast leg
 set -eu
 
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+LABEL=""
+prev=""
 for arg in "$@"; do
+  if [ "$prev" = "--label" ]; then
+    LABEL="$arg"
+    prev=""
+    continue
+  fi
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
+    --label) prev="--label" ;;
     *)
-      echo "usage: $0 [--sanitize]" >&2
+      echo "usage: $0 [--sanitize] [--label unit|e2e]" >&2
       exit 2
       ;;
   esac
 done
+if [ "$prev" = "--label" ]; then
+  echo "usage: $0 [--sanitize] [--label unit|e2e]" >&2
+  exit 2
+fi
 
 if [ "$SANITIZE" -eq 1 ]; then
   # Separate default build dir so sanitized and plain artifacts never mix.
@@ -38,4 +53,9 @@ else
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DPOWERSCHED_WERROR=ON
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"
+cd "$BUILD_DIR"
+if [ -n "$LABEL" ]; then
+  ctest --output-on-failure -j "$(nproc)" -L "$LABEL"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi

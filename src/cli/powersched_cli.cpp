@@ -79,7 +79,11 @@ struct CommandSpec {
    "also render the preset's Markdown + SVG figure report into DIR "        \
    "(byte-identical to `powersched report` over the --csv file)"},          \
   {"--timing", nullptr,                                                     \
-   "include the (non-deterministic) wall-time columns"}
+   "include the (non-deterministic) wall-time columns"},                    \
+  {"--tails", nullptr,                                                      \
+   "retain per-trial samples: exact p50/p95/p99 percentile columns in "     \
+   "tables/CSV, p5-p95 bands in figures, and sample-carrying (v2) cache "   \
+   "entries; merge mode requires shards run with --tails"}
 
 // Observability surface shared by every command that runs real work. All
 // three only ever write to stderr or their own side files, so primary
@@ -107,7 +111,7 @@ const std::vector<CommandSpec>& commands() {
        "for any --threads value, and a --shard/--cache-file run merges "
        "back into the unsharded output byte-for-byte (see `merge`).",
        {"sweep --preset NAME [--trials N] [--seed S] [--threads K] "
-        "[--csv PATH] [--report DIR] [--timing] [--no-cache]",
+        "[--csv PATH] [--report DIR] [--timing] [--tails] [--no-cache]",
         "sweep --solvers A,B,C [--grid NAME=V1,V2]... [--param NAME=V]... "
         "[--algo-param NAME]... [common options]",
         "sweep ... [--shard I/N] [--cache-file PATH]"},
@@ -921,6 +925,7 @@ Status build_session_request(const ParsedArgs& args, bool merge_command,
     config.cache_file = *cache_file;
   }
   config.timing = args.has("--timing");
+  config.tails = args.has("--tails");
   if (args.has("--no-cache")) config.use_cache = false;
 
   // Merge inputs: the merge command takes positionals and/or --inputs; the

@@ -894,6 +894,7 @@ bool run_bench_preset(const BenchPreset& preset,
   config.seed_given = options.seed_given;
   config.num_threads = options.num_threads;
   config.timing = options.timing;
+  config.tails = options.tails;
   config.use_cache = options.use_cache;
   config.shard_index = options.shard_index;
   config.shard_count = options.shard_count;

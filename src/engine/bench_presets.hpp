@@ -28,7 +28,9 @@ struct PlotHint {
   /// X-axis column — the swept parameter.
   std::string x;
   /// Y-value columns; each becomes one series (per series split). A column
-  /// with a `<stem>_ci95` sibling in the CSV gets ci95 error bars.
+  /// with a `<stem>_ci95` sibling in the CSV gets ci95 error bars, and one
+  /// with `<stem>_p5`/`<stem>_p95` siblings (a `--tails` run) additionally
+  /// gets a p5–p95 percentile band.
   std::vector<std::string> y;
   /// Columns whose distinct row values split the rows into separate series
   /// (typically {"solver"}, sometimes a second sweep axis); empty = one
@@ -93,6 +95,9 @@ struct PresetRunOptions {
   std::string csv_path;
   /// Force wall-time columns on even for non-timing presets.
   bool timing = false;
+  /// Retain per-trial samples (`--tails`): percentile columns in tables/CSV
+  /// and sample-carrying (v2) cache entries. See RunConfig::tails.
+  bool tails = false;
   /// Serve repeated scenarios from the process-wide scenario cache.
   bool use_cache = true;
   /// Shard selection over the preset's scenario grid — the concatenation of

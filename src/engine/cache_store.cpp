@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -18,7 +19,8 @@
 
 namespace ps::engine {
 
-const char kScenarioCacheFormatHeader[] = "powersched-scenario-cache v1";
+const char kScenarioCacheFormatHeader[] = "powersched-scenario-cache v2";
+const char kScenarioCacheFormatHeaderV1[] = "powersched-scenario-cache v1";
 
 namespace {
 
@@ -95,6 +97,39 @@ void write_accumulator_state(std::ostream& out,
 constexpr const char* kCoreAccumulators[] = {"objective", "ratio", "cost",
                                              "oracle_calls", "wall_ms"};
 
+/// The core accumulators that retain samples under `--tails` — wall_ms never
+/// does (it is the one non-deterministic reading, and persisting it would
+/// break byte-identical shard merges).
+constexpr const char* kSampledAccumulators[] = {"objective", "ratio", "cost",
+                                                "oracle_calls"};
+
+/// One `samples` / `metric_samples` line: keyword, name, count, then the
+/// retained readings in ascending order (sorted_samples() — the canonical
+/// deterministic order, so the emitted bytes never depend on whether a
+/// percentile was computed before the save).
+void write_samples_line(std::ostream& out, const char* keyword,
+                        const std::string& name,
+                        const util::Accumulator& acc) {
+  const std::vector<double>& sorted = acc.sorted_samples();
+  out << keyword << ' ' << name << ' ' << sorted.size();
+  for (double v : sorted) out << ' ' << format_param(v);
+  out << '\n';
+}
+
+/// Whether every sample-bearing accumulator of `result` retained its
+/// samples — the condition for writing the entry's sample blocks. Mixed
+/// retention (which no aggregation path produces) degrades to a
+/// streaming-only entry rather than a half-sampled one.
+bool all_samples_kept(const ScenarioResult& result) {
+  bool keep = result.objective.samples_kept() && result.ratio.samples_kept() &&
+              result.cost.samples_kept() &&
+              result.oracle_calls.samples_kept();
+  for (const auto& [name, acc] : result.metrics) {
+    keep = keep && acc.samples_kept();
+  }
+  return keep;
+}
+
 util::Accumulator* core_accumulator(ScenarioResult& result,
                                     const std::string& name) {
   if (name == "objective") return &result.objective;
@@ -119,14 +154,22 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
 
   std::string line;
   std::size_t line_no = 1;
-  if (!std::getline(in, line) || line != kScenarioCacheFormatHeader) {
-    if (line.rfind("powersched-scenario-cache", 0) == 0) {
-      return load_error(path_, line_no,
-                        "version mismatch: file is '" + line +
-                            "', this build reads '" +
-                            kScenarioCacheFormatHeader +
-                            "' — regenerate the cache file");
-    }
+  int version = 0;
+  if (!std::getline(in, line)) {
+    return load_error(path_, line_no, "not a powersched scenario cache file");
+  }
+  if (line == kScenarioCacheFormatHeader) {
+    version = 2;
+  } else if (line == kScenarioCacheFormatHeaderV1) {
+    version = 1;
+  } else if (line.rfind("powersched-scenario-cache", 0) == 0) {
+    return load_error(path_, line_no,
+                      "version mismatch: file is '" + line +
+                          "', this build reads '" +
+                          std::string(kScenarioCacheFormatHeaderV1) +
+                          "' or '" + kScenarioCacheFormatHeader +
+                          "' — regenerate the cache file");
+  } else {
     return load_error(path_, line_no, "not a powersched scenario cache file");
   }
 
@@ -135,6 +178,11 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
   ScenarioResult result;
   std::size_t core_seen = 0;
   bool aggregate_seen = false;
+  // v2 sample blocks, buffered until 'end' so counts can be checked against
+  // the accumulator states regardless of line order within the entry.
+  int samples_flag = 0;
+  std::map<std::string, std::vector<double>> core_samples;
+  std::map<std::string, std::vector<double>> metric_samples;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -151,6 +199,9 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
       result = ScenarioResult{};
       core_seen = 0;
       aggregate_seen = false;
+      samples_flag = 0;
+      core_samples.clear();
+      metric_samples.clear();
       if (!(fields >> spec.solver)) {
         return load_error(path_, line_no, "scenario line missing solver name");
       }
@@ -186,7 +237,70 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
           !parse_size(fields, result.infeasible)) {
         return load_error(path_, line_no, "bad aggregate line");
       }
+      if (version >= 2) {
+        // v2 requires the 0/1 samples flag as a third field — a v2 header
+        // over a v1 body fails here rather than loading half-understood.
+        std::size_t flag = 0;
+        std::string extra;
+        if (!parse_size(fields, flag) || flag > 1 || (fields >> extra)) {
+          return load_error(path_, line_no,
+                            "bad aggregate line: v2 requires "
+                            "'aggregate <trials> <infeasible> <0|1>'");
+        }
+        samples_flag = static_cast<int>(flag);
+      }
       aggregate_seen = true;
+    } else if (version >= 2 &&
+               (keyword == "samples" || keyword == "metric_samples")) {
+      if (samples_flag != 1) {
+        return load_error(path_, line_no,
+                          "'" + keyword +
+                              "' block in an entry whose aggregate line did "
+                              "not declare samples");
+      }
+      std::string name;
+      std::size_t count = 0;
+      if (!(fields >> name) || !parse_size(fields, count)) {
+        return load_error(path_, line_no, "bad " + keyword + " line");
+      }
+      if (keyword == "samples") {
+        bool sampled_core = false;
+        for (const char* core_name : kSampledAccumulators) {
+          sampled_core = sampled_core || name == core_name;
+        }
+        if (!sampled_core) {
+          return load_error(path_, line_no,
+                            "'samples " + name +
+                                "' is not a sample-bearing core accumulator");
+        }
+      }
+      // The declared count is untrusted input: parse values one at a time
+      // (a short list fails before, not after, a giant allocation) and cap
+      // the up-front reserve by what the line could physically hold.
+      std::vector<double> values;
+      values.reserve(std::min(count, line.size() / 2 + 1));
+      for (std::size_t i = 0; i < count; ++i) {
+        double value = 0.0;
+        if (!parse_double(fields, value)) {
+          return load_error(path_, line_no,
+                            keyword + " '" + name + "': expected " +
+                                std::to_string(count) +
+                                " values, found a short or malformed list");
+        }
+        values.push_back(value);
+      }
+      std::string extra;
+      if (fields >> extra) {
+        return load_error(path_, line_no,
+                          keyword + " '" + name +
+                              "': trailing tokens after the declared " +
+                              std::to_string(count) + " values");
+      }
+      auto& dest = keyword == "samples" ? core_samples : metric_samples;
+      if (!dest.emplace(name, std::move(values)).second) {
+        return load_error(path_, line_no,
+                          "duplicate " + keyword + " '" + name + "'");
+      }
     } else if (keyword == "acc") {
       std::string name;
       util::Accumulator::State state;
@@ -211,6 +325,55 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
       if (!aggregate_seen ||
           core_seen != std::size(kCoreAccumulators)) {
         return load_error(path_, line_no, "incomplete scenario entry");
+      }
+      if (samples_flag == 1) {
+        // Rebuild every sample-bearing accumulator with its retained
+        // samples, failing closed on any missing block or count that
+        // disagrees with the streaming state.
+        for (const char* name : kSampledAccumulators) {
+          util::Accumulator* acc = core_accumulator(result, name);
+          const auto it = core_samples.find(name);
+          if (it == core_samples.end()) {
+            return load_error(path_, line_no,
+                              std::string("entry declares samples but has "
+                                          "no 'samples ") +
+                                  name + "' block");
+          }
+          if (it->second.size() != acc->count()) {
+            return load_error(
+                path_, line_no,
+                std::string("samples ") + name + ": " +
+                    std::to_string(it->second.size()) +
+                    " value(s) but the accumulator counted " +
+                    std::to_string(acc->count()));
+          }
+          *acc = util::Accumulator::from_state_and_samples(
+              acc->state(), std::move(it->second));
+        }
+        for (auto& [name, values] : metric_samples) {
+          const auto it = result.metrics.find(name);
+          if (it == result.metrics.end()) {
+            return load_error(path_, line_no,
+                              "metric_samples '" + name +
+                                  "' has no matching metric line");
+          }
+          if (values.size() != it->second.count()) {
+            return load_error(path_, line_no,
+                              "metric_samples " + name + ": " +
+                                  std::to_string(values.size()) +
+                                  " value(s) but the accumulator counted " +
+                                  std::to_string(it->second.count()));
+          }
+          it->second = util::Accumulator::from_state_and_samples(
+              it->second.state(), std::move(values));
+        }
+        for (const auto& [name, acc] : result.metrics) {
+          if (!acc.samples_kept()) {
+            return load_error(path_, line_no,
+                              "entry declares samples but metric '" + name +
+                                  "' has no metric_samples block");
+          }
+        }
       }
       result.spec = spec;
       // The key is recomputed from the loaded spec, so file content and
@@ -280,8 +443,9 @@ bool ScenarioCacheStore::save(const ScenarioCache& cache) const {
     for (const auto& name : spec.algo_params) {
       out << "algo_param " << name << '\n';
     }
+    const bool with_samples = all_samples_kept(*result);
     out << "aggregate " << result->trials_run << ' ' << result->infeasible
-        << '\n';
+        << ' ' << (with_samples ? 1 : 0) << '\n';
     const util::Accumulator* const core[] = {
         &result->objective, &result->ratio, &result->cost,
         &result->oracle_calls, &result->wall_ms};
@@ -290,10 +454,20 @@ bool ScenarioCacheStore::save(const ScenarioCache& cache) const {
       write_accumulator_state(out, *core[i]);
       out << '\n';
     }
+    if (with_samples) {
+      for (std::size_t i = 0; i < std::size(kSampledAccumulators); ++i) {
+        write_samples_line(out, "samples", kSampledAccumulators[i], *core[i]);
+      }
+    }
     for (const auto& [name, acc] : result->metrics) {
       out << "metric " << name << ' ';
       write_accumulator_state(out, acc);
       out << '\n';
+    }
+    if (with_samples) {
+      for (const auto& [name, acc] : result->metrics) {
+        write_samples_line(out, "metric_samples", name, acc);
+      }
     }
     out << "end\n";
     ++entries_saved;

@@ -13,6 +13,16 @@
 // results table. Saves write to a temp file in the same directory and
 // rename into place, so concurrent writers cannot interleave and readers
 // never observe a torn file.
+//
+// v2 (the current write format) extends v1 with optional retained samples:
+// the aggregate line gains a 0/1 samples flag, and flagged entries carry one
+// `samples <name> <count> <v...>` block per sample-bearing core accumulator
+// (objective/ratio/cost/oracle_calls — never wall_ms) plus one
+// `metric_samples <name> <count> <v...>` block per metric, each listing the
+// retained per-trial readings in ascending (stable-sorted) order. v1 files
+// still load — their entries simply come back streaming-only — and sample
+// blocks whose counts disagree with the accumulator state, are truncated,
+// or contain malformed values fail the load like any other schema error.
 #pragma once
 
 #include <string>
@@ -22,10 +32,15 @@
 
 namespace ps::engine {
 
-/// The exact first line of every cache file this build reads or writes.
-/// Bump the version when the entry schema changes; old files are rejected
-/// with a message naming both versions.
+/// The exact first line of every cache file this build writes (v2). Bump
+/// the version when the entry schema changes incompatibly; unknown versions
+/// are rejected with a message naming both versions.
 extern const char kScenarioCacheFormatHeader[];
+
+/// The v1 header. v1 files (no sample retention) still load — forward
+/// compatibility for caches written before the tails work — but every save
+/// writes the current format.
+extern const char kScenarioCacheFormatHeaderV1[];
 
 /// Load/save/merge of ScenarioCache contents for one file path.
 class ScenarioCacheStore {

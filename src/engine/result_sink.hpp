@@ -123,7 +123,9 @@ class TableSink : public ResultSink {
 };
 
 /// The aggregated union-of-columns CSV of the whole run, written at
-/// finish() — byte-identical to what the legacy --csv flag produced.
+/// finish() — byte-identical to what the legacy --csv flag produced. Under
+/// `--tails` (RunConfig::tails) the rows carry the percentile column block
+/// of docs/csv-schema.md; with tails off the bytes are unchanged.
 class CsvSink : public ResultSink {
  public:
   explicit CsvSink(std::string path) : path_(std::move(path)) {}

@@ -127,6 +127,7 @@ Status Session::prepare() {
   // via use_cache. A file-scoped cache below overrides either way.
   sweep_options_.use_cache = preset_ != nullptr && config_.use_cache;
   sweep_options_.cache = nullptr;
+  sweep_options_.keep_samples = config_.tails;
 
   // Creating the cache file's parent directory is CacheFileSink::prepare's
   // job — a cache_file with no sink attached must not leave directories
@@ -231,6 +232,19 @@ Status Session::run() {
         return Status::runtime(
             "merge cache files do not cover the plan (missing scenarios "
             "listed above)");
+      }
+      if (config_.tails) {
+        // A tails merge can only emit percentile columns when every shard
+        // retained its samples; a streaming-only entry would silently
+        // produce empty percentile cells, so fail loudly instead.
+        for (const auto& result : results) {
+          if (!result.objective.samples_kept()) {
+            return Status::runtime(
+                "--tails merge: cached entry for scenario " +
+                result.spec.label() +
+                " carries no samples — rerun the shards with --tails");
+          }
+        }
       }
     } else {
       obs::PhaseTimer run_span("session.run");

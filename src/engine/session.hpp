@@ -64,6 +64,15 @@ struct RunConfig {
   /// Force wall-time columns on even for non-timing presets.
   bool timing = false;
 
+  /// Retain per-trial samples during aggregation (`--tails`): unlocks the
+  /// exact p50/p95/p99 percentile columns in every sink and persists the
+  /// samples into the cache file (scenario-cache v2). Off by default — a
+  /// 100k-trial sweep must not buffer every reading, and the emitted CSV
+  /// stays byte-identical to pre-tails builds. In merge mode the merged
+  /// cache entries must themselves carry samples (shards run with --tails);
+  /// a streaming-only entry fails the merge loudly.
+  bool tails = false;
+
   /// Serve repeated scenarios from the scenario cache (presets only; an
   /// ad-hoc plan caches only into a file-scoped cache, never the global).
   bool use_cache = true;

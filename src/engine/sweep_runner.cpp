@@ -29,9 +29,16 @@ std::string stat_cell(const util::Accumulator& acc, double value,
 }
 
 ScenarioResult aggregate(const ScenarioSpec& spec,
-                         const std::vector<TrialSlot>& slots) {
+                         const std::vector<TrialSlot>& slots,
+                         bool keep_samples) {
   ScenarioResult result;
   result.spec = spec;
+  if (keep_samples) {
+    result.objective = util::Accumulator(/*keep_samples=*/true);
+    result.ratio = util::Accumulator(/*keep_samples=*/true);
+    result.cost = util::Accumulator(/*keep_samples=*/true);
+    result.oracle_calls = util::Accumulator(/*keep_samples=*/true);
+  }
   for (const TrialSlot& slot : slots) {
     ++result.trials_run;
     result.wall_ms.add(slot.wall_ms);
@@ -46,11 +53,29 @@ ScenarioResult aggregate(const ScenarioSpec& spec,
       result.ratio.add(slot.result.objective / slot.result.reference);
     }
     for (const auto& [name, value] : slot.result.metrics) {
-      result.metrics.try_emplace(name, /*keep_samples=*/false)
+      result.metrics.try_emplace(name, keep_samples)
           .first->second.add(value);
     }
   }
   return result;
+}
+
+/// Tail columns exist only when a result retained samples and observed at
+/// least one reading; otherwise the cell is empty like any other undefined
+/// statistic.
+std::string percentile_cell(const util::Accumulator& acc, double q) {
+  return acc.samples_kept() && acc.count() > 0 ? format_param(acc.percentile(q))
+                                               : std::string();
+}
+
+/// Whether any result carries retained samples — the trigger for emitting
+/// the percentile column block. With `--tails` off no result retains
+/// samples, so the schema (and every golden byte) is unchanged.
+bool any_samples_kept(const std::vector<ScenarioResult>& results) {
+  for (const auto& result : results) {
+    if (result.objective.samples_kept()) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -98,7 +123,7 @@ void ScenarioCache::insert(const std::string& key,
                            std::shared_ptr<const ScenarioResult> result) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    entries_.emplace(key, std::move(result));
+    entries_.insert_or_assign(key, std::move(result));
   }
   if (obs::enabled()) {
     obs::Registry::global().counter("cache.scenario.inserts").add(1);
@@ -178,7 +203,7 @@ ScenarioResult run_scenario_inline(const SolverRegistry& registry,
       recorder.add_complete(spec.label(), "trial", start_ns, wall_ns);
     }
   }
-  return aggregate(spec, slots);
+  return aggregate(spec, slots, /*keep_samples=*/false);
 }
 
 std::vector<ScenarioResult> SweepRunner::run(
@@ -220,6 +245,13 @@ std::vector<ScenarioResult> SweepRunner::run(
         continue;
       }
       served[s] = cache->find(keys[s]);
+      // A keep_samples run needs percentiles, which a streaming-era entry
+      // cannot provide — treat it as a miss and recompute; the fresh result
+      // (identical aggregates, now with samples) replaces it below.
+      if (served[s] != nullptr && options_.keep_samples &&
+          !served[s]->objective.samples_kept()) {
+        served[s] = nullptr;
+      }
     }
   }
 
@@ -326,7 +358,7 @@ std::vector<ScenarioResult> SweepRunner::run(
       results[s] = results[static_cast<std::size_t>(duplicate_of[s])];
       continue;
     }
-    results[s] = aggregate(scenarios[s], slots[s]);
+    results[s] = aggregate(scenarios[s], slots[s], options_.keep_samples);
     if (cache != nullptr) {
       cache->insert(keys[s], std::make_shared<ScenarioResult>(results[s]));
     }
@@ -374,9 +406,13 @@ std::vector<std::string> metric_name_union(
 util::Table results_table(const std::vector<ScenarioResult>& results,
                           const std::string& caption, bool include_timing) {
   const auto metric_names = metric_name_union(results);
+  const bool tails = any_samples_kept(results);
   std::vector<std::string> header{"solver", "params", "trials", "infeasible",
                                   "objective mean", "ci95", "ratio mean",
                                   "ratio max", "oracle mean"};
+  if (tails) {
+    header.insert(header.end(), {"obj p50", "obj p95", "obj p99"});
+  }
   for (const auto& name : metric_names) header.push_back("m:" + name);
   if (include_timing) header.push_back("wall ms");
 
@@ -401,6 +437,16 @@ util::Table results_table(const std::vector<ScenarioResult>& results,
     stat(result.ratio, result.ratio.mean(), 1);
     stat(result.ratio, result.ratio.max(), 1);
     stat(result.oracle_calls, result.oracle_calls.mean(), 1);
+    if (tails) {
+      for (double q : {0.50, 0.95, 0.99}) {
+        const auto& obj = result.objective;
+        if (obj.samples_kept() && obj.count() > 0) {
+          row.cell(obj.percentile(q));
+        } else {
+          row.cell("");
+        }
+      }
+    }
     for (const auto& name : metric_names) {
       const auto it = result.metrics.find(name);
       if (it != result.metrics.end() && it->second.count() > 0) {
@@ -426,6 +472,7 @@ std::vector<std::vector<std::string>> results_csv_rows(
     }
   }
   const auto metric_names = metric_name_union(results);
+  const bool tails = any_samples_kept(results);
 
   std::vector<std::string> header{"solver"};
   header.insert(header.end(), param_names.begin(), param_names.end());
@@ -435,7 +482,24 @@ std::vector<std::vector<std::string>> results_csv_rows(
         "ratio_max", "cost_mean", "oracle_mean"}) {
     header.push_back(column);
   }
-  for (const auto& name : metric_names) header.push_back("m_" + name);
+  if (tails) {
+    for (const char* column :
+         {"objective_p5", "objective_p50", "objective_p95", "objective_p99",
+          "ratio_min", "ratio_p5", "ratio_p50", "ratio_p95", "ratio_p99",
+          "cost_p50", "cost_p95", "cost_p99", "oracle_p50", "oracle_p95",
+          "oracle_p99"}) {
+      header.push_back(column);
+    }
+  }
+  for (const auto& name : metric_names) {
+    header.push_back("m_" + name);
+    if (tails) {
+      for (const char* suffix : {"_min", "_max", "_p5", "_p50", "_p95",
+                                 "_p99"}) {
+        header.push_back("m_" + name + suffix);
+      }
+    }
+  }
   if (include_timing) header.push_back("wall_ms_mean");
 
   std::vector<std::vector<std::string>> rows;
@@ -462,11 +526,37 @@ std::vector<std::vector<std::string>> results_csv_rows(
     row.push_back(stat_cell(result.cost, result.cost.mean(), 1));
     row.push_back(
         stat_cell(result.oracle_calls, result.oracle_calls.mean(), 1));
+    if (tails) {
+      for (double q : {0.05, 0.50, 0.95, 0.99}) {
+        row.push_back(percentile_cell(obj, q));
+      }
+      row.push_back(stat_cell(result.ratio, result.ratio.min(), 1));
+      for (double q : {0.05, 0.50, 0.95, 0.99}) {
+        row.push_back(percentile_cell(result.ratio, q));
+      }
+      for (double q : {0.50, 0.95, 0.99}) {
+        row.push_back(percentile_cell(result.cost, q));
+      }
+      for (double q : {0.50, 0.95, 0.99}) {
+        row.push_back(percentile_cell(result.oracle_calls, q));
+      }
+    }
     for (const auto& name : metric_names) {
       const auto it = result.metrics.find(name);
-      row.push_back(it != result.metrics.end()
-                        ? stat_cell(it->second, it->second.mean(), 1)
-                        : std::string());
+      const util::Accumulator* acc =
+          it != result.metrics.end() ? &it->second : nullptr;
+      row.push_back(acc != nullptr ? stat_cell(*acc, acc->mean(), 1)
+                                   : std::string());
+      if (tails) {
+        row.push_back(acc != nullptr ? stat_cell(*acc, acc->min(), 1)
+                                     : std::string());
+        row.push_back(acc != nullptr ? stat_cell(*acc, acc->max(), 1)
+                                     : std::string());
+        for (double q : {0.05, 0.50, 0.95, 0.99}) {
+          row.push_back(acc != nullptr ? percentile_cell(*acc, q)
+                                       : std::string());
+        }
+      }
     }
     if (include_timing) {
       row.push_back(stat_cell(result.wall_ms, result.wall_ms.mean(), 1));

@@ -26,10 +26,14 @@ namespace ps::engine {
 /// Aggregated metrics of one scenario. Infeasible trials (solver could not
 /// produce a solution, or no reference existed where one was requested) are
 /// counted but excluded from the accumulators, so means stay comparable
-/// across solvers. The accumulators are streaming-only (no per-sample
-/// retention — a 100k-trial sweep must not buffer every reading), so
-/// quantiles are unavailable; everything emitted here uses mean/stddev/
-/// min/max/ci95.
+/// across solvers. By default the accumulators are streaming-only (no
+/// per-sample retention — a 100k-trial sweep must not buffer every reading),
+/// so only mean/stddev/min/max/ci95 are available. With
+/// SweepOptions::keep_samples (the `--tails` path) every deterministic
+/// accumulator retains its per-trial samples, unlocking exact p50/p95/p99
+/// percentiles; `samples_kept()` on an accumulator reports which mode a
+/// result was aggregated (or cache-loaded) under. wall_ms never retains
+/// samples — it is the one non-deterministic reading.
 struct ScenarioResult {
   ScenarioSpec spec;
   util::Accumulator objective{/*keep_samples=*/false};
@@ -57,7 +61,10 @@ std::string scenario_cache_key(const ScenarioSpec& spec);
 /// Thread-safe map from scenario_cache_key to a completed ScenarioResult.
 /// Lets a second invocation of the same scenario — another sweep in the same
 /// preset, a repeated preset run, a multi-solver comparison re-using a
-/// baseline — skip all trials. Entries are immutable once inserted.
+/// baseline — skip all trials. An insert under an existing key replaces the
+/// entry: aggregates for a given key are deterministic, so the only real
+/// upgrade is a recomputed result that now carries retained samples where
+/// the old entry had none (a `--tails` run over a streaming-era cache).
 ///
 /// The key identifies the scenario by solver NAME, not implementation: a
 /// caller that overrides a registered solver (see register_builtin_solvers)
@@ -109,6 +116,13 @@ struct SweepOptions {
   bool use_cache = false;
   /// Cache to use when use_cache is set; null = ScenarioCache::global().
   ScenarioCache* cache = nullptr;
+  /// When true (the `--tails` path), aggregate with per-trial sample
+  /// retention so exact p50/p95/p99 percentiles are available on every
+  /// deterministic accumulator (wall_ms stays streaming-only). Cache
+  /// entries without samples do not satisfy a keep_samples run — they are
+  /// treated as misses and recomputed, and the recomputed entry (identical
+  /// aggregates, now with samples) replaces them.
+  bool keep_samples = false;
   /// Progress callback, invoked from worker threads after every completed
   /// trial with monotone running totals (cache-served and duplicate
   /// scenarios count as done from the start). Throttling is the callee's
@@ -172,7 +186,9 @@ std::vector<std::string> metric_name_union(
 /// One row per scenario: solver, parameter signature, trial counts, the
 /// objective / ratio / oracle summaries, then one mean column per named
 /// metric in the union (blank where a scenario never reported the metric).
-/// `include_timing` appends the (non-deterministic) mean wall-time column.
+/// When any result retained samples (`--tails`), objective p50/p95/p99
+/// columns join the summaries. `include_timing` appends the
+/// (non-deterministic) mean wall-time column.
 util::Table results_table(const std::vector<ScenarioResult>& results,
                           const std::string& caption,
                           bool include_timing = false);
@@ -191,10 +207,13 @@ std::string results_csv_text(const std::vector<ScenarioResult>& results,
                              bool include_timing = false);
 
 /// Writes one aggregated row per scenario with the union of parameter names
-/// as columns, the core statistics, and one `m_<name>_mean` column per
-/// named metric in the union. Deterministic for fixed scenarios (wall-time
-/// columns only with `include_timing`); statistics undefined for the trial
-/// count — the ci95 column, say, needs two samples — emit empty cells, never
+/// as columns, the core statistics, and one `m_<name>` column per named
+/// metric in the union. When any result retained samples (`--tails`), the
+/// percentile block documented in docs/csv-schema.md joins the schema —
+/// with retention off the emitted bytes are identical to what pre-tails
+/// builds produced. Deterministic for fixed scenarios (wall-time columns
+/// only with `include_timing`); statistics undefined for the trial count —
+/// the ci95 column, say, needs two samples — emit empty cells, never
 /// NaN. Returns false — after printing a diagnostic with the path to
 /// stderr — when the file cannot be opened; callers must treat that as
 /// fatal rather than shipping an empty results file.

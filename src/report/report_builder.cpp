@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -198,20 +199,30 @@ bool build_preset_report(const BenchPreset& preset, const CsvTable& table,
       series_cols.push_back(col);
     }
     std::vector<std::size_t> y_cols;
-    std::vector<std::ptrdiff_t> err_cols;  // -1 = no ci95 sibling
+    std::vector<std::ptrdiff_t> err_cols;      // -1 = no ci95 sibling
+    std::vector<std::ptrdiff_t> band_lo_cols;  // -1 = no p5/p95 siblings
+    std::vector<std::ptrdiff_t> band_hi_cols;
     for (const std::string& name : hint.y) {
       std::size_t col = 0;
       if (!resolve_column(table, name, context, col)) return false;
       y_cols.push_back(col);
+      // A `<stem>_mean` column keys its sibling statistics by the stem; a
+      // bare metric column (`m_<name>`) is its own stem. A ci95 sibling
+      // adds error bars; p5/p95 siblings (present only in `--tails` CSVs)
+      // add a percentile band.
       const std::string stem_mean = "_mean";
-      std::ptrdiff_t err_col = -1;
+      std::string stem = name;
       if (name.size() > stem_mean.size() &&
           name.compare(name.size() - stem_mean.size(), stem_mean.size(),
                        stem_mean) == 0) {
-        err_col = table.column(
-            name.substr(0, name.size() - stem_mean.size()) + "_ci95");
+        stem = name.substr(0, name.size() - stem_mean.size());
       }
-      err_cols.push_back(err_col);
+      err_cols.push_back(stem != name ? table.column(stem + "_ci95") : -1);
+      const std::ptrdiff_t lo = table.column(stem + "_p5");
+      const std::ptrdiff_t hi = table.column(stem + "_p95");
+      const bool banded = lo >= 0 && hi >= 0;
+      band_lo_cols.push_back(banded ? lo : -1);
+      band_hi_cols.push_back(banded ? hi : -1);
     }
 
     // Split rows into series keys (first-appearance order — which is plan
@@ -268,9 +279,22 @@ bool build_preset_report(const BenchPreset& preset, const CsvTable& table,
             table.numeric_cell(row, static_cast<std::size_t>(err_cols[yi]),
                                err);
           }
+          const double nan = std::numeric_limits<double>::quiet_NaN();
+          double band_lo = nan, band_hi = nan;
+          if (band_lo_cols[yi] >= 0 &&
+              (!table.numeric_cell(
+                   row, static_cast<std::size_t>(band_lo_cols[yi]),
+                   band_lo) ||
+               !table.numeric_cell(
+                   row, static_cast<std::size_t>(band_hi_cols[yi]),
+                   band_hi))) {
+            band_lo = band_hi = nan;  // empty cell = no band at this point
+          }
           series.xs.push_back(x);
           series.ys.push_back(y);
           series.err.push_back(err);
+          series.band_lo.push_back(band_lo);
+          series.band_hi.push_back(band_hi);
         }
         spec.series.push_back(std::move(series));
       }
@@ -319,6 +343,10 @@ bool build_preset_report(const BenchPreset& preset, const CsvTable& table,
       table_cols.push_back(y_cols[i]);
       if (err_cols[i] >= 0) {
         table_cols.push_back(static_cast<std::size_t>(err_cols[i]));
+      }
+      if (band_lo_cols[i] >= 0) {
+        table_cols.push_back(static_cast<std::size_t>(band_lo_cols[i]));
+        table_cols.push_back(static_cast<std::size_t>(band_hi_cols[i]));
       }
     }
     md += "|";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace ps::report {
 namespace {
@@ -113,20 +114,32 @@ std::vector<double> log_axis(double min, double max, double& lo, double& hi) {
 
 struct Point {
   double x, y, err;
+  /// Percentile band edges; NaN = no band at this point.
+  double band_lo, band_hi;
+  bool has_band() const {
+    return std::isfinite(band_lo) && std::isfinite(band_hi);
+  }
 };
 
 /// The drawable subset of a series: finite, and positive on log axes.
 std::vector<Point> drawable_points(const PlotSeries& series, bool log_x,
                                    bool log_y) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
   std::vector<Point> out;
   for (std::size_t i = 0; i < series.xs.size() && i < series.ys.size(); ++i) {
     const double x = series.xs[i];
     const double y = series.ys[i];
     const double e = i < series.err.size() ? series.err[i] : 0.0;
+    double lo = i < series.band_lo.size() ? series.band_lo[i] : nan;
+    double hi = i < series.band_hi.size() ? series.band_hi[i] : nan;
     if (!std::isfinite(x) || !std::isfinite(y)) continue;
     if (log_x && x <= 0.0) continue;
     if (log_y && y <= 0.0) continue;
-    out.push_back({x, y, std::isfinite(e) && e > 0.0 ? e : 0.0});
+    if (!std::isfinite(lo) || !std::isfinite(hi) ||
+        (log_y && (lo <= 0.0 || hi <= 0.0))) {
+      lo = hi = nan;  // a band needs both edges drawable
+    }
+    out.push_back({x, y, std::isfinite(e) && e > 0.0 ? e : 0.0, lo, hi});
   }
   std::stable_sort(out.begin(), out.end(),
                    [](const Point& a, const Point& b) { return a.x < b.x; });
@@ -160,15 +173,19 @@ std::string render_svg_plot(const PlotSpec& spec) {
     kept.push_back(s);
   }
 
-  // Data ranges (error bars included on linear y; on log y the bar is
-  // clamped at draw time instead, so a bar crossing zero cannot wreck the
-  // axis).
+  // Data ranges (error bars and percentile bands included on linear y; on
+  // log y both are clamped at draw time instead, so a bar or band crossing
+  // zero cannot wreck the axis).
   double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0;
   bool first = true;
   for (const auto& series : points) {
     for (const Point& p : series) {
-      const double y_lo = spec.log_y ? p.y : p.y - p.err;
-      const double y_hi = spec.log_y ? p.y : p.y + p.err;
+      double y_lo = spec.log_y ? p.y : p.y - p.err;
+      double y_hi = spec.log_y ? p.y : p.y + p.err;
+      if (!spec.log_y && p.has_band()) {
+        y_lo = std::min(y_lo, p.band_lo);
+        y_hi = std::max(y_hi, p.band_hi);
+      }
       if (first) {
         min_x = max_x = p.x;
         min_y = y_lo;
@@ -276,10 +293,36 @@ std::string render_svg_plot(const PlotSpec& spec) {
            (spec.log_y ? " (log scale)" : "") + "</text>\n";
   }
 
-  // Series marks: error bars under the line, line under the markers; the
-  // markers carry a 1px surface ring so overlapping points stay separable.
+  // Series marks: percentile band under the error bars, bars under the
+  // line, line under the markers; the markers carry a 1px surface ring so
+  // overlapping points stay separable.
   for (std::size_t s = 0; s < points.size(); ++s) {
     const char* color = kSeriesColors[s];
+    // p5–p95 ribbon: the upper edge left-to-right, then the lower edge
+    // back, filled translucently in the series color. Only the banded
+    // subsequence participates; fewer than two banded points would make a
+    // degenerate polygon, so those fall back to bars/markers alone.
+    std::vector<const Point*> banded;
+    for (const Point& p : points[s]) {
+      if (p.has_band()) banded.push_back(&p);
+    }
+    if (banded.size() >= 2) {
+      const auto clamp_y = [&](double value) {
+        double y = spec.log_y && value <= 0.0 ? y1 : sy.map(value);
+        return std::min(std::max(y, y0), y1);
+      };
+      svg += "<polygon fill=\"" + std::string(color) +
+             "\" fill-opacity=\"0.14\" stroke=\"none\" points=\"";
+      for (std::size_t i = 0; i < banded.size(); ++i) {
+        if (i) svg += ' ';
+        svg += px(sx.map(banded[i]->x)) + "," + px(clamp_y(banded[i]->band_hi));
+      }
+      for (std::size_t i = banded.size(); i-- > 0;) {
+        svg += ' ';
+        svg += px(sx.map(banded[i]->x)) + "," + px(clamp_y(banded[i]->band_lo));
+      }
+      svg += "\"/>\n";
+    }
     for (const Point& p : points[s]) {
       if (p.err <= 0.0) continue;
       const double x = sx.map(p.x);

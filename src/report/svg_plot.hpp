@@ -1,8 +1,9 @@
 // Deterministic SVG figure renderer for the report pipeline: line/scatter
-// series with ci95 error bars, linear or log10 axes, gridlines, and a
-// legend, emitted as a pure function of the spec — no timestamps, no
-// randomness, fixed number formatting — so two renders of the same data are
-// byte-identical (the property CI diffs sharded vs unsharded reports on).
+// series with ci95 error bars and optional percentile bands, linear or
+// log10 axes, gridlines, and a legend, emitted as a pure function of the
+// spec — no timestamps, no randomness, fixed number formatting — so two
+// renders of the same data are byte-identical (the property CI diffs
+// sharded vs unsharded reports on).
 #pragma once
 
 #include <string>
@@ -11,13 +12,20 @@
 namespace ps::report {
 
 /// One plotted series: points in draw order (the renderer stable-sorts by x
-/// so polylines never double back), plus optional symmetric error bars.
+/// so polylines never double back), plus optional symmetric error bars and
+/// an optional percentile band.
 struct PlotSeries {
   std::string label;
   std::vector<double> xs;
   std::vector<double> ys;
   /// Empty, or one ci95 half-width per point (0 = no bar at that point).
   std::vector<double> err;
+  /// Empty, or one band edge per point (a `--tails` run's p5/p95 columns):
+  /// a translucent ribbon in the series color is filled between band_lo and
+  /// band_hi, under the error bars and line. NaN at a point = no band
+  /// there; a point carries a band only when both edges are finite.
+  std::vector<double> band_lo;
+  std::vector<double> band_hi;
 };
 
 struct PlotSpec {

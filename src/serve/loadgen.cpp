@@ -252,9 +252,12 @@ Status run_loadgen(const LoadgenOptions& options, LoadgenReport* report) {
   summary.throughput_rps =
       duration_s > 0.0 ? static_cast<double>(total) / duration_s : 0.0;
   if (latency.count() > 0) {
-    summary.p50_ms = latency.quantile(0.50);
-    summary.p95_ms = latency.quantile(0.95);
-    summary.p99_ms = latency.quantile(0.99);
+    // The shared exact-order-statistic percentile (util::percentile_of_sorted)
+    // — the same definition the sweep tail columns and figure bands use, so
+    // the summary CSV is reproducible from the per-request latency CSV.
+    summary.p50_ms = latency.percentile(0.50);
+    summary.p95_ms = latency.percentile(0.95);
+    summary.p99_ms = latency.percentile(0.99);
   }
 
   // Artifacts first, verdict second: a failed run must still leave the

@@ -7,6 +7,16 @@
 
 namespace ps::util {
 
+double percentile_of_sorted(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  assert(0.0 <= q && q <= 1.0);
+  const auto n = static_cast<double>(sorted.size());
+  const double rank = std::floor(q * n);
+  const std::size_t index =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(rank));
+  return sorted[index];
+}
+
 void Accumulator::add(double x) {
   if (count_ == 0) {
     min_ = max_ = x;
@@ -40,6 +50,21 @@ Accumulator Accumulator::from_state(const State& state) {
   return acc;
 }
 
+Accumulator Accumulator::from_state_and_samples(const State& state,
+                                                std::vector<double> samples) {
+  assert(samples.size() == state.count);
+  Accumulator acc(/*keep_samples=*/true);
+  acc.count_ = state.count;
+  acc.mean_ = state.mean;
+  acc.m2_ = state.m2;
+  acc.min_ = state.min;
+  acc.max_ = state.max;
+  acc.sum_ = state.sum;
+  acc.samples_ = std::move(samples);
+  acc.sorted_ = false;
+  return acc;
+}
+
 double Accumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double Accumulator::variance() const {
@@ -52,18 +77,32 @@ double Accumulator::stddev() const { return std::sqrt(variance()); }
 double Accumulator::min() const { return min_; }
 double Accumulator::max() const { return max_; }
 
+const std::vector<double>& Accumulator::sorted_samples() const {
+  assert(keep_samples_);
+  if (!sorted_) {
+    // stable_sort keeps ties (including -0.0 vs +0.0) in insertion order,
+    // which is the deterministic trial order — so the sorted sequence is
+    // bit-reproducible across runs and is what the cache store persists.
+    std::stable_sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return samples_;
+}
+
+double Accumulator::percentile(double q) const {
+  assert(keep_samples_ && !samples_.empty());
+  return percentile_of_sorted(sorted_samples(), q);
+}
+
 double Accumulator::quantile(double q) const {
   assert(keep_samples_ && !samples_.empty());
   assert(0.0 <= q && q <= 1.0);
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::vector<double>& samples = sorted_samples();
+  const double pos = q * static_cast<double>(samples.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
 }
 
 double Accumulator::ci95_halfwidth() const {

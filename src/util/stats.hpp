@@ -7,6 +7,14 @@
 
 namespace ps::util {
 
+/// THE percentile definition shared by sweep tail columns, figure bands,
+/// and serve latency summaries: the exact order statistic
+/// `sorted[min(n-1, floor(q * n))]`, q in [0,1]. The returned value is
+/// always an observed sample (never interpolated), so it round-trips
+/// bit-exactly through the %.17g CSV/cache formats. `sorted` must be
+/// non-empty and ascending.
+double percentile_of_sorted(const std::vector<double>& sorted, double q);
+
 /// Accumulates samples and reports summary statistics. Mean and variance use
 /// Welford's algorithm, so the accumulator is numerically stable and O(1) per
 /// sample; quantiles require keep_samples(true) (the default).
@@ -36,6 +44,11 @@ class Accumulator {
   /// streaming-only — quantiles are unavailable — but mean/variance/stddev/
   /// min/max/sum/ci95 are bit-identical to the snapshotted original.
   static Accumulator from_state(const State& state);
+  /// Accumulator rebuilt from a saved state AND its retained samples (the
+  /// cache-store v2 load path). Quantiles/percentiles are available again
+  /// and bit-identical to the snapshotted original's.
+  static Accumulator from_state_and_samples(const State& state,
+                                            std::vector<double> samples);
 
   std::size_t count() const { return count_; }
   double mean() const;
@@ -50,6 +63,16 @@ class Accumulator {
   /// Requires keep_samples; aborts otherwise.
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
+
+  /// Whether this accumulator retains its samples (percentiles available).
+  bool samples_kept() const { return keep_samples_; }
+  /// Exact sample percentile — percentile_of_sorted over the retained
+  /// samples. Requires keep_samples and at least one sample.
+  double percentile(double q) const;
+  /// The retained samples in ascending order (lazily stable-sorted, so ties
+  /// keep insertion order and the sequence is deterministic — the canonical
+  /// order the cache store persists). Requires keep_samples.
+  const std::vector<double>& sorted_samples() const;
 
   /// Half-width of a ~95% normal confidence interval on the mean.
   double ci95_halfwidth() const;

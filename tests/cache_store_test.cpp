@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -444,6 +445,257 @@ TEST(UnwritableCsv, TablePrintPropagatesSideCsvFailure) {
   EXPECT_FALSE(table.print());
   ::unsetenv("PS_CSV_DIR");
   EXPECT_TRUE(table.print());
+}
+
+// --- cache-store v2: retained samples, fail-closed loads ------------------
+
+/// Runs cheap_plan with sample retention into a fresh cache and saves it to
+/// `path` — a genuine v2 file with sample blocks, the base for mutation
+/// tests.
+void write_tails_cache(const std::string& path) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  ScenarioCache cache;
+  SweepOptions options;
+  options.use_cache = true;
+  options.cache = &cache;
+  options.keep_samples = true;
+  SweepRunner(options).run(registry, cheap_plan());
+  ASSERT_TRUE(ScenarioCacheStore(path).save(cache));
+}
+
+/// Replaces the first occurrence of `from` with `to` in the file at `path`;
+/// fails the test when `from` is absent (the mutation would be a no-op).
+void mutate_file(const std::string& path, const std::string& from,
+                 const std::string& to) {
+  std::string text = read_file(path);
+  const std::size_t pos = text.find(from);
+  ASSERT_NE(pos, std::string::npos)
+      << "mutation target '" << from << "' not found in " << path;
+  text.replace(pos, from.size(), to);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+TEST(CacheStoreV2, SampleRoundTripIsBitIdenticalIncludingPercentiles) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  ScenarioCache cache;
+  SweepOptions options;
+  options.use_cache = true;
+  options.cache = &cache;
+  options.keep_samples = true;
+  const auto results = SweepRunner(options).run(registry, cheap_plan());
+
+  const std::string path = temp_path("tails_roundtrip.cache");
+  ASSERT_TRUE(ScenarioCacheStore(path).save(cache));
+  EXPECT_NE(read_file(path).find("\nsamples objective "), std::string::npos);
+
+  ScenarioCache loaded;
+  ASSERT_TRUE(ScenarioCacheStore(path).load(loaded));
+  ASSERT_EQ(loaded.size(), cache.size());
+  for (const auto& result : results) {
+    const auto entry = loaded.peek(scenario_cache_key(result.spec));
+    ASSERT_NE(entry, nullptr);
+    expect_results_bit_identical(*entry, result);
+    ASSERT_TRUE(entry->objective.samples_kept());
+    for (double q : {0.05, 0.5, 0.95, 0.99}) {
+      EXPECT_EQ(entry->objective.percentile(q), result.objective.percentile(q));
+      EXPECT_EQ(entry->cost.percentile(q), result.cost.percentile(q));
+    }
+    EXPECT_EQ(entry->objective.sorted_samples(),
+              result.objective.sorted_samples());
+    // wall_ms never persists samples — it stays streaming-only on load.
+    EXPECT_FALSE(entry->wall_ms.samples_kept());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CacheStoreV2, SavedThenLoadedThenSavedFileIsByteIdentical) {
+  const std::string path = temp_path("tails_stable.cache");
+  write_tails_cache(path);
+  const std::string first = read_file(path);
+
+  ScenarioCache loaded;
+  ASSERT_TRUE(ScenarioCacheStore(path).load(loaded));
+  const std::string resaved = temp_path("tails_stable2.cache");
+  ASSERT_TRUE(ScenarioCacheStore(resaved).save(loaded));
+  EXPECT_EQ(read_file(resaved), first);
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
+TEST(CacheStoreV2, V1FilesStillLoadAsStreamingOnly) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  ScenarioCache cache;
+  SweepOptions options;
+  options.use_cache = true;
+  options.cache = &cache;
+  SweepRunner(options).run(registry, cheap_plan());
+  const std::string path = temp_path("v1_compat.cache");
+  ASSERT_TRUE(ScenarioCacheStore(path).save(cache));
+
+  // Downgrade the file to genuine v1: v1 header, two-field aggregate lines.
+  std::string text = read_file(path);
+  const std::string v2_header = kScenarioCacheFormatHeader;
+  ASSERT_EQ(text.compare(0, v2_header.size(), v2_header), 0);
+  text.replace(0, v2_header.size(), kScenarioCacheFormatHeaderV1);
+  std::string downgraded;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("aggregate ", 0) == 0) {
+      ASSERT_EQ(line.substr(line.size() - 2), " 0");
+      line.resize(line.size() - 2);
+    }
+    downgraded += line;
+    downgraded += '\n';
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << downgraded;
+  }
+
+  ScenarioCache loaded;
+  ASSERT_TRUE(ScenarioCacheStore(path).load(loaded));
+  ASSERT_EQ(loaded.size(), cache.size());
+  for (const auto& [key, result] : cache.snapshot()) {
+    const auto entry = loaded.peek(key);
+    ASSERT_NE(entry, nullptr) << key;
+    expect_results_bit_identical(*entry, *result);
+    EXPECT_FALSE(entry->objective.samples_kept());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CacheStoreV2, V2HeaderWithV1BodyFailsClosed) {
+  const std::string path = temp_path("v2_header_v1_body.cache");
+  write_tails_cache(path);
+  // Strip the samples flag from the first aggregate line: a v1-shaped body
+  // under the v2 header must fail, not load half-understood.
+  std::string text = read_file(path);
+  const std::size_t pos = text.find("\naggregate ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos + 1);
+  ASSERT_EQ(text.compare(eol - 2, 2, " 1"), 0);
+  text.erase(eol - 2, 2);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  ScenarioCache cache;
+  EXPECT_FALSE(ScenarioCacheStore(path).load(cache));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStoreV2, TruncatedSampleBlockFailsClosed) {
+  const std::string path = temp_path("truncated_samples.cache");
+  write_tails_cache(path);
+  // Drop the last value of the first objective sample block: the declared
+  // count no longer matches the values present.
+  std::string text = read_file(path);
+  const std::size_t pos = text.find("\nsamples objective ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos + 1);
+  const std::size_t last_space = text.rfind(' ', eol);
+  ASSERT_GT(last_space, pos);
+  text.erase(last_space, eol - last_space);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  ScenarioCache cache;
+  EXPECT_FALSE(ScenarioCacheStore(path).load(cache));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStoreV2, SampleCountStateMismatchFailsClosed) {
+  const std::string path = temp_path("count_mismatch.cache");
+  write_tails_cache(path);
+  // cheap_plan runs 4 trials, all feasible, so every objective block is
+  // "samples objective 4 ...". Declare 3 and drop one value: the block is
+  // self-consistent but disagrees with the accumulator state's count.
+  std::string text = read_file(path);
+  const std::size_t pos = text.find("\nsamples objective 4 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::strlen("\nsamples objective 4 "),
+               "\nsamples objective 3 ");
+  const std::size_t eol = text.find('\n', pos + 1);
+  const std::size_t last_space = text.rfind(' ', eol);
+  text.erase(last_space, eol - last_space);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  ScenarioCache cache;
+  EXPECT_FALSE(ScenarioCacheStore(path).load(cache));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStoreV2, GarbageSamplesFailClosed) {
+  const std::string path = temp_path("garbage_samples.cache");
+  write_tails_cache(path);
+  mutate_file(path, "\nsamples objective 4 ", "\nsamples objective 4 bogus ");
+  ScenarioCache cache;
+  EXPECT_FALSE(ScenarioCacheStore(path).load(cache));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStoreV2, SampleBlockWithoutDeclaredFlagFailsClosed) {
+  const std::string path = temp_path("undeclared_samples.cache");
+  write_tails_cache(path);
+  // Flip the first entry's samples flag off while leaving its sample
+  // blocks in place: blocks an entry never declared must be rejected.
+  // (cheap_plan: 4 trials, none infeasible, so the aggregate line is fixed.)
+  mutate_file(path, "aggregate 4 0 1\n", "aggregate 4 0 0\n");
+  ScenarioCache cache;
+  EXPECT_FALSE(ScenarioCacheStore(path).load(cache));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStoreV2, UnknownSampleNameAndMissingBlockFailClosed) {
+  const std::string unknown = temp_path("unknown_sample_name.cache");
+  write_tails_cache(unknown);
+  mutate_file(unknown, "\nsamples objective ", "\nsamples wall_ms ");
+  ScenarioCache cache;
+  EXPECT_FALSE(ScenarioCacheStore(unknown).load(cache));
+  std::remove(unknown.c_str());
+
+  const std::string missing = temp_path("missing_sample_block.cache");
+  write_tails_cache(missing);
+  // Rename one block to another legal core name: 'objective' now has no
+  // block (missing) and 'cost' has two (duplicate) — either way, loud.
+  mutate_file(missing, "\nsamples objective ", "\nsamples cost ");
+  EXPECT_FALSE(ScenarioCacheStore(missing).load(cache));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(missing.c_str());
+}
+
+TEST(CacheStoreV2, SampleLessCacheEntryIsRecomputedUnderTails) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  const SweepPlan plan = cheap_plan();
+  ScenarioCache cache;
+  SweepOptions streaming;
+  streaming.use_cache = true;
+  streaming.cache = &cache;
+  SweepRunner(streaming).run(registry, plan);
+  ASSERT_GT(cache.size(), 0u);
+
+  // A --tails run over the streaming-era cache must not serve sample-less
+  // entries: every scenario recomputes, and the refreshed entries carry
+  // samples with unchanged aggregates.
+  SweepOptions tails = streaming;
+  tails.keep_samples = true;
+  const auto results = SweepRunner(tails).run(registry, plan);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.objective.samples_kept());
+    const auto entry = cache.peek(scenario_cache_key(result.spec));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->objective.samples_kept());
+    expect_results_bit_identical(*entry, result);
+  }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -267,6 +268,64 @@ TEST(SvgPlot, GoldenFileByteDeterminism) {
   EXPECT_EQ(svg, read_file(golden))
       << "renderer output changed; regenerate with "
          "POWERSCHED_UPDATE_GOLDEN=1 if intentional";
+}
+
+/// golden_spec() with a p5–p95 percentile band on the first series — one
+/// point's band marked NaN (no retained samples there) to pin the
+/// band-gap behavior alongside the happy path.
+PlotSpec banded_golden_spec() {
+  PlotSpec spec = golden_spec();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  spec.series[0].band_lo = {1.125, nan, 1.0};
+  spec.series[0].band_hi = {2.0, nan, 1.375};
+  return spec;
+}
+
+// The banded renderer pinned against its own golden file — and the
+// band-free spec must render byte-identically to the pre-bands golden
+// (same file as SvgPlot.GoldenFileByteDeterminism), proving bands are
+// strictly additive.
+TEST(SvgPlot, PercentileBandGoldenFileByteDeterminism) {
+  const std::string svg = render_svg_plot(banded_golden_spec());
+  ASSERT_FALSE(svg.empty());
+  EXPECT_EQ(svg, render_svg_plot(banded_golden_spec()));  // pure function
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+  // No bands requested -> no band markup at all.
+  EXPECT_EQ(render_svg_plot(golden_spec()).find("<polygon"),
+            std::string::npos);
+
+  const std::filesystem::path golden =
+      std::filesystem::path(POWERSCHED_SOURCE_DIR) / "tests" / "data" /
+      "golden_plot_bands.svg";
+  if (std::getenv("POWERSCHED_UPDATE_GOLDEN") != nullptr) {
+    std::filesystem::create_directories(golden.parent_path());
+    std::ofstream out(golden, std::ios::binary);
+    out << svg;
+    ASSERT_TRUE(static_cast<bool>(out));
+    GTEST_SKIP() << "golden updated at " << golden;
+  }
+  EXPECT_EQ(svg, read_file(golden))
+      << "band renderer output changed; regenerate with "
+         "POWERSCHED_UPDATE_GOLDEN=1 if intentional";
+}
+
+TEST(SvgPlot, BandRequiresTwoFinitePointsAndClampsOnLogY) {
+  // A single banded point renders no polygon (nothing to ribbon between).
+  PlotSpec spec = golden_spec();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  spec.series[0].band_lo = {1.0, nan, nan};
+  spec.series[0].band_hi = {2.0, nan, nan};
+  EXPECT_EQ(render_svg_plot(spec).find("<polygon"), std::string::npos);
+
+  // On a log y axis a non-positive band edge cannot be mapped; the point
+  // drops out of the ribbon rather than poisoning the transform.
+  PlotSpec log_spec = golden_spec();
+  log_spec.log_y = true;
+  log_spec.series[0].band_lo = {-1.0, 1.0, 1.0};
+  log_spec.series[0].band_hi = {2.0, 2.0, 2.0};
+  const std::string svg = render_svg_plot(log_spec);
+  ASSERT_FALSE(svg.empty());
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);  // 2 good points left
 }
 
 TEST(SvgPlot, DropsUnplottablePointsAndRefusesOversizedSpecs) {

@@ -8,18 +8,21 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "engine/registry.hpp"
 #include "engine/solve_service.hpp"
 #include "engine/sweep_runner.hpp"
 #include "obs/metrics.hpp"
+#include "report/csv_table.hpp"
 #include "scheduling/cost_model.hpp"
 #include "scheduling/instance_io.hpp"
 #include "scheduling/power_scheduler.hpp"
@@ -27,6 +30,7 @@
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "util/stats.hpp"
 
 namespace ps {
 namespace {
@@ -546,6 +550,55 @@ TEST(Loadgen, ReplaysTheCommittedTraceAndWritesArtifacts) {
        {options.latency_csv, options.summary_csv, options.latency_svg}) {
     std::remove(path.c_str());
   }
+}
+
+// One definition of "percentile": the p50/p95/p99 in the summary CSV must
+// equal the shared exact-order-statistic routine applied to the latencies
+// in the per-request CSV. (Both artifacts print %.3f, and the percentile is
+// always an observed sample, so the comparison is exact at that precision.)
+TEST(Loadgen, SummaryPercentilesMatchSharedRoutineOverLatencyCsv) {
+  ServerFixture fixture;
+  serve::LoadgenOptions options;
+  options.port = fixture.port();
+  options.trace_path =
+      std::string(POWERSCHED_SOURCE_DIR) + "/tests/data/serve_trace.jsonl";
+  options.connections = 2;
+  const std::string dir = ::testing::TempDir();
+  options.latency_csv = dir + "serve_test_consistency_latency.csv";
+  options.summary_csv = dir + "serve_test_consistency_summary.csv";
+  ASSERT_TRUE(serve::run_loadgen(options).ok());
+
+  report::CsvTable latency_table;
+  ASSERT_TRUE(report::CsvTable::load(options.latency_csv, latency_table));
+  const std::ptrdiff_t latency_col = latency_table.column("latency_ms");
+  ASSERT_GE(latency_col, 0);
+  std::vector<double> latencies;
+  for (std::size_t row = 0; row < latency_table.num_rows(); ++row) {
+    double value = 0.0;
+    if (latency_table.numeric_cell(
+            row, static_cast<std::size_t>(latency_col), value)) {
+      latencies.push_back(value);
+    }
+  }
+  ASSERT_FALSE(latencies.empty());
+  std::sort(latencies.begin(), latencies.end());
+
+  report::CsvTable summary_table;
+  ASSERT_TRUE(report::CsvTable::load(options.summary_csv, summary_table));
+  ASSERT_EQ(summary_table.num_rows(), 1u);
+  for (const auto& [column, q] :
+       std::vector<std::pair<std::string, double>>{
+           {"p50_ms", 0.50}, {"p95_ms", 0.95}, {"p99_ms", 0.99}}) {
+    const std::ptrdiff_t col = summary_table.column(column);
+    ASSERT_GE(col, 0) << column;
+    char expected[32];
+    std::snprintf(expected, sizeof(expected), "%.3f",
+                  util::percentile_of_sorted(latencies, q));
+    EXPECT_EQ(summary_table.cell(0, static_cast<std::size_t>(col)), expected)
+        << column;
+  }
+  std::remove(options.latency_csv.c_str());
+  std::remove(options.summary_csv.c_str());
 }
 
 TEST(Loadgen, SyntheticModeIsStrictAboutFailures) {

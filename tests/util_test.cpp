@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <fstream>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -372,6 +374,58 @@ TEST(Accumulator, StateRoundTripIsBitIdentical) {
   EXPECT_EQ(restored.max(), acc.max());
   EXPECT_EQ(restored.sum(), acc.sum());
   EXPECT_EQ(restored.ci95_halfwidth(), acc.ci95_halfwidth());
+}
+
+TEST(PercentileOfSorted, ExactOrderStatistics) {
+  const std::vector<double> sorted = {-8.0, -1.0, 0.0, 3.0, 3.0, 12.0};
+  // index = min(n-1, floor(q * n)), n = 6.
+  EXPECT_EQ(percentile_of_sorted(sorted, 0.0), -8.0);
+  EXPECT_EQ(percentile_of_sorted(sorted, 0.5), 3.0);    // floor(3.0) = 3
+  EXPECT_EQ(percentile_of_sorted(sorted, 0.95), 12.0);  // floor(5.7) = 5
+  EXPECT_EQ(percentile_of_sorted(sorted, 1.0), 12.0);   // clamped to n-1
+  EXPECT_EQ(percentile_of_sorted({7.5}, 0.5), 7.5);
+  // Exact, never interpolated: the result is always an element.
+  const std::vector<double> pair = {1.0, 2.0};
+  EXPECT_EQ(percentile_of_sorted(pair, 0.49), 1.0);
+  EXPECT_EQ(percentile_of_sorted(pair, 0.5), 2.0);
+}
+
+TEST(Accumulator, PercentileIsPercentileOfSortedSamples) {
+  Accumulator acc(/*keep_samples=*/true);
+  for (double x : {4.0, -2.0, 4.0, 0.5, 19.0, -2.0, 3.25}) acc.add(x);
+  ASSERT_TRUE(acc.samples_kept());
+  for (double q : {0.0, 0.05, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(acc.percentile(q),
+              percentile_of_sorted(acc.sorted_samples(), q));
+  }
+  EXPECT_TRUE(
+      std::is_sorted(acc.sorted_samples().begin(), acc.sorted_samples().end()));
+}
+
+TEST(Accumulator, FromStateAndSamplesRestoresPercentiles) {
+  Accumulator acc(/*keep_samples=*/true);
+  for (double x : {0.1, -2.75, 3.333333333333333, 1e-17, 41.0}) acc.add(x);
+  std::vector<double> samples = acc.sorted_samples();
+  const Accumulator restored =
+      Accumulator::from_state_and_samples(acc.state(), std::move(samples));
+  ASSERT_TRUE(restored.samples_kept());
+  // Streaming statistics AND percentiles are bit-identical — the cache-store
+  // v2 round-trip contract.
+  EXPECT_EQ(restored.mean(), acc.mean());
+  EXPECT_EQ(restored.variance(), acc.variance());
+  EXPECT_EQ(restored.min(), acc.min());
+  EXPECT_EQ(restored.max(), acc.max());
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(restored.percentile(q), acc.percentile(q));
+  }
+  EXPECT_EQ(restored.sorted_samples(), acc.sorted_samples());
+}
+
+TEST(Accumulator, StreamingOnlyReportsSamplesNotKept) {
+  Accumulator acc(/*keep_samples=*/false);
+  acc.add(1.0);
+  EXPECT_FALSE(acc.samples_kept());
+  EXPECT_FALSE(Accumulator::from_state(acc.state()).samples_kept());
 }
 
 TEST(Accumulator, FromStateResumesStreaming) {
