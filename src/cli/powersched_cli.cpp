@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "dispatch/dispatcher.hpp"
 #include "engine/bench_presets.hpp"
 #include "engine/perf_baseline.hpp"
 #include "engine/registry.hpp"
@@ -30,6 +31,13 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "util/status.hpp"
+
+// The default --source-root of `powersched dispatch`: the tree this binary
+// was built from (set on the library target by CMake). Out-of-tree
+// deployments pass --source-root explicitly.
+#ifndef POWERSCHED_SOURCE_DIR
+#define POWERSCHED_SOURCE_DIR "."
+#endif
 
 namespace ps::cli {
 namespace {
@@ -82,8 +90,13 @@ struct CommandSpec {
    "include the (non-deterministic) wall-time columns"},                    \
   {"--tails", nullptr,                                                      \
    "retain per-trial samples: exact p50/p95/p99 percentile columns in "     \
-   "tables/CSV, p5-p95 bands in figures, and sample-carrying (v2) cache "   \
-   "entries; merge mode requires shards run with --tails"}
+   "tables/CSV, percentile bands in figures, and sample-carrying (v2) "     \
+   "cache entries; merge mode requires shards run with --tails"},           \
+  {"--tails-cap", "N",                                                      \
+   "with --tails: retain at most N samples per scenario statistic via a "   \
+   "deterministic seeded reservoir (bounded memory for huge trial "         \
+   "counts); percentiles become order statistics of the retained subset "   \
+   "(default 0 = exact retention)"}
 
 // Observability surface shared by every command that runs real work. All
 // three only ever write to stderr or their own side files, so primary
@@ -165,6 +178,64 @@ const std::vector<CommandSpec>& commands() {
         PS_OBS_OPTIONS},
        "CACHE-FILE...",
        "per-shard scenario cache files to merge"},
+
+      {"dispatch",
+       "fan a plan across shard workers, retry failures, merge — one "
+       "command",
+       "The fleet front door over the proven --shard/--merge mechanics: "
+       "expands the plan once, runs each shard as its own engine Session "
+       "on a worker pool (every shard writing its scenario-cache v2 file "
+       "into --artifacts under a deterministic name), retries failed "
+       "shards with exponential backoff, and finishes with an in-process "
+       "merge whose tables/CSV/report are byte-identical to a single "
+       "unsharded `sweep`. A manifest next to the artifacts records the "
+       "source-revision fingerprint (an order-independent content hash of "
+       "the solver/engine sources) and the plan signature; when both match "
+       "on a rerun, the shard artifacts are reused and zero trials "
+       "execute. Any solver edit changes the fingerprint and forces "
+       "recomputation.",
+       {"dispatch --preset NAME --shards N [--workers K] [--artifacts DIR] "
+        "[--attempts A] [--csv PATH] [--report DIR] [--tails]",
+        "dispatch --solvers A,B,C [--grid NAME=V1,V2]... [plan flags]... "
+        "--shards N [common options]",
+        "dispatch --print-fingerprint"},
+       {PS_PLAN_OPTIONS,
+        {"--shards", "N",
+         "shard count: how many per-shard Sessions the plan splits into "
+         "(round-robin over the expanded grid; default 1)"},
+        {"--workers", "K",
+         "concurrent shard runs (each with its own --threads pool); 0 = "
+         "min(shards, hardware concurrency) (default 0)"},
+        {"--artifacts", "DIR",
+         "artifact directory for shard caches + manifest (default "
+         "dispatch-artifacts); reruns against the same DIR reuse matching "
+         "shards"},
+        {"--attempts", "A",
+         "attempts per shard including the first; backoff doubles from "
+         "--backoff-ms between attempts (default 3)"},
+        {"--backoff-ms", "MS",
+         "initial retry backoff in milliseconds (default 100)"},
+        {"--no-reuse", nullptr,
+         "ignore any existing manifest and recompute every shard (the "
+         "artifacts and manifest are still refreshed)"},
+        {"--source-root", "DIR",
+         "source tree to fingerprint (default: this build's own source "
+         "directory)"},
+        {"--print-fingerprint", nullptr,
+         "print the 16-hex source fingerprint and exit (runs nothing)"},
+        {"--threads", "K",
+         "worker threads inside each shard Session; 0 = hardware "
+         "concurrency (default: the preset's own, or 0)"},
+        PS_OUTPUT_OPTIONS,
+        {"--no-cache", nullptr,
+         "disable the per-scenario result cache for preset runs"},
+        {"--progress", nullptr,
+         "live stderr progress line over shard completions; auto-disabled "
+         "when stderr is not a terminal"},
+        PS_OBS_OPTIONS,
+        {"--debug-fail-shards", "I,J,...",
+         "test hook: fail the first attempt of these shard indices before "
+         "any trial runs, exercising the retry path", /*hidden=*/true}}},
 
       {"report",
        "render a preset's aggregated CSV into Markdown + SVG figures",
@@ -926,6 +997,14 @@ Status build_session_request(const ParsedArgs& args, bool merge_command,
   }
   config.timing = args.has("--timing");
   config.tails = args.has("--tails");
+  if (const std::string* cap = args.value("--tails-cap")) {
+    int value = 0;
+    if (Status status = parse_positive_int(*cap, "--tails-cap", value);
+        !status.ok()) {
+      return status;
+    }
+    config.tails_cap = static_cast<std::size_t>(value);
+  }
   if (args.has("--no-cache")) config.use_cache = false;
 
   // Merge inputs: the merge command takes positionals and/or --inputs; the
@@ -1040,6 +1119,111 @@ int cmd_merge(const CommandSpec& spec, const std::vector<std::string>& args) {
   }
   const ObsRequest obs_request = activate_obs(parsed);
   return emit_obs(obs_request, run_session_request(spec, std::move(request)));
+}
+
+// ---------------------------------------------------------------------------
+// dispatch
+
+int cmd_dispatch(const CommandSpec& spec,
+                 const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (Status status = parse_args(spec, args, parsed); !status.ok()) {
+    return finish_status(&spec, status);
+  }
+  const std::string* root_flag = parsed.value("--source-root");
+  const std::string source_root =
+      root_flag != nullptr ? *root_flag : std::string(POWERSCHED_SOURCE_DIR);
+
+  if (parsed.has("--print-fingerprint")) {
+    dispatch::SourceFingerprint fingerprint;
+    if (Status status =
+            dispatch::compute_source_fingerprint(source_root, fingerprint);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+    std::printf("%s\n", dispatch::fingerprint_hex(fingerprint.value).c_str());
+    std::fprintf(stderr, "fingerprint over %zu source file(s) under %s\n",
+                 fingerprint.file_count, source_root.c_str());
+    return 0;
+  }
+
+  SessionRequest request;
+  if (Status status = build_session_request(parsed, /*merge_command=*/false,
+                                            request);
+      !status.ok()) {
+    return finish_status(&spec, status);
+  }
+
+  dispatch::DispatchConfig config;
+  config.base = std::move(request.config);
+  // The dispatcher owns all stderr narration (shard banners, retries, the
+  // merge line); individual shard Sessions stay quiet.
+  config.base.verbose = false;
+  config.verbose = true;
+  config.source_root = source_root;
+  config.artifact_dir = "dispatch-artifacts";
+  if (const std::string* dir = parsed.value("--artifacts")) {
+    config.artifact_dir = *dir;
+  }
+  if (const std::string* shards = parsed.value("--shards")) {
+    int value = 0;
+    if (Status status = parse_positive_int(*shards, "--shards", value);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+    config.shards = static_cast<std::size_t>(value);
+  }
+  if (const std::string* workers = parsed.value("--workers")) {
+    std::uint64_t value = 0;
+    if (!parse_decimal_u64(*workers, value) || value > 4096) {
+      return finish_status(
+          &spec, Status::usage("bad --workers '" + *workers +
+                               "' (want an integer in [0, 4096]; 0 = "
+                               "min(shards, hardware concurrency))"));
+    }
+    config.workers = static_cast<std::size_t>(value);
+  }
+  if (const std::string* attempts = parsed.value("--attempts")) {
+    if (Status status = parse_positive_int(*attempts, "--attempts",
+                                           config.retry.max_attempts);
+        !status.ok()) {
+      return finish_status(&spec, status);
+    }
+  }
+  if (const std::string* backoff = parsed.value("--backoff-ms")) {
+    std::uint64_t value = 0;
+    if (!parse_decimal_u64(*backoff, value) || value > 60000) {
+      return finish_status(
+          &spec, Status::usage("bad --backoff-ms '" + *backoff +
+                               "' (want an integer in [0, 60000])"));
+    }
+    config.retry.initial_backoff_ms = static_cast<int>(value);
+  }
+  if (parsed.has("--no-reuse")) config.reuse = false;
+  if (const std::string* fail = parsed.value("--debug-fail-shards")) {
+    for (const std::string& token : split_commas(*fail)) {
+      std::uint64_t shard = 0;
+      if (token.empty() || !parse_decimal_u64(token, shard)) {
+        return finish_status(
+            &spec, Status::usage("bad --debug-fail-shards '" + *fail +
+                                 "' (want comma-separated shard indices)"));
+      }
+      config.debug_fail_shards.push_back(static_cast<std::size_t>(shard));
+    }
+  }
+  config.progress = parsed.has("--progress") && ::isatty(STDERR_FILENO) != 0;
+
+  dispatch::Dispatcher dispatcher(std::move(config));
+  dispatcher.add_sink(std::make_unique<engine::TableSink>());
+  if (!request.csv_path.empty()) {
+    dispatcher.add_sink(std::make_unique<engine::CsvSink>(request.csv_path));
+  }
+  if (!request.report_dir.empty()) {
+    dispatcher.add_sink(
+        std::make_unique<engine::SvgReportSink>(request.report_dir));
+  }
+  const ObsRequest obs_request = activate_obs(parsed);
+  return emit_obs(obs_request, finish_status(&spec, dispatcher.run()));
 }
 
 // ---------------------------------------------------------------------------
@@ -1616,6 +1800,7 @@ int run(const std::vector<std::string>& args) {
   }
   if (command == std::string("sweep")) return cmd_sweep(*spec, rest);
   if (command == std::string("merge")) return cmd_merge(*spec, rest);
+  if (command == std::string("dispatch")) return cmd_dispatch(*spec, rest);
   if (command == std::string("report")) return cmd_report(*spec, rest);
   if (command == std::string("bench")) return cmd_bench(*spec, rest);
   if (command == std::string("solve")) return cmd_solve(*spec, rest);

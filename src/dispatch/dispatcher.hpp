@@ -1,0 +1,121 @@
+// ps::dispatch — the fleet front door over the proven shard mechanics. A
+// Dispatcher expands one plan, drives per-shard engine Sessions on a worker
+// pool (each writing its scenario-cache v2 file into an artifact directory
+// under a deterministic name), retries failed shards with exponential
+// backoff, and finishes with an in-process merge whose tables/CSV are
+// byte-identical to a single unsharded run. A manifest stamped with the
+// source fingerprint (fingerprint.hpp) and the plan signature makes reruns
+// incremental: when both match, existing shard artifacts are loaded instead
+// of recomputed and a warm rerun executes zero trials.
+//
+//   DispatchConfig config;
+//   config.base.preset = "e15";
+//   config.shards = 3;
+//   config.artifact_dir = "artifacts/e15";
+//   config.source_root = POWERSCHED_SOURCE_DIR;
+//   Dispatcher dispatcher(std::move(config));
+//   dispatcher.add_sink(std::make_unique<engine::TableSink>());
+//   ps::Status status = dispatcher.run();  // status.exit_code() -> 0/1/2
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dispatch/fingerprint.hpp"
+#include "engine/result_sink.hpp"
+#include "engine/session.hpp"
+#include "util/status.hpp"
+
+namespace ps::dispatch {
+
+struct RetryPolicy {
+  /// Attempts per shard, the first included (>= 1; 1 = no retries).
+  int max_attempts = 3;
+  /// Sleep before retry k (1-based) is `initial_backoff_ms << (k - 1)`.
+  int initial_backoff_ms = 100;
+};
+
+struct DispatchConfig {
+  /// Plan identity and output shaping shared by every shard: preset or
+  /// ad-hoc plan, trials/seed overrides, per-shard threads, tails/tails_cap,
+  /// timing. The shard/cache/merge fields are owned by the dispatcher and
+  /// must be left at their defaults (rejected otherwise).
+  engine::RunConfig base;
+  /// How many shards the plan splits into (round-robin over the expanded
+  /// grid — the same partition `--shard I/N` uses).
+  std::size_t shards = 1;
+  /// Concurrent shard Sessions; 0 = min(shards, hardware concurrency).
+  std::size_t workers = 0;
+  /// Where shard caches and the manifest live; created if missing. One
+  /// directory per (plan, revision) stream — reruns key off its manifest.
+  std::string artifact_dir;
+  RetryPolicy retry;
+  /// Source tree root for the revision fingerprint (fingerprint.hpp).
+  /// Empty disables fingerprinting — and with it manifest writing and
+  /// artifact reuse.
+  std::string source_root;
+  /// Consult the manifest and reuse matching shard artifacts. Off forces
+  /// recomputation (the artifacts and manifest are still refreshed).
+  bool reuse = true;
+  /// Test hook (`--debug-fail-shards`): the FIRST attempt of each listed
+  /// shard index fails synthetically before running any trial, proving the
+  /// retry path restores byte-identical output.
+  std::vector<std::size_t> debug_fail_shards;
+  /// Shard banners and a completion summary on stderr.
+  bool verbose = false;
+  /// Throttled stderr progress ticker over shard completions.
+  bool progress = false;
+};
+
+struct ShardOutcome {
+  std::size_t shard = 0;
+  /// Session attempts consumed (0 when the artifact was reused).
+  int attempts = 0;
+  bool reused = false;
+  bool failed = false;
+};
+
+struct DispatchReport {
+  SourceFingerprint fingerprint;
+  std::string plan_signature;
+  std::vector<ShardOutcome> shards;  // indexed by shard
+  std::size_t reused = 0;
+  std::size_t launched = 0;  // attempts started, retries included
+  std::size_t retried = 0;
+  std::size_t failed = 0;
+};
+
+/// The plan-identity line stamped into the manifest: every RunConfig field
+/// that can change the merged aggregates (preset or rendered ad-hoc plan,
+/// trials/seed overrides, tails retention, shard count). Thread counts and
+/// timing columns are deliberately absent — they never change a cached
+/// aggregate. Two dispatches with equal signatures and equal fingerprints
+/// produce interchangeable artifacts.
+std::string plan_signature(const engine::RunConfig& base, std::size_t shards);
+
+/// Deterministic artifact file name of one shard: "shard-<i>-of-<n>.cache".
+std::string shard_artifact_name(std::size_t shard, std::size_t shards);
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatchConfig config);
+
+  /// Sinks receive the final merged results (tables, CSV, figures) exactly
+  /// as an unsharded Session would feed them; add before run().
+  void add_sink(std::unique_ptr<engine::ResultSink> sink);
+
+  /// Validates, fingerprints, reuses/launches/retries shards, writes the
+  /// manifest, merges. `report` (optional) receives per-shard outcomes and
+  /// totals. Usage errors surface before any shard runs; a shard that
+  /// exhausts its attempts fails the whole dispatch after the remaining
+  /// shards finish (their artifacts stay reusable).
+  Status run(DispatchReport* report = nullptr);
+
+ private:
+  DispatchConfig config_;
+  std::vector<std::unique_ptr<engine::ResultSink>> sinks_;
+};
+
+}  // namespace ps::dispatch

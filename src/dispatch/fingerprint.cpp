@@ -1,0 +1,99 @@
+#include "dispatch/fingerprint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ps::dispatch {
+namespace {
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return !in.bad();
+}
+
+}  // namespace
+
+const std::vector<std::string>& fingerprint_source_dirs() {
+  // The result-determining set: solver families plus the engine/util layers
+  // whose code participates in trial execution and aggregation. cli, serve,
+  // report, obs, and dispatch itself are deliberately absent — they shape
+  // presentation and orchestration, never a cached aggregate.
+  static const std::vector<std::string> kDirs = {
+      "src/core",      "src/engine",    "src/matching", "src/matroid",
+      "src/scheduling", "src/secretary", "src/submodular", "src/util"};
+  return kDirs;
+}
+
+std::uint64_t fingerprint_file_set(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::uint64_t sum = 0;
+  for (const auto& [name, content] : files) {
+    sum += fnv1a64(name + '\0' + content);
+  }
+  return sum;
+}
+
+Status compute_source_fingerprint(const std::string& source_root,
+                                  SourceFingerprint& out) {
+  namespace fs = std::filesystem;
+  const fs::path root(source_root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::runtime("fingerprint: source root '" + source_root +
+                           "' is not a directory (pass --source-root)");
+  }
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const std::string& dir : fingerprint_source_dirs()) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base, ec)) {
+      return Status::runtime("fingerprint: expected source directory '" +
+                             base.string() +
+                             "' is missing (wrong --source-root?)");
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      std::string content;
+      if (!read_file(entry.path(), content)) {
+        return Status::runtime("fingerprint: cannot read '" +
+                               entry.path().string() + "'");
+      }
+      files.emplace_back(
+          entry.path().lexically_relative(root).generic_string(),
+          std::move(content));
+    }
+  }
+  if (files.empty()) {
+    return Status::runtime("fingerprint: no .hpp/.cpp sources under '" +
+                           source_root + "'");
+  }
+  out.value = fingerprint_file_set(files);
+  out.file_count = files.size();
+  return Status();
+}
+
+std::string fingerprint_hex(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace ps::dispatch

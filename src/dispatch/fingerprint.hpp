@@ -1,0 +1,49 @@
+// Revision fingerprinting for dispatch artifact reuse: an order-independent
+// content hash over the result-determining source set (solvers, engine,
+// util — not the CLI/serve/report/obs surfaces, which can change without
+// changing a single aggregate). The fingerprint is the cache key build
+// systems use for expensive artifacts: a dispatch manifest stamped with it
+// proves the shard caches next to it were produced by byte-identical solver
+// code, so a rerun on an unchanged tree may load them instead of
+// recomputing — and any solver edit, however small, invalidates everything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ps::dispatch {
+
+struct SourceFingerprint {
+  std::uint64_t value = 0;
+  /// How many source files the hash covers (sanity signal: a fingerprint
+  /// over 3 files means the root was wrong).
+  std::size_t file_count = 0;
+};
+
+/// The directories compute_source_fingerprint scans (relative to the source
+/// root): every family whose code can change sweep aggregates.
+const std::vector<std::string>& fingerprint_source_dirs();
+
+/// Order-independent combine of (name, content) pairs: each file hashes
+/// independently (FNV-1a 64 over `name NUL content`) and the per-file
+/// hashes are summed mod 2^64 — so enumeration order can never change the
+/// result, only file content and names can.
+std::uint64_t fingerprint_file_set(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// Hashes every `.hpp`/`.cpp` under the fingerprint_source_dirs of
+/// `source_root`, keyed by '/'-separated path relative to the root.
+/// Fails (with the offending path) when the root or a scanned directory is
+/// missing, a file cannot be read, or no sources are found at all — a
+/// fingerprint over nothing must never validate a manifest.
+Status compute_source_fingerprint(const std::string& source_root,
+                                  SourceFingerprint& out);
+
+/// 16-hex-digit lowercase rendering — the manifest/CLI spelling.
+std::string fingerprint_hex(std::uint64_t value);
+
+}  // namespace ps::dispatch

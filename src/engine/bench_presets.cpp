@@ -247,12 +247,22 @@ std::vector<BenchPreset> build_catalogue() {
          {sweep("E8: Algorithm 2 on random graph cuts, exact OPT by "
                 "enumeration (shared via the reference cache)",
                 plan,
+                // The interquartile band: secretary ratios are heavy-tailed
+                // downward, so p5–p95 ribbons would swallow the whole plot.
                 PlotHint{.x = "k",
                          .y = {"ratio_mean"},
                          .series = {"solver", "density"},
                          .log_x = false,
                          .log_y = false,
-                         .y_label = "ratio vs exact OPT"})}});
+                         .y_label = "ratio vs exact OPT",
+                         .band_lo = "p25",
+                         .band_hi = "p75"})}});
+    // Machine check of the criterion above, evaluated on --tails runs: the
+    // median trial of every row must clear the paper's 1/8e^2 floor. (The
+    // guarantee is in expectation — individual trials legitimately score 0
+    // when the secretary selects nothing, so the low percentiles can't
+    // carry a bound.)
+    out.back().pass_rules = {{"ratio_p50", PassRule::Op::kGe, 0.0169}};
   }
 
   // --- E9 (Theorem 3.1.2): the matroid secretary --------------------------
@@ -819,6 +829,13 @@ std::string plot_hint_text(const PlotHint& hint) {
   } else if (hint.log_y) {
     out += " (log y)";
   }
+  if (hint.band_lo != "p5" || hint.band_hi != "p95") {
+    if (hint.band_lo.empty() || hint.band_hi.empty()) {
+      out += " (no band)";
+    } else {
+      out += " (band " + hint.band_lo + "–" + hint.band_hi + ")";
+    }
+  }
   return out;
 }
 
@@ -856,6 +873,18 @@ std::string preset_catalogue_markdown() {
   for (const auto& preset : bench_presets()) {
     out += "\n## `" + preset.name + "` — " + preset.title + "\n\n";
     out += "**Pass criterion:** " + preset.pass_criterion + "\n\n";
+    if (!preset.pass_rules.empty()) {
+      out += "**Tail checks** (evaluated on `--tails` runs): ";
+      for (std::size_t i = 0; i < preset.pass_rules.size(); ++i) {
+        const PassRule& rule = preset.pass_rules[i];
+        if (i) out += ", ";
+        char bound[32];
+        std::snprintf(bound, sizeof(bound), "%g", rule.bound);
+        out += "`" + rule.column +
+               (rule.op == PassRule::Op::kGe ? "` ≥ " : "` ≤ ") + bound;
+      }
+      out += "\n\n";
+    }
     out += "**Defaults:** threads = ";
     out += preset.default_threads == 0
                ? std::string("hardware concurrency")

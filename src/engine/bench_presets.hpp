@@ -29,8 +29,8 @@ struct PlotHint {
   std::string x;
   /// Y-value columns; each becomes one series (per series split). A column
   /// with a `<stem>_ci95` sibling in the CSV gets ci95 error bars, and one
-  /// with `<stem>_p5`/`<stem>_p95` siblings (a `--tails` run) additionally
-  /// gets a p5–p95 percentile band.
+  /// with `<stem>_<band_lo>`/`<stem>_<band_hi>` siblings (a `--tails` run)
+  /// additionally gets a percentile band.
   std::vector<std::string> y;
   /// Columns whose distinct row values split the rows into separate series
   /// (typically {"solver"}, sometimes a second sweep axis); empty = one
@@ -41,6 +41,13 @@ struct PlotHint {
   bool log_y = false;
   /// Y-axis caption; empty derives one from the y columns.
   std::string y_label;
+  /// Percentile band pair drawn under each y series when the sibling tail
+  /// columns exist: `<stem>_<band_lo>` / `<stem>_<band_hi>`. Any emitted
+  /// tail suffix works ("p5", "p25", "p50", "p75", "p95", "p99"; metric
+  /// stems also "min"/"max"). The p5–p95 default keeps existing figures
+  /// unchanged; either name empty disables the band outright.
+  std::string band_lo = "p5";
+  std::string band_hi = "p95";
 };
 
 /// One table of a preset: a sweep plan, its caption, and how it plots.
@@ -48,6 +55,19 @@ struct PresetSweep {
   std::string caption;
   SweepPlan plan;
   PlotHint plot;
+};
+
+/// One machine-evaluable tail check: `column op bound` must hold on every
+/// scenario row of the run that carries the statistic. Columns use the CSV
+/// tail naming (`ratio_p5`, `objective_p99`, `m_<name>_p50`, ...; also
+/// `_mean`/`_min`/`_max`). TableSink::finish evaluates these only when the
+/// run retained samples (`--tails`) — streaming runs keep the byte-identical
+/// legacy output and only print the human pass_criterion string.
+struct PassRule {
+  enum class Op { kGe, kLe };
+  std::string column;
+  Op op = Op::kGe;
+  double bound = 0.0;
 };
 
 struct BenchPreset {
@@ -64,6 +84,9 @@ struct BenchPreset {
   std::size_t default_threads = 0;
   /// Include wall-time columns in tables/CSV (timing is the measurement).
   bool timing = false;
+  /// Machine-evaluable tail checks (see PassRule). Evaluated — and able to
+  /// fail the run — only when samples were retained (`--tails`).
+  std::vector<PassRule> pass_rules = {};
 };
 
 /// The full catalogue, in e1..e16, a1..a4, p_micro order.

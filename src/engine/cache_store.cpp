@@ -328,8 +328,9 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
       }
       if (samples_flag == 1) {
         // Rebuild every sample-bearing accumulator with its retained
-        // samples, failing closed on any missing block or count that
-        // disagrees with the streaming state.
+        // samples, failing closed on any missing block or a retained count
+        // exceeding the streaming state. Fewer retained than counted is
+        // legal: a --tails-cap reservoir keeps a bounded subset.
         for (const char* name : kSampledAccumulators) {
           util::Accumulator* acc = core_accumulator(result, name);
           const auto it = core_samples.find(name);
@@ -339,7 +340,7 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
                                           "no 'samples ") +
                                   name + "' block");
           }
-          if (it->second.size() != acc->count()) {
+          if (it->second.size() > acc->count()) {
             return load_error(
                 path_, line_no,
                 std::string("samples ") + name + ": " +
@@ -357,7 +358,7 @@ bool ScenarioCacheStore::load(ScenarioCache& cache) const {
                               "metric_samples '" + name +
                                   "' has no matching metric line");
           }
-          if (values.size() != it->second.count()) {
+          if (values.size() > it->second.count()) {
             return load_error(path_, line_no,
                               "metric_samples " + name + ": " +
                                   std::to_string(values.size()) +

@@ -20,9 +20,11 @@
 // (objective/ratio/cost/oracle_calls — never wall_ms) plus one
 // `metric_samples <name> <count> <v...>` block per metric, each listing the
 // retained per-trial readings in ascending (stable-sorted) order. v1 files
-// still load — their entries simply come back streaming-only — and sample
-// blocks whose counts disagree with the accumulator state, are truncated,
-// or contain malformed values fail the load like any other schema error.
+// still load — their entries simply come back streaming-only. A block may
+// retain fewer readings than the accumulator counted (a `--tails-cap`
+// reservoir keeps a bounded subset); sample blocks retaining MORE than the
+// accumulator counted, truncated blocks, or malformed values fail the load
+// like any other schema error.
 #pragma once
 
 #include <string>

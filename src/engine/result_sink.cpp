@@ -41,6 +41,60 @@ Status ensure_directory(const std::string& dir_path) {
 // ---------------------------------------------------------------------------
 // TableSink
 
+namespace {
+
+/// Resolves a PassRule column name ("ratio_p5", "objective_mean",
+/// "m_<name>_p50", ...) against one scenario's accumulators. Returns false
+/// when the row does not carry the statistic (unknown stem, no such metric,
+/// zero count, or a percentile without retained samples) — the rule then
+/// simply does not bind on that row.
+bool tail_stat_value(const ScenarioResult& result, const std::string& column,
+                     double& out) {
+  const std::size_t split = column.rfind('_');
+  if (split == std::string::npos || split + 1 >= column.size()) return false;
+  const std::string stem = column.substr(0, split);
+  const std::string suffix = column.substr(split + 1);
+  const util::Accumulator* acc = nullptr;
+  if (stem == "objective") {
+    acc = &result.objective;
+  } else if (stem == "ratio") {
+    acc = &result.ratio;
+  } else if (stem == "cost") {
+    acc = &result.cost;
+  } else if (stem == "oracle") {
+    acc = &result.oracle_calls;
+  } else if (stem.rfind("m_", 0) == 0) {
+    const auto it = result.metrics.find(stem.substr(2));
+    if (it != result.metrics.end()) acc = &it->second;
+  }
+  if (acc == nullptr || acc->count() == 0) return false;
+  if (suffix == "mean") {
+    out = acc->mean();
+    return true;
+  }
+  if (suffix == "min") {
+    out = acc->min();
+    return true;
+  }
+  if (suffix == "max") {
+    out = acc->max();
+    return true;
+  }
+  if (acc->samples_kept()) {
+    const char* const names[] = {"p5", "p25", "p50", "p75", "p95", "p99"};
+    const double qs[] = {0.05, 0.25, 0.50, 0.75, 0.95, 0.99};
+    for (std::size_t i = 0; i < std::size(names); ++i) {
+      if (suffix == names[i]) {
+        out = acc->percentile(qs[i]);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 Status TableSink::consume(const SweepBatch& batch) {
   // Tables after the first are separated by one blank line — the exact
   // spacing the legacy preset runner produced.
@@ -60,15 +114,66 @@ Status TableSink::consume(const SweepBatch& batch) {
 }
 
 Status TableSink::finish(const SinkContext& context) {
-  if (context.preset == nullptr || context.preset->pass_criterion.empty()) {
-    return Status();
+  if (context.preset == nullptr) return Status();
+  std::string out;
+  if (!context.preset->pass_criterion.empty()) {
+    out += "\nPASS criterion: " + context.preset->pass_criterion + "\n";
   }
-  if (stream_ != nullptr) {
-    *stream_ << "\nPASS criterion: " << context.preset->pass_criterion
-             << "\n";
-  } else {
-    std::printf("\nPASS criterion: %s\n",
-                context.preset->pass_criterion.c_str());
+
+  // Machine-evaluable tail checks bind only when the run retained samples —
+  // a streaming run's output stays byte-identical to pre-rule builds.
+  std::size_t failed = 0;
+  bool tails = false;
+  if (context.all_results != nullptr) {
+    for (const auto& result : *context.all_results) {
+      tails = tails || result.objective.samples_kept();
+    }
+  }
+  if (tails) {
+    for (const auto& rule : context.preset->pass_rules) {
+      const char* op = rule.op == PassRule::Op::kGe ? ">=" : "<=";
+      std::size_t checked = 0;
+      double worst = 0.0;
+      for (const auto& result : *context.all_results) {
+        double value = 0.0;
+        if (!tail_stat_value(result, rule.column, value)) continue;
+        const bool new_worst =
+            checked == 0 ||
+            (rule.op == PassRule::Op::kGe ? value < worst : value > worst);
+        if (new_worst) worst = value;
+        ++checked;
+      }
+      const bool holds =
+          checked > 0 && (rule.op == PassRule::Op::kGe ? worst >= rule.bound
+                                                       : worst <= rule.bound);
+      if (!holds) ++failed;
+      char line[192];
+      if (checked == 0) {
+        std::snprintf(line, sizeof(line),
+                      "tail check %s %s %g: FAILED (no scenario carries the "
+                      "statistic)\n",
+                      rule.column.c_str(), op, rule.bound);
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "tail check %s %s %g: %s (worst %.6g over %zu "
+                      "scenario(s))\n",
+                      rule.column.c_str(), op, rule.bound,
+                      holds ? "OK" : "FAILED", worst, checked);
+      }
+      out += line;
+    }
+  }
+
+  if (!out.empty()) {
+    if (stream_ != nullptr) {
+      *stream_ << out;
+    } else {
+      std::fputs(out.c_str(), stdout);
+    }
+  }
+  if (failed > 0) {
+    return Status::runtime(std::to_string(failed) +
+                           " tail pass check(s) failed");
   }
   return Status();
 }

@@ -102,6 +102,9 @@ Status Session::prepare() {
   if (config_.trials < 0) {
     return Status::usage("--trials must be positive");
   }
+  if (config_.tails_cap > 0 && !config_.tails) {
+    return Status::usage("--tails-cap requires --tails");
+  }
 
   if (!config_.preset.empty()) {
     preset_ = find_bench_preset(config_.preset);
@@ -128,6 +131,7 @@ Status Session::prepare() {
   sweep_options_.use_cache = preset_ != nullptr && config_.use_cache;
   sweep_options_.cache = nullptr;
   sweep_options_.keep_samples = config_.tails;
+  sweep_options_.tails_cap = config_.tails_cap;
 
   // Creating the cache file's parent directory is CacheFileSink::prepare's
   // job — a cache_file with no sink attached must not leave directories

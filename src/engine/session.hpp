@@ -73,6 +73,12 @@ struct RunConfig {
   /// a streaming-only entry fails the merge loudly.
   bool tails = false;
 
+  /// With tails: cap per-scenario sample retention to at most this many
+  /// readings per accumulator (`--tails-cap`) via a deterministic seeded
+  /// reservoir, bounding memory for huge trial counts. 0 = exact (unbounded)
+  /// retention, the default. Requires tails; rejected otherwise.
+  std::size_t tails_cap = 0;
+
   /// Serve repeated scenarios from the scenario cache (presets only; an
   /// ad-hoc plan caches only into a file-scoped cache, never the global).
   bool use_cache = true;

@@ -28,16 +28,42 @@ std::string stat_cell(const util::Accumulator& acc, double value,
   return acc.count() >= min_count ? format_param(value) : std::string();
 }
 
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Reservoir seed for one accumulator stream of one scenario: a pure
+/// function of the scenario identity and the stream name, so a capped
+/// retention subset is deterministic across runs, shards, and thread counts
+/// (aggregation always consumes trials in order on one thread).
+std::uint64_t reservoir_seed(const ScenarioSpec& spec,
+                             const std::string& stream) {
+  return fnv1a64(scenario_cache_key(spec) + '|' + stream);
+}
+
+util::Accumulator make_retaining(const ScenarioSpec& spec,
+                                 const std::string& stream,
+                                 std::size_t tails_cap) {
+  util::Accumulator acc(/*keep_samples=*/true);
+  if (tails_cap > 0) acc.set_reservoir(tails_cap, reservoir_seed(spec, stream));
+  return acc;
+}
+
 ScenarioResult aggregate(const ScenarioSpec& spec,
                          const std::vector<TrialSlot>& slots,
-                         bool keep_samples) {
+                         bool keep_samples, std::size_t tails_cap) {
   ScenarioResult result;
   result.spec = spec;
   if (keep_samples) {
-    result.objective = util::Accumulator(/*keep_samples=*/true);
-    result.ratio = util::Accumulator(/*keep_samples=*/true);
-    result.cost = util::Accumulator(/*keep_samples=*/true);
-    result.oracle_calls = util::Accumulator(/*keep_samples=*/true);
+    result.objective = make_retaining(spec, "objective", tails_cap);
+    result.ratio = make_retaining(spec, "ratio", tails_cap);
+    result.cost = make_retaining(spec, "cost", tails_cap);
+    result.oracle_calls = make_retaining(spec, "oracle_calls", tails_cap);
   }
   for (const TrialSlot& slot : slots) {
     ++result.trials_run;
@@ -53,8 +79,12 @@ ScenarioResult aggregate(const ScenarioSpec& spec,
       result.ratio.add(slot.result.objective / slot.result.reference);
     }
     for (const auto& [name, value] : slot.result.metrics) {
-      result.metrics.try_emplace(name, keep_samples)
-          .first->second.add(value);
+      auto [it, inserted] = result.metrics.try_emplace(name, keep_samples);
+      if (inserted && keep_samples && tails_cap > 0) {
+        it->second.set_reservoir(tails_cap,
+                                 reservoir_seed(spec, "m_" + name));
+      }
+      it->second.add(value);
     }
   }
   return result;
@@ -203,7 +233,7 @@ ScenarioResult run_scenario_inline(const SolverRegistry& registry,
       recorder.add_complete(spec.label(), "trial", start_ns, wall_ns);
     }
   }
-  return aggregate(spec, slots, /*keep_samples=*/false);
+  return aggregate(spec, slots, /*keep_samples=*/false, /*tails_cap=*/0);
 }
 
 std::vector<ScenarioResult> SweepRunner::run(
@@ -358,7 +388,8 @@ std::vector<ScenarioResult> SweepRunner::run(
       results[s] = results[static_cast<std::size_t>(duplicate_of[s])];
       continue;
     }
-    results[s] = aggregate(scenarios[s], slots[s], options_.keep_samples);
+    results[s] = aggregate(scenarios[s], slots[s], options_.keep_samples,
+                           options_.tails_cap);
     if (cache != nullptr) {
       cache->insert(keys[s], std::make_shared<ScenarioResult>(results[s]));
     }
@@ -484,8 +515,9 @@ std::vector<std::vector<std::string>> results_csv_rows(
   }
   if (tails) {
     for (const char* column :
-         {"objective_p5", "objective_p50", "objective_p95", "objective_p99",
-          "ratio_min", "ratio_p5", "ratio_p50", "ratio_p95", "ratio_p99",
+         {"objective_p5", "objective_p25", "objective_p50", "objective_p75",
+          "objective_p95", "objective_p99", "ratio_min", "ratio_p5",
+          "ratio_p25", "ratio_p50", "ratio_p75", "ratio_p95", "ratio_p99",
           "cost_p50", "cost_p95", "cost_p99", "oracle_p50", "oracle_p95",
           "oracle_p99"}) {
       header.push_back(column);
@@ -494,8 +526,8 @@ std::vector<std::vector<std::string>> results_csv_rows(
   for (const auto& name : metric_names) {
     header.push_back("m_" + name);
     if (tails) {
-      for (const char* suffix : {"_min", "_max", "_p5", "_p50", "_p95",
-                                 "_p99"}) {
+      for (const char* suffix : {"_min", "_max", "_p5", "_p25", "_p50",
+                                 "_p75", "_p95", "_p99"}) {
         header.push_back("m_" + name + suffix);
       }
     }
@@ -527,11 +559,11 @@ std::vector<std::vector<std::string>> results_csv_rows(
     row.push_back(
         stat_cell(result.oracle_calls, result.oracle_calls.mean(), 1));
     if (tails) {
-      for (double q : {0.05, 0.50, 0.95, 0.99}) {
+      for (double q : {0.05, 0.25, 0.50, 0.75, 0.95, 0.99}) {
         row.push_back(percentile_cell(obj, q));
       }
       row.push_back(stat_cell(result.ratio, result.ratio.min(), 1));
-      for (double q : {0.05, 0.50, 0.95, 0.99}) {
+      for (double q : {0.05, 0.25, 0.50, 0.75, 0.95, 0.99}) {
         row.push_back(percentile_cell(result.ratio, q));
       }
       for (double q : {0.50, 0.95, 0.99}) {
@@ -552,7 +584,7 @@ std::vector<std::vector<std::string>> results_csv_rows(
                                      : std::string());
         row.push_back(acc != nullptr ? stat_cell(*acc, acc->max(), 1)
                                      : std::string());
-        for (double q : {0.05, 0.50, 0.95, 0.99}) {
+        for (double q : {0.05, 0.25, 0.50, 0.75, 0.95, 0.99}) {
           row.push_back(acc != nullptr ? percentile_cell(*acc, q)
                                        : std::string());
         }

@@ -123,6 +123,15 @@ struct SweepOptions {
   /// treated as misses and recomputed, and the recomputed entry (identical
   /// aggregates, now with samples) replaces them.
   bool keep_samples = false;
+  /// With keep_samples: bound per-accumulator retention to at most this many
+  /// readings via a per-scenario seeded reservoir (Algorithm R over the
+  /// trial-order stream, seeded from the scenario cache key — deterministic
+  /// for any thread count). 0 (the default) keeps every reading. Streaming
+  /// statistics are unaffected; percentiles become order statistics of the
+  /// retained subset. Mixing capped and uncapped runs over one cache file
+  /// yields whichever retention wrote the entry first — keep a cache file to
+  /// a single cap.
+  std::size_t tails_cap = 0;
   /// Progress callback, invoked from worker threads after every completed
   /// trial with monotone running totals (cache-served and duplicate
   /// scenarios count as done from the start). Throttling is the callee's

@@ -200,7 +200,7 @@ bool build_preset_report(const BenchPreset& preset, const CsvTable& table,
     }
     std::vector<std::size_t> y_cols;
     std::vector<std::ptrdiff_t> err_cols;      // -1 = no ci95 sibling
-    std::vector<std::ptrdiff_t> band_lo_cols;  // -1 = no p5/p95 siblings
+    std::vector<std::ptrdiff_t> band_lo_cols;  // -1 = no band siblings
     std::vector<std::ptrdiff_t> band_hi_cols;
     for (const std::string& name : hint.y) {
       std::size_t col = 0;
@@ -208,8 +208,8 @@ bool build_preset_report(const BenchPreset& preset, const CsvTable& table,
       y_cols.push_back(col);
       // A `<stem>_mean` column keys its sibling statistics by the stem; a
       // bare metric column (`m_<name>`) is its own stem. A ci95 sibling
-      // adds error bars; p5/p95 siblings (present only in `--tails` CSVs)
-      // add a percentile band.
+      // adds error bars; the hint's band pair (`<stem>_p5`/`<stem>_p95` by
+      // default, present only in `--tails` CSVs) adds a percentile band.
       const std::string stem_mean = "_mean";
       std::string stem = name;
       if (name.size() > stem_mean.size() &&
@@ -218,8 +218,11 @@ bool build_preset_report(const BenchPreset& preset, const CsvTable& table,
         stem = name.substr(0, name.size() - stem_mean.size());
       }
       err_cols.push_back(stem != name ? table.column(stem + "_ci95") : -1);
-      const std::ptrdiff_t lo = table.column(stem + "_p5");
-      const std::ptrdiff_t hi = table.column(stem + "_p95");
+      const bool band_named = !hint.band_lo.empty() && !hint.band_hi.empty();
+      const std::ptrdiff_t lo =
+          band_named ? table.column(stem + "_" + hint.band_lo) : -1;
+      const std::ptrdiff_t hi =
+          band_named ? table.column(stem + "_" + hint.band_hi) : -1;
       const bool banded = lo >= 0 && hi >= 0;
       band_lo_cols.push_back(banded ? lo : -1);
       band_hi_cols.push_back(banded ? hi : -1);

@@ -17,6 +17,18 @@ double percentile_of_sorted(const std::vector<double>& sorted, double q) {
   return sorted[index];
 }
 
+namespace {
+// splitmix64 step — the reservoir's private generator. Self-contained so an
+// accumulator's retained subset depends only on its seed and the sample
+// stream, never on global RNG state.
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
 void Accumulator::add(double x) {
   if (count_ == 0) {
     min_ = max_ = x;
@@ -30,9 +42,28 @@ void Accumulator::add(double x) {
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
   if (keep_samples_) {
-    samples_.push_back(x);
-    sorted_ = false;
+    if (reservoir_cap_ == 0 || samples_.size() < reservoir_cap_) {
+      samples_.push_back(x);
+      sorted_ = false;
+    } else {
+      // Algorithm R: sample count_ (1-based index of x) replaces a uniform
+      // slot with probability cap/count_, keeping the reservoir a uniform
+      // subset of the stream so far.
+      const std::uint64_t slot = splitmix64_next(reservoir_state_) % count_;
+      if (slot < reservoir_cap_) {
+        samples_[slot] = x;
+        sorted_ = false;
+      }
+    }
   }
+}
+
+void Accumulator::set_reservoir(std::size_t cap, std::uint64_t seed) {
+  assert(keep_samples_);
+  assert(cap >= 1);
+  assert(count_ == 0 && samples_.empty());
+  reservoir_cap_ = cap;
+  reservoir_state_ = seed;
 }
 
 Accumulator::State Accumulator::state() const {
@@ -52,7 +83,7 @@ Accumulator Accumulator::from_state(const State& state) {
 
 Accumulator Accumulator::from_state_and_samples(const State& state,
                                                 std::vector<double> samples) {
-  assert(samples.size() == state.count);
+  assert(samples.size() <= state.count);
   Accumulator acc(/*keep_samples=*/true);
   acc.count_ = state.count;
   acc.mean_ = state.mean;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,9 +47,20 @@ class Accumulator {
   static Accumulator from_state(const State& state);
   /// Accumulator rebuilt from a saved state AND its retained samples (the
   /// cache-store v2 load path). Quantiles/percentiles are available again
-  /// and bit-identical to the snapshotted original's.
+  /// and bit-identical to the snapshotted original's. `samples` may be a
+  /// capped reservoir subset — anything up to `state.count` values.
   static Accumulator from_state_and_samples(const State& state,
                                             std::vector<double> samples);
+
+  /// Switches retention to a bounded reservoir: at most `cap` samples are
+  /// kept, a uniform subset of the stream (Algorithm R) drawn by a private
+  /// deterministic generator seeded with `seed`. Streaming statistics still
+  /// see every sample; quantiles/percentiles become order statistics of the
+  /// retained subset. Must be called on a fresh keep-samples accumulator
+  /// (before the first add); cap must be >= 1.
+  void set_reservoir(std::size_t cap, std::uint64_t seed);
+  /// The retention bound; 0 = unbounded (exact) retention.
+  std::size_t reservoir_cap() const { return reservoir_cap_; }
 
   std::size_t count() const { return count_; }
   double mean() const;
@@ -88,6 +100,8 @@ class Accumulator {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+  std::size_t reservoir_cap_ = 0;
+  std::uint64_t reservoir_state_ = 0;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
 };

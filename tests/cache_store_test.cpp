@@ -608,12 +608,13 @@ TEST(CacheStoreV2, TruncatedSampleBlockFailsClosed) {
   std::remove(path.c_str());
 }
 
-TEST(CacheStoreV2, SampleCountStateMismatchFailsClosed) {
-  const std::string path = temp_path("count_mismatch.cache");
+TEST(CacheStoreV2, FewerSamplesThanCountedIsACappedSubsetAndLoads) {
+  const std::string path = temp_path("capped_subset.cache");
   write_tails_cache(path);
   // cheap_plan runs 4 trials, all feasible, so every objective block is
   // "samples objective 4 ...". Declare 3 and drop one value: the block is
-  // self-consistent but disagrees with the accumulator state's count.
+  // self-consistent and smaller than the accumulator state's count — the
+  // legal shape a `--tails-cap` reservoir persists, so it must load.
   std::string text = read_file(path);
   const std::size_t pos = text.find("\nsamples objective 4 ");
   ASSERT_NE(pos, std::string::npos);
@@ -622,6 +623,32 @@ TEST(CacheStoreV2, SampleCountStateMismatchFailsClosed) {
   const std::size_t eol = text.find('\n', pos + 1);
   const std::size_t last_space = text.rfind(' ', eol);
   text.erase(last_space, eol - last_space);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  ScenarioCache cache;
+  EXPECT_TRUE(ScenarioCacheStore(path).load(cache));
+  EXPECT_GT(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStoreV2, MoreSamplesThanCountedFailsClosed) {
+  const std::string path = temp_path("excess_samples.cache");
+  write_tails_cache(path);
+  // The reverse direction stays fail-closed: a block claiming more retained
+  // samples than the accumulator ever counted is corrupt, never a subset.
+  // Declare 5 and duplicate the last value (keeps the block sorted and
+  // self-consistent).
+  std::string text = read_file(path);
+  const std::size_t pos = text.find("\nsamples objective 4 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::strlen("\nsamples objective 4 "),
+               "\nsamples objective 5 ");
+  const std::size_t eol = text.find('\n', pos + 1);
+  const std::size_t last_space = text.rfind(' ', eol);
+  const std::string last_value = text.substr(last_space, eol - last_space);
+  text.insert(eol, last_value);
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << text;

@@ -215,7 +215,8 @@ TEST(TailsSession, SecretaryPresetByteIdenticalAcrossThreadsAndShardMerge) {
   const std::string reference_csv = read_file(csv_1t);
   ASSERT_NE(reference_csv.find("objective_p99"), std::string::npos);
   const std::string reference_svg = read_file(report_1t + "/e8-sweep1.svg");
-  // The report carries the p5–p95 band ribbons (one polygon per series).
+  // The report carries the band ribbons (one polygon per series; e8's
+  // PlotHint names p25–p75).
   ASSERT_NE(reference_svg.find("<polygon"), std::string::npos);
 
   // Four threads.
@@ -282,6 +283,168 @@ TEST(TailsSession, MergeOfSampleLessCacheFailsLoudly) {
   }
   RunConfig config = e8_tails_config(/*trials=*/2);
   config.merge_files = {cache_file};
+  Session session(std::move(config));
+  const Status status = session.run();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--tails"), std::string::npos);
+}
+
+// --- capped retention: the --tails-cap reservoir --------------------------
+
+TEST(TailsCap, ReservoirIsDeterministicAndBounded) {
+  util::Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.uniform_double(0, 1));
+
+  util::Accumulator a(/*keep_samples=*/true);
+  util::Accumulator b(/*keep_samples=*/true);
+  util::Accumulator full(/*keep_samples=*/true);
+  a.set_reservoir(16, /*seed=*/0xfeedULL);
+  b.set_reservoir(16, /*seed=*/0xfeedULL);
+  for (double v : values) {
+    a.add(v);
+    b.add(v);
+    full.add(v);
+  }
+  // Same seed, same stream: the retained subsets are identical — and capped.
+  EXPECT_EQ(a.sorted_samples(), b.sorted_samples());
+  EXPECT_EQ(a.sorted_samples().size(), 16u);
+  // Streaming statistics see every reading, not just the survivors.
+  EXPECT_EQ(a.mean(), full.mean());
+  EXPECT_EQ(a.variance(), full.variance());
+  EXPECT_EQ(a.count(), full.count());
+  // Every survivor was actually observed.
+  const auto& all = full.sorted_samples();
+  for (double v : a.sorted_samples()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), v), all.end());
+  }
+  // A different seed retains a different subset (200 choose 16 leaves no
+  // realistic collision odds).
+  util::Accumulator c(/*keep_samples=*/true);
+  c.set_reservoir(16, /*seed=*/0xbeefULL);
+  for (double v : values) c.add(v);
+  EXPECT_NE(a.sorted_samples(), c.sorted_samples());
+}
+
+TEST(TailsCap, CapAboveCountRetainsEverything) {
+  util::Accumulator acc(/*keep_samples=*/true);
+  acc.set_reservoir(64, /*seed=*/1);
+  for (int i = 0; i < 10; ++i) acc.add(i);
+  EXPECT_EQ(acc.sorted_samples().size(), 10u);
+  EXPECT_EQ(acc.percentile(0.0), 0.0);
+  EXPECT_EQ(acc.percentile(1.0), 9.0);
+}
+
+TEST(TailsCap, SweepRetentionCappedThreadInvariantAndSeededPerScenario) {
+  const SolverRegistry registry = SolverRegistry::with_builtins();
+  SweepOptions serial;
+  serial.num_threads = 1;
+  serial.keep_samples = true;
+  serial.tails_cap = 5;
+  SweepOptions pooled = serial;
+  pooled.num_threads = 4;
+
+  const auto a = SweepRunner(serial).run(registry, tails_plan());
+  const auto b = SweepRunner(pooled).run(registry, tails_plan());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(a[i].objective.sorted_samples().size(), 5u);
+    EXPECT_EQ(a[i].objective.sorted_samples(), b[i].objective.sorted_samples());
+    EXPECT_EQ(a[i].ratio.sorted_samples(), b[i].ratio.sorted_samples());
+  }
+  EXPECT_EQ(results_csv_text(a), results_csv_text(b));
+
+  // The reservoir keyed off the scenario really dropped readings — the
+  // capped percentiles differ from exact retention somewhere in the sweep
+  // (trials=25 against cap 5).
+  SweepOptions exact;
+  exact.num_threads = 1;
+  exact.keep_samples = true;
+  const auto uncapped = SweepRunner(exact).run(registry, tails_plan());
+  EXPECT_NE(results_csv_text(a), results_csv_text(uncapped));
+  // But the streaming columns (means, variances) are untouched by the cap.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].objective.mean(), uncapped[i].objective.mean());
+    EXPECT_EQ(a[i].objective.variance(), uncapped[i].objective.variance());
+  }
+}
+
+TEST(TailsCap, CappedCacheRoundTripsThroughSaveAndMerge) {
+  const std::string dir = temp_path("cap_roundtrip/");
+  ASSERT_TRUE(ensure_directory(dir).ok());
+
+  auto capped_config = [] {
+    RunConfig config = e8_tails_config(/*trials=*/10);
+    config.tails_cap = 4;
+    return config;
+  };
+
+  const std::string direct_csv = dir + "direct.csv";
+  {
+    Session session(capped_config());
+    session.add_sink(std::make_unique<CsvSink>(direct_csv));
+    const Status status = session.run();
+    ASSERT_TRUE(status.ok()) << status.message();
+  }
+
+  const std::string cache_file = dir + "capped.cache";
+  {
+    RunConfig config = capped_config();
+    config.cache_file = cache_file;
+    Session session(std::move(config));
+    session.add_sink(std::make_unique<CacheFileSink>());
+    const Status status = session.run();
+    ASSERT_TRUE(status.ok()) << status.message();
+  }
+  const std::string merged_csv = dir + "merged.csv";
+  {
+    RunConfig config = capped_config();
+    config.merge_files = {cache_file};
+    Session session(std::move(config));
+    session.add_sink(std::make_unique<CsvSink>(merged_csv));
+    const Status status = session.run();
+    ASSERT_TRUE(status.ok()) << status.message();
+  }
+  EXPECT_EQ(read_file(merged_csv), read_file(direct_csv));
+}
+
+// --- tail-aware pass rules (BenchPreset::pass_rules) ----------------------
+
+TEST(TailPassRules, SecretaryMedianRuleEvaluatesAndPasses) {
+  // e8 carries `ratio_p50 >= 0.0169` (the 1/8e² guarantee is in
+  // expectation, so the median — not the minimum — must clear the floor).
+  std::ostringstream table;
+  RunConfig config = e8_tails_config(/*trials=*/3);
+  config.num_threads = 1;
+  Session session(std::move(config));
+  session.add_sink(std::make_unique<TableSink>(table));
+  const Status status = session.run();
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_NE(table.str().find("tail check ratio_p50 >= 0.0169: OK"),
+            std::string::npos)
+      << table.str();
+}
+
+TEST(TailPassRules, SkippedEntirelyWithoutTails) {
+  // Tails off: no percentile columns exist, so the rules must not run
+  // (and certainly must not fail the sweep).
+  std::ostringstream table;
+  RunConfig config;
+  config.preset = "e8";
+  config.trials = 2;
+  config.use_cache = false;
+  Session session(std::move(config));
+  session.add_sink(std::make_unique<TableSink>(table));
+  const Status status = session.run();
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(table.str().find("tail check"), std::string::npos);
+}
+
+TEST(TailsCap, RequiresTails) {
+  RunConfig config;
+  config.preset = "e8";
+  config.trials = 2;
+  config.tails_cap = 4;  // no tails: retention is off, the cap is an error
   Session session(std::move(config));
   const Status status = session.run();
   EXPECT_FALSE(status.ok());
